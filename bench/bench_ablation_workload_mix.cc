@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extension: open-loop mixed workload. The paper's evaluation uses
+ * homogeneous closed-loop streams and notes that a more realistic
+ * mix would better predict real deployments (section 4); this bench
+ * drives all five layouts with a Poisson arrival process and an
+ * OLTP-ish profile (70% 8 KB reads, 20% 24 KB writes, 10% 96 KB
+ * reads) across offered loads, in fault-free and degraded modes.
+ */
+
+#include "bench_util.hh"
+#include "workload/open_loop.hh"
+
+int
+main()
+{
+    using namespace pddl;
+    auto layouts = bench::evaluatedLayouts();
+    DiskModel model = DiskModel::hp2247();
+    const bool full = bench::fullFidelity();
+
+    std::printf("Extension: open-loop mixed workload (Poisson "
+                "arrivals; 70%% 8KB reads, 20%% 24KB writes,\n"
+                "10%% 96KB reads). Cells = mean / p95 response ms.\n");
+    for (ArrayMode mode :
+         {ArrayMode::FaultFree, ArrayMode::Degraded}) {
+        std::printf("\n-- %s --\n",
+                    mode == ArrayMode::FaultFree ? "fault free"
+                                                 : "single failure");
+        std::printf("%-20s", "layout \\ load/s");
+        for (double rate : {50.0, 100.0, 200.0, 300.0})
+            std::printf("  %8.0f     ", rate);
+        std::printf("\n");
+        bench::printRule(2 + 4);
+        for (const auto &layout : layouts) {
+            std::printf("%-20s", layout->name().c_str());
+            for (double rate : {50.0, 100.0, 200.0, 300.0}) {
+                OpenLoopConfig config;
+                config.arrivals_per_s = rate;
+                config.mix = {
+                    AccessMixEntry{1, AccessType::Read, 0.7},
+                    AccessMixEntry{3, AccessType::Write, 0.2},
+                    AccessMixEntry{12, AccessType::Read, 0.1},
+                };
+                config.mode = mode;
+                config.failed_disk = 0;
+                config.samples = full ? 20000 : 2500;
+                config.warmup = full ? 2000 : 250;
+                OpenLoopResult r =
+                    runOpenLoop(*layout, model, config);
+                std::printf("  %6.1f/%-6.1f", r.mean_response_ms,
+                            r.p95_response_ms);
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 4 reproduction: fault-free read seek and no-switch counts
+ * per logical access, 8..336 KB.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace pddl;
+    bench::runSeekCountFigure("Figure 4",
+                              "Fault free read; seek and no-switch "
+                              "counts",
+                              AccessType::Read, ArrayMode::FaultFree);
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 6 reproduction: single-failure (degraded / reconstruction
+ * mode) read response times for 8..240 KB accesses.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace pddl;
+    bench::runResponseTimeFigure(
+        "Figure 6", "Read response times, single failure mode",
+        {8, 48, 96, 144, 192, 240}, AccessType::Read,
+        ArrayMode::Degraded);
+    return 0;
+}

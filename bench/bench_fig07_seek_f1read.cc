@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 7 reproduction: degraded read seek and no-switch counts per
+ * logical access, 8..336 KB.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace pddl;
+    bench::runSeekCountFigure("Figure 7",
+                              "Degraded read; seek and no-switch "
+                              "counts",
+                              AccessType::Read, ArrayMode::Degraded);
+    return 0;
+}

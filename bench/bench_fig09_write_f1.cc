@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 9 reproduction: single-failure write response times for
+ * 8..240 KB accesses.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace pddl;
+    bench::runResponseTimeFigure(
+        "Figure 9", "Write response times, single failure mode",
+        {8, 48, 96, 144, 192, 240}, AccessType::Write,
+        ArrayMode::Degraded);
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 15 reproduction: fault-free write seek and no-switch counts
+ * per logical access, 8..336 KB.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace pddl;
+    bench::runSeekCountFigure("Figure 15",
+                              "Fault free write; seek and no-switch "
+                              "counts",
+                              AccessType::Write, ArrayMode::FaultFree);
+    return 0;
+}

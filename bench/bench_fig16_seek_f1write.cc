@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 16 reproduction: degraded write seek and no-switch counts
+ * per logical access, 8..336 KB.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace pddl;
+    bench::runSeekCountFigure("Figure 16",
+                              "Degraded write; seek and no-switch "
+                              "counts",
+                              AccessType::Write, ArrayMode::Degraded);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 17 reproduction: satisfactory base permutations for 55
+ * disks and stripe width six.
+ *
+ * Validates the paper's published pair (combined reconstruction
+ * tally flat at 2*(k-1)) and prints the per-permutation tallies, then
+ * gives the bounded search a chance at finding its own group.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/search.hh"
+
+int
+main()
+{
+    using namespace pddl;
+
+    PermutationGroup pair = paperFigure17Pair();
+    std::printf("Figure 17: base permutation pair for n=55, k=6, "
+                "g=9\n\n");
+
+    for (int q = 0; q < pair.size(); ++q) {
+        PermutationGroup solo = pair;
+        solo.perms = {pair.perms[q]};
+        auto tally = reconstructionReadTally(solo);
+        int64_t lo = tally[1], hi = tally[1];
+        for (int d = 2; d < solo.n; ++d) {
+            lo = std::min(lo, tally[d]);
+            hi = std::max(hi, tally[d]);
+        }
+        std::printf("permutation %d alone: satisfactory=%s, "
+                    "reconstruction reads per disk in [%lld, %lld] "
+                    "(flat would be %d)\n",
+                    q + 1, isSatisfactory(solo) ? "yes" : "no",
+                    static_cast<long long>(lo),
+                    static_cast<long long>(hi), solo.k - 1);
+    }
+    std::printf("published pair combined: satisfactory=%s (target "
+                "%d reads per surviving disk)\n\n",
+                isSatisfactory(pair) ? "yes" : "no", 2 * (pair.k - 1));
+
+    std::printf("bounded search for an independent pair "
+                "(restarts scale with PDDL_BENCH_FULL):\n");
+    SearchOptions options;
+    const bool full = std::getenv("PDDL_BENCH_FULL") != nullptr;
+    options.restarts = full ? 400 : 40;
+    options.max_steps = full ? 40000 : 8000;
+    auto found = searchGroupOfSize(55, 6, 2, options);
+    if (found) {
+        std::printf("search found its own satisfactory pair.\n");
+    } else {
+        std::printf("search budget exhausted without a pair; the "
+                    "paper notes there is no generic way to find "
+                    "groups (section 5), and its own pair verifies "
+                    "above.\n");
+    }
+    return 0;
+}

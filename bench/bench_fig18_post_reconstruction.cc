@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 18 reproduction: PDDL read response times in fault-free,
+ * reconstruction (degraded) and post-reconstruction operation for
+ * 8..72 KB accesses.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace pddl;
+    PddlLayout layout = PddlLayout::make(13, 4);
+    DiskModel model = DiskModel::hp2247();
+
+    std::printf("Figure 18: PDDL read response times: fault free, "
+                "reconstruction, and post-reconstruction\n");
+    std::printf("(cells = mean response ms @ achieved accesses/sec)"
+                "\n");
+    struct Mode
+    {
+        const char *name;
+        ArrayMode mode;
+    };
+    const Mode modes[] = {
+        {"PDDL (fault free)", ArrayMode::FaultFree},
+        {"PDDL reconstruction", ArrayMode::Degraded},
+        {"PDDL post-reconstruction", ArrayMode::PostReconstruction},
+    };
+    for (int kb : {8, 24, 48, 72}) {
+        std::printf("\n-- %d KB reads --\n", kb);
+        std::printf("%-26s", "mode \\ clients");
+        for (int clients : bench::kClientCounts)
+            std::printf("  %6d    ", clients);
+        std::printf("\n");
+        bench::printRule(2 + static_cast<int>(
+                                 bench::kClientCounts.size()));
+        for (const Mode &mode : modes) {
+            std::printf("%-26s", mode.name);
+            for (int clients : bench::kClientCounts) {
+                SimConfig config = bench::defaultSimConfig();
+                config.clients = clients;
+                config.access_units = bench::unitsForKb(kb);
+                config.type = AccessType::Read;
+                config.mode = mode.mode;
+                config.failed_disk = 0;
+                SimResult r = runClosedLoop(layout, model, config);
+                std::printf("  %6.1f@%-4.0f", r.mean_response_ms,
+                            r.throughput_per_s);
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\nExpected shape: for stripe-unit sized accesses "
+                "post-reconstruction is much faster than\n"
+                "reconstruction but slower than fault-free (one disk "
+                "fewer); for large accesses the two\nfailure modes "
+                "converge.\n");
+    return 0;
+}

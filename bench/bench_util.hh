@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benchmarks: the paper's
+ * evaluated array (Table 2), layout construction, and table
+ * formatting.
+ *
+ * Each bench binary regenerates one table or figure of the paper.
+ * By default the simulations use a relaxed stopping rule so the whole
+ * suite finishes in minutes; set PDDL_BENCH_FULL=1 for the paper's
+ * 2%-at-95%-confidence rule.
+ */
+
+#ifndef PDDL_BENCH_BENCH_UTIL_HH
+#define PDDL_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pddl_layout.hh"
+#include "layout/datum.hh"
+#include "layout/parity_decluster.hh"
+#include "layout/prime.hh"
+#include "layout/raid5.hh"
+#include "workload/closed_loop.hh"
+
+namespace pddl {
+namespace bench {
+
+/** The paper's client counts ("Concurrency" row of Table 2). */
+inline const std::vector<int> kClientCounts = {1, 2, 4, 8, 10, 15, 20, 25};
+
+/** Access sizes in KB from Table 2 (8 KB stripe units). */
+inline const std::vector<int> kAccessSizesKb = {8,   24,  48,  72,  96,
+                                                120, 144, 168, 192, 216,
+                                                240, 288, 336};
+
+/** KB -> stripe units (8 KB units). */
+inline int
+unitsForKb(int kb)
+{
+    return kb / 8;
+}
+
+/** True when the paper-fidelity stopping rule is requested. */
+inline bool
+fullFidelity()
+{
+    const char *env = std::getenv("PDDL_BENCH_FULL");
+    return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+/** Simulation defaults: fast but shape-preserving, or Table 2 exact. */
+inline SimConfig
+defaultSimConfig()
+{
+    SimConfig config;
+    if (fullFidelity()) {
+        config.relative_tolerance = 0.02;
+        config.min_samples = 1000;
+        config.max_samples = 200000;
+        config.warmup = 500;
+    } else {
+        config.relative_tolerance = 0.06;
+        config.min_samples = 250;
+        config.max_samples = 2500;
+        config.warmup = 120;
+    }
+    return config;
+}
+
+/** The five evaluated layouts on the 13-disk array of Table 2. */
+inline std::vector<std::unique_ptr<Layout>>
+evaluatedLayouts()
+{
+    std::vector<std::unique_ptr<Layout>> layouts;
+    layouts.push_back(std::make_unique<DatumLayout>(13, 4));
+    layouts.push_back(std::make_unique<ParityDeclusterLayout>(
+        ParityDeclusterLayout::make(13, 4)));
+    layouts.push_back(std::make_unique<Raid5Layout>(13));
+    layouts.push_back(
+        std::make_unique<PddlLayout>(PddlLayout::make(13, 4)));
+    layouts.push_back(std::make_unique<PrimeLayout>(13, 4));
+    return layouts;
+}
+
+/** Print a row separator sized to `width` columns of 10 chars. */
+inline void
+printRule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::fputs("----------", stdout);
+    std::fputs("\n", stdout);
+}
+
+/**
+ * Regenerate one response-time figure: for each access size, a panel
+ * of mean response time (ms) and achieved throughput (accesses/sec)
+ * per layout per client count -- the series the paper plots.
+ */
+inline void
+runResponseTimeFigure(const char *figure, const char *caption,
+                      const std::vector<int> &sizes_kb, AccessType type,
+                      ArrayMode mode)
+{
+    auto layouts = evaluatedLayouts();
+    DiskModel model = DiskModel::hp2247();
+    std::printf("%s: %s\n", figure, caption);
+    std::printf("(workload = achieved accesses/sec, cells = mean "
+                "response ms)\n");
+    for (int kb : sizes_kb) {
+        std::printf("\n-- %d KB %s, %s --\n", kb,
+                    type == AccessType::Read ? "reads" : "writes",
+                    mode == ArrayMode::FaultFree ? "fault free"
+                    : mode == ArrayMode::Degraded
+                        ? "single failure"
+                        : "post-reconstruction");
+        std::printf("%-20s", "layout \\ clients");
+        for (int clients : kClientCounts)
+            std::printf("  %6d    ", clients);
+        std::printf("\n");
+        printRule(2 + static_cast<int>(kClientCounts.size()));
+        for (const auto &layout : layouts) {
+            if (mode == ArrayMode::PostReconstruction &&
+                !layout->hasSparing()) {
+                continue;
+            }
+            std::printf("%-20s", layout->name().c_str());
+            for (int clients : kClientCounts) {
+                SimConfig config = defaultSimConfig();
+                config.clients = clients;
+                config.access_units = unitsForKb(kb);
+                config.type = type;
+                config.mode = mode;
+                config.failed_disk = 0;
+                SimResult r = runClosedLoop(*layout, model, config);
+                std::printf("  %6.1f@%-4.0f", r.mean_response_ms,
+                            r.throughput_per_s);
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n");
+}
+
+/**
+ * Regenerate one seek-count figure: per access size, the per-access
+ * averages of non-local seeks, cylinder switches, track switches and
+ * no-switch operations (the stacked bars of Figures 4/7/15/16).
+ */
+inline void
+runSeekCountFigure(const char *figure, const char *caption,
+                   AccessType type, ArrayMode mode)
+{
+    auto layouts = evaluatedLayouts();
+    DiskModel model = DiskModel::hp2247();
+    std::printf("%s: %s\n", figure, caption);
+    std::printf("(per logical access: non-local / cylinder switch / "
+                "track switch / no-switch)\n");
+    for (const auto &layout : layouts) {
+        std::printf("\n-- %s --\n", layout->name().c_str());
+        std::printf("%8s  %9s  %9s  %9s  %9s  %9s\n", "size KB",
+                    "non-local", "cyl-sw", "trk-sw", "no-sw", "total");
+        for (int kb : kAccessSizesKb) {
+            SimConfig config = defaultSimConfig();
+            // Section 4: counts are almost workload independent; a
+            // moderate concurrency keeps queues busy.
+            config.clients = 8;
+            config.access_units = unitsForKb(kb);
+            config.type = type;
+            config.mode = mode;
+            config.failed_disk = 0;
+            SimResult r = runClosedLoop(*layout, model, config);
+            double total = r.non_local_seeks + r.cylinder_switches +
+                           r.track_switches + r.no_switches;
+            std::printf("%8d  %9.1f  %9.1f  %9.1f  %9.1f  %9.1f\n", kb,
+                        r.non_local_seeks, r.cylinder_switches,
+                        r.track_switches, r.no_switches, total);
+        }
+    }
+    std::printf("\n");
+}
+
+} // namespace bench
+} // namespace pddl
+
+#endif // PDDL_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Layout explorer: build any of the library's layouts for an
+ * arbitrary configuration and report the paper's goals #1-#8
+ * checklist, space overheads, reconstruction tallies and read
+ * parallelism.
+ *
+ * Usage: layout_explorer <kind> <disks> <width>
+ *   kind: pddl | wrapped | prime | datum | pd | raid5 | pseudo
+ *
+ * Examples:
+ *   layout_explorer pddl 13 4     # the paper's evaluated array
+ *   layout_explorer pddl 16 5     # GF(2^4), XOR development
+ *   layout_explorer pddl 10 3     # needs a pair of permutations
+ *   layout_explorer datum 9 4
+ *   layout_explorer wrapped 30 7  # section 5's wrapping
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "core/pddl_layout.hh"
+#include "core/wrapped_layout.hh"
+#include "layout/datum.hh"
+#include "layout/parity_decluster.hh"
+#include "layout/prime.hh"
+#include "layout/properties.hh"
+#include "layout/pseudo_random.hh"
+#include "layout/raid5.hh"
+
+using namespace pddl;
+
+namespace {
+
+std::unique_ptr<Layout>
+build(const char *kind, int disks, int width)
+{
+    if (std::strcmp(kind, "raid5") == 0)
+        return std::make_unique<Raid5Layout>(disks);
+    if (std::strcmp(kind, "pd") == 0) {
+        return std::make_unique<ParityDeclusterLayout>(
+            ParityDeclusterLayout::make(disks, width));
+    }
+    if (std::strcmp(kind, "prime") == 0)
+        return std::make_unique<PrimeLayout>(disks, width);
+    if (std::strcmp(kind, "datum") == 0)
+        return std::make_unique<DatumLayout>(disks, width);
+    if (std::strcmp(kind, "pseudo") == 0)
+        return std::make_unique<PseudoRandomLayout>(disks, width);
+    if (std::strcmp(kind, "pddl") == 0) {
+        return std::make_unique<PddlLayout>(
+            PddlLayout::make(disks, width));
+    }
+    if (std::strcmp(kind, "wrapped") == 0) {
+        return std::make_unique<WrappedLayout>(
+            WrappedLayout::make(disks, width));
+    }
+    return nullptr;
+}
+
+const char *
+yesNo(bool value)
+{
+    return value ? "yes" : "NO";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 4) {
+        std::fprintf(stderr,
+                     "usage: %s <pddl|wrapped|prime|datum|pd|raid5|pseudo> "
+                     "<disks> <width>\n",
+                     argv[0]);
+        return 1;
+    }
+    const int disks = std::atoi(argv[2]);
+    const int width = std::atoi(argv[3]);
+
+    std::unique_ptr<Layout> layout;
+    try {
+        layout = build(argv[1], disks, width);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "cannot build layout: %s\n",
+                     error.what());
+        return 1;
+    }
+    if (!layout) {
+        std::fprintf(stderr, "unknown layout kind '%s'\n", argv[1]);
+        return 1;
+    }
+
+    std::printf("%s: %d disks, stripe width %d (%d data + %d check)\n",
+                layout->name().c_str(), layout->numDisks(),
+                layout->stripeWidth(), layout->dataUnitsPerStripe(),
+                layout->checkUnitsPerStripe());
+    std::printf("pattern: %lld stripes, %lld rows per disk\n\n",
+                static_cast<long long>(layout->stripesPerPeriod()),
+                static_cast<long long>(
+                    layout->unitsPerDiskPerPeriod()));
+
+    if (auto *pddl = dynamic_cast<PddlLayout *>(layout.get())) {
+        std::printf("base permutations (%s development):\n",
+                    pddl->group().xor_development ? "XOR" : "mod-n");
+        for (const auto &perm : pddl->group().perms) {
+            std::printf("  (");
+            for (int v : perm)
+                std::printf(" %d", v);
+            std::printf(" )\n");
+        }
+        std::printf("\n");
+    }
+
+    // Goals checklist.
+    std::printf("goal #1 single failure correcting : %s\n",
+                yesNo(checkSingleFailureCorrecting(*layout)));
+    std::printf("goal #2 distributed parity        : %s\n",
+                yesNo(isBalanced(checkUnitsPerDisk(*layout))));
+    bool recon_balanced = true;
+    for (int f = 0; f < layout->numDisks(); ++f) {
+        recon_balanced = recon_balanced &&
+                         reconstructionWorkload(*layout, f)
+                             .balancedReads(f);
+    }
+    std::printf("goal #3 distributed reconstruction: %s\n",
+                yesNo(recon_balanced));
+    std::printf("goal #4 large write optimization  : yes (structural)"
+                "\n");
+    std::printf("goal #5 maximal read parallelism  : avg %.2f / %d "
+                "disks for %d-unit reads\n",
+                averageReadParallelism(*layout, layout->numDisks()),
+                layout->numDisks(), layout->numDisks());
+    std::printf("goal #7 distributed sparing       : %s\n",
+                layout->hasSparing()
+                    ? yesNo(isBalanced(spareUnitsPerDisk(*layout)))
+                    : "n/a (no spare space)");
+    std::printf("address soundness (collision free): %s\n\n",
+                yesNo(checkAddressCollisionFree(*layout)));
+
+    // Space overheads.
+    auto parity = checkUnitsPerDisk(*layout);
+    auto spare = spareUnitsPerDisk(*layout);
+    double rows =
+        static_cast<double>(layout->unitsPerDiskPerPeriod());
+    std::printf("space: %.1f%% parity, %.1f%% spare, %.1f%% data\n",
+                100.0 * static_cast<double>(parity[0]) / rows,
+                100.0 * static_cast<double>(spare[0]) / rows,
+                100.0 *
+                    (rows - static_cast<double>(parity[0] + spare[0])) /
+                    rows);
+
+    // Reconstruction tally for disk 0.
+    ReconstructionTally tally = reconstructionWorkload(*layout, 0);
+    std::printf("\ndisk 0 fails: reconstruction reads per disk:");
+    for (int d = 0; d < layout->numDisks(); ++d)
+        std::printf(" %lld", static_cast<long long>(tally.reads[d]));
+    if (layout->hasSparing()) {
+        std::printf("\n              spare writes per disk:       ");
+        for (int d = 0; d < layout->numDisks(); ++d) {
+            std::printf(" %lld",
+                        static_cast<long long>(tally.writes[d]));
+        }
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,110 @@
+#include "array/controller.hh"
+
+#include <cstddef>
+#include <cassert>
+#include <utility>
+
+namespace pddl {
+
+ArrayController::ArrayController(EventQueue &events,
+                                 const Layout &layout,
+                                 const DiskModel &disk_model,
+                                 const ArrayConfig &config)
+    : events_(events), layout_(layout), config_(config),
+      mapper_(layout, config.mode, config.failed_disk)
+{
+    for (int d = 0; d < layout_.numDisks(); ++d) {
+        disks_.push_back(std::make_unique<Disk>(events_, disk_model,
+                                                config_.sstf_window));
+    }
+    // Usable client space: whole layout patterns that fit the media.
+    int64_t rows = disk_model.geometry.totalSectors() /
+                   config_.unit_sectors;
+    int64_t patterns = rows / layout_.unitsPerDiskPerPeriod();
+    assert(patterns >= 1 && "disk too small for one layout pattern");
+    data_units_ = patterns * layout_.dataUnitsPerPeriod();
+}
+
+void
+ArrayController::access(int64_t start_unit, int count, AccessType type,
+                        std::function<void()> done)
+{
+    assert(start_unit >= 0 && start_unit + count <= data_units_);
+    auto pending = std::make_shared<Pending>();
+    pending->id = next_access_id_++;
+    pending->done = std::move(done);
+
+    std::vector<PhysOp> ops = mapper_.expand(start_unit, count, type);
+    assert(!ops.empty());
+    std::vector<PhysOp> phase0;
+    for (PhysOp &op : ops) {
+        if (op.phase == 0)
+            phase0.push_back(op);
+        else
+            pending->phase1.push_back(op);
+    }
+    if (phase0.empty())
+        issueOps(pending->phase1, pending);
+    else
+        issueOps(phase0, pending);
+}
+
+void
+ArrayController::issueOps(const std::vector<PhysOp> &ops,
+                          const std::shared_ptr<Pending> &pending)
+{
+    assert(!ops.empty());
+    pending->outstanding = static_cast<int>(ops.size());
+    for (const PhysOp &op : ops) {
+        DiskRequest request;
+        request.lba = op.addr.unit *
+                      static_cast<int64_t>(config_.unit_sectors);
+        request.sectors = config_.unit_sectors;
+        request.write = op.write;
+        request.access_id = pending->id;
+        request.done = [this, pending] { phaseComplete(pending); };
+        disks_[op.addr.disk]->submit(std::move(request));
+    }
+}
+
+void
+ArrayController::phaseComplete(const std::shared_ptr<Pending> &pending)
+{
+    assert(pending->outstanding > 0);
+    if (--pending->outstanding > 0)
+        return;
+    if (!pending->phase1.empty()) {
+        // All pre-reads done: new parity is computable, overwrite.
+        std::vector<PhysOp> writes = std::move(pending->phase1);
+        pending->phase1.clear();
+        issueOps(writes, pending);
+        return;
+    }
+    if (pending->done)
+        pending->done();
+}
+
+void
+ArrayController::submitUnit(int disk, int64_t unit, bool write,
+                            std::function<void()> done)
+{
+    assert(disk >= 0 && disk < layout_.numDisks());
+    DiskRequest request;
+    request.lba = unit * static_cast<int64_t>(config_.unit_sectors);
+    request.sectors = config_.unit_sectors;
+    request.write = write;
+    request.access_id = next_access_id_++;
+    request.done = std::move(done);
+    disks_[disk]->submit(std::move(request));
+}
+
+SeekTally
+ArrayController::aggregateTally() const
+{
+    SeekTally total;
+    for (const auto &disk : disks_)
+        total += disk->tally();
+    return total;
+}
+
+} // namespace pddl

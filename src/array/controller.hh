@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Simulated disk-array controller.
+ *
+ * Owns one simulated disk per array slot, translates logical accesses
+ * through a RequestMapper and enforces read-modify-write ordering:
+ * all phase-0 pre-reads of an access complete before its phase-1
+ * overwrites are issued (parity computation itself is treated as
+ * free, as in the paper's RAIDframe experiments). Completion of the
+ * last physical operation completes the logical access.
+ */
+
+#ifndef PDDL_ARRAY_CONTROLLER_HH
+#define PDDL_ARRAY_CONTROLLER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "array/request_mapper.hh"
+#include "disk/disk.hh"
+#include "layout/layout.hh"
+#include "sim/event_queue.hh"
+
+namespace pddl {
+
+/** Controller configuration (paper Table 2 defaults). */
+struct ArrayConfig
+{
+    /** Sectors per stripe unit (16 x 512 B = the paper's 8 KB). */
+    int unit_sectors = 16;
+    ArrayMode mode = ArrayMode::FaultFree;
+    int failed_disk = -1;
+    /** SSTF scan window per disk. */
+    int sstf_window = 20;
+};
+
+/** The simulated array: disks + mapper + RMW sequencing. */
+class ArrayController
+{
+  public:
+    /**
+     * @param events shared simulation event queue
+     * @param layout data layout (must outlive the controller)
+     * @param disk_model mechanics of every (identical) drive
+     * @param config controller configuration
+     */
+    ArrayController(EventQueue &events, const Layout &layout,
+                    const DiskModel &disk_model,
+                    const ArrayConfig &config);
+
+    /** Client data units addressable (whole patterns on the media). */
+    int64_t dataUnits() const { return data_units_; }
+
+    /**
+     * Issue a logical access of `count` aligned data units.
+     *
+     * @param done fired when the last physical operation completes
+     */
+    void access(int64_t start_unit, int count, AccessType type,
+                std::function<void()> done);
+
+    /**
+     * Submit one raw stripe-unit operation outside the logical access
+     * path (background rebuild traffic). Each call is tracked as its
+     * own access for seek classification.
+     */
+    void submitUnit(int disk, int64_t unit, bool write,
+                    std::function<void()> done);
+
+    /** Sum of all disks' seek tallies. */
+    SeekTally aggregateTally() const;
+
+    /** Logical accesses issued so far. */
+    uint64_t accessesIssued() const { return next_access_id_; }
+
+    const Disk &disk(int i) const { return *disks_[i]; }
+    const Layout &layout() const { return layout_; }
+    const ArrayConfig &config() const { return config_; }
+
+  private:
+    /** In-flight access bookkeeping shared by its op callbacks. */
+    struct Pending
+    {
+        int outstanding = 0;
+        std::vector<PhysOp> phase1;
+        uint64_t id = 0;
+        std::function<void()> done;
+    };
+
+    void issueOps(const std::vector<PhysOp> &ops,
+                  const std::shared_ptr<Pending> &pending);
+    void phaseComplete(const std::shared_ptr<Pending> &pending);
+
+    EventQueue &events_;
+    const Layout &layout_;
+    ArrayConfig config_;
+    RequestMapper mapper_;
+    std::vector<std::unique_ptr<Disk>> disks_;
+    int64_t data_units_ = 0;
+    uint64_t next_access_id_ = 0;
+};
+
+} // namespace pddl
+
+#endif // PDDL_ARRAY_CONTROLLER_HH

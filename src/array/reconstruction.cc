@@ -1,0 +1,95 @@
+#include "array/reconstruction.hh"
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+
+namespace pddl {
+
+ReconstructionEngine::ReconstructionEngine(EventQueue &events,
+                                           ArrayController &array,
+                                           int failed_disk,
+                                           int64_t stripes,
+                                           int max_parallel)
+    : events_(events), array_(array), layout_(array.layout()),
+      failed_disk_(failed_disk), stripes_(stripes),
+      max_parallel_(max_parallel)
+{
+    assert(layout_.hasSparing() &&
+           "reconstruction targets distributed spare space");
+    assert(failed_disk_ >= 0 && failed_disk_ < layout_.numDisks());
+    assert(max_parallel_ >= 1);
+    if (stripes_ <= 0) {
+        stripes_ = array_.dataUnits() /
+                   layout_.dataUnitsPerStripe();
+    }
+}
+
+void
+ReconstructionEngine::start(std::function<void()> done)
+{
+    assert(!done_ && "engine can only run once");
+    done_ = std::move(done);
+    start_time_ = events_.now();
+    pump();
+}
+
+void
+ReconstructionEngine::pump()
+{
+    while (in_flight_ < max_parallel_ && next_stripe_ < stripes_)
+        rebuildStripe(next_stripe_++);
+    if (in_flight_ == 0 && next_stripe_ >= stripes_ && !complete_) {
+        complete_ = true;
+        finish_time_ = events_.now();
+        if (done_)
+            done_();
+    }
+}
+
+void
+ReconstructionEngine::rebuildStripe(int64_t stripe)
+{
+    const int width = layout_.stripeWidth();
+
+    // Locate the failed unit; stripes untouched by the failure are
+    // skipped without I/O (the sweep just advances).
+    int failed_pos = -1;
+    for (int pos = 0; pos < width; ++pos) {
+        if (layout_.unitAddress(stripe, pos).disk == failed_disk_) {
+            failed_pos = pos;
+            break;
+        }
+    }
+    if (failed_pos < 0)
+        return;
+
+    PhysAddr lost = layout_.unitAddress(stripe, failed_pos);
+    PhysAddr home = layout_.relocatedAddress(failed_disk_, lost.unit);
+
+    ++in_flight_;
+    auto outstanding = std::make_shared<int>(width - 1);
+    for (int pos = 0; pos < width; ++pos) {
+        if (pos == failed_pos)
+            continue;
+        PhysAddr addr = layout_.unitAddress(stripe, pos);
+        ++reads_issued_;
+        array_.submitUnit(addr.disk, addr.unit, false,
+                          [this, outstanding, home] {
+                              if (--*outstanding > 0)
+                                  return;
+                              // All survivors read: XOR is free,
+                              // write the rebuilt unit to its spare
+                              // home.
+                              array_.submitUnit(
+                                  home.disk, home.unit, true,
+                                  [this] {
+                                      ++units_rebuilt_;
+                                      --in_flight_;
+                                      pump();
+                                  });
+                          });
+    }
+}
+
+} // namespace pddl

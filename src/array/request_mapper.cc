@@ -1,0 +1,170 @@
+#include "array/request_mapper.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <set>
+#include <tuple>
+
+namespace pddl {
+
+RequestMapper::RequestMapper(const Layout &layout, ArrayMode mode,
+                             int failed_disk)
+    : layout_(layout), mode_(mode), failed_disk_(failed_disk)
+{
+    if (mode_ == ArrayMode::FaultFree) {
+        failed_disk_ = -1;
+    } else {
+        assert(failed_disk_ >= 0 && failed_disk_ < layout_.numDisks());
+    }
+    if (mode_ == ArrayMode::PostReconstruction)
+        assert(layout_.hasSparing());
+}
+
+PhysAddr
+RequestMapper::resolve(PhysAddr addr) const
+{
+    if (mode_ == ArrayMode::PostReconstruction &&
+        addr.disk == failed_disk_) {
+        return layout_.relocatedAddress(failed_disk_, addr.unit);
+    }
+    return addr;
+}
+
+std::vector<PhysOp>
+RequestMapper::expand(int64_t start_unit, int count,
+                      AccessType type) const
+{
+    assert(start_unit >= 0 && count >= 1);
+    const int data_units = layout_.dataUnitsPerStripe();
+    const int64_t end = start_unit + count;
+
+    std::vector<PhysOp> ops;
+    for (int64_t stripe = start_unit / data_units;
+         stripe * data_units < end; ++stripe) {
+        int lo = static_cast<int>(
+            std::max<int64_t>(start_unit - stripe * data_units, 0));
+        int hi = static_cast<int>(
+            std::min<int64_t>(end - stripe * data_units, data_units));
+        if (type == AccessType::Read)
+            expandStripeRead(stripe, lo, hi, ops);
+        else
+            expandStripeWrite(stripe, lo, hi, ops);
+    }
+
+    // Deduplicate (degraded reconstruction can read a partner unit
+    // that the access reads anyway), preserving issue order.
+    std::set<std::tuple<int, int64_t, bool, int>> seen;
+    std::vector<PhysOp> unique;
+    unique.reserve(ops.size());
+    for (const PhysOp &op : ops) {
+        assert(op.addr.disk != failed_disk_ ||
+               mode_ == ArrayMode::FaultFree);
+        if (seen.emplace(op.addr.disk, op.addr.unit, op.write,
+                         op.phase).second) {
+            unique.push_back(op);
+        }
+    }
+    return unique;
+}
+
+void
+RequestMapper::expandStripeRead(int64_t stripe, int lo, int hi,
+                                std::vector<PhysOp> &ops) const
+{
+    const int width = layout_.stripeWidth();
+    bool reconstruct = false;
+    for (int pos = lo; pos < hi; ++pos) {
+        PhysAddr addr = layout_.unitAddress(stripe, pos);
+        if (mode_ == ArrayMode::Degraded && addr.disk == failed_disk_) {
+            reconstruct = true;
+            continue;
+        }
+        ops.push_back(PhysOp{resolve(addr), false, 0});
+    }
+    if (reconstruct) {
+        // Rebuild the lost unit on the fly: read every surviving unit
+        // of the stripe (single failure; the check unit suffices).
+        for (int pos = 0; pos < width; ++pos) {
+            PhysAddr addr = layout_.unitAddress(stripe, pos);
+            if (addr.disk != failed_disk_)
+                ops.push_back(PhysOp{addr, false, 0});
+        }
+    }
+}
+
+void
+RequestMapper::expandStripeWrite(int64_t stripe, int lo, int hi,
+                                 std::vector<PhysOp> &ops) const
+{
+    const int data_units = layout_.dataUnitsPerStripe();
+    const int width = layout_.stripeWidth();
+    const bool degraded = mode_ == ArrayMode::Degraded;
+
+    // Locate the failed unit's role within this stripe (if any).
+    int failed_pos = -1;
+    if (degraded) {
+        for (int pos = 0; pos < width; ++pos) {
+            if (layout_.unitAddress(stripe, pos).disk == failed_disk_) {
+                failed_pos = pos;
+                break;
+            }
+        }
+    }
+
+    auto push = [&](int pos, bool write, int phase) {
+        if (pos == failed_pos)
+            return;
+        ops.push_back(
+            PhysOp{resolve(layout_.unitAddress(stripe, pos)), write,
+                   phase});
+    };
+    auto pushChecks = [&](bool write, int phase) {
+        for (int pos = data_units; pos < width; ++pos)
+            push(pos, write, phase);
+    };
+    bool check_alive =
+        failed_pos < data_units || width - data_units > 1;
+
+    if (lo == 0 && hi == data_units) {
+        // Full-stripe write: no pre-reads, overwrite data + checks.
+        for (int pos = 0; pos < data_units; ++pos)
+            push(pos, true, 1);
+        pushChecks(true, 1);
+        return;
+    }
+
+    if (degraded && failed_pos >= data_units && !check_alive) {
+        // The only check unit is lost: no parity to maintain, just
+        // overwrite the data in place.
+        for (int pos = lo; pos < hi; ++pos)
+            push(pos, true, 1);
+        return;
+    }
+
+    // Small write (read-modify-write) vs large (reconstruct) write.
+    // The controller picks whichever moves fewer units; a failed
+    // modified unit forces large, a failed unmodified unit forces
+    // small (its old value cannot be pre-read).
+    bool small = (hi - lo) <= data_units / 2;
+    if (degraded && failed_pos >= 0 && failed_pos < data_units) {
+        bool failed_modified = failed_pos >= lo && failed_pos < hi;
+        small = !failed_modified;
+    }
+
+    if (small) {
+        for (int pos = lo; pos < hi; ++pos)
+            push(pos, false, 0);
+        pushChecks(false, 0);
+    } else {
+        for (int pos = 0; pos < data_units; ++pos) {
+            if (pos < lo || pos >= hi)
+                push(pos, false, 0);
+        }
+    }
+    for (int pos = lo; pos < hi; ++pos)
+        push(pos, true, 1);
+    pushChecks(true, 1);
+}
+
+} // namespace pddl

@@ -1,0 +1,66 @@
+#include "array/working_set.hh"
+
+#include <cstddef>
+#include <set>
+
+namespace pddl {
+
+namespace {
+
+template <typename PerAccess>
+void
+forEachOffset(const Layout &layout, int count, AccessType type,
+              ArrayMode mode, int failed_disk, PerAccess &&body)
+{
+    RequestMapper mapper(layout, mode, failed_disk);
+    const int64_t offsets = layout.dataUnitsPerPeriod();
+    for (int64_t start = 0; start < offsets; ++start)
+        body(mapper.expand(start, count, type));
+}
+
+} // namespace
+
+double
+averageWorkingSet(const Layout &layout, int count, AccessType type,
+                  ArrayMode mode, int failed_disk)
+{
+    double sum = 0.0;
+    forEachOffset(layout, count, type, mode, failed_disk,
+                  [&](const std::vector<PhysOp> &ops) {
+                      std::set<int> disks;
+                      for (const PhysOp &op : ops)
+                          disks.insert(op.addr.disk);
+                      sum += static_cast<double>(disks.size());
+                  });
+    return sum / static_cast<double>(layout.dataUnitsPerPeriod());
+}
+
+int
+maxWorkingSet(const Layout &layout, int count, AccessType type,
+              ArrayMode mode, int failed_disk)
+{
+    int best = 0;
+    forEachOffset(layout, count, type, mode, failed_disk,
+                  [&](const std::vector<PhysOp> &ops) {
+                      std::set<int> disks;
+                      for (const PhysOp &op : ops)
+                          disks.insert(op.addr.disk);
+                      best = std::max(best,
+                                      static_cast<int>(disks.size()));
+                  });
+    return best;
+}
+
+double
+averagePhysicalOps(const Layout &layout, int count, AccessType type,
+                   ArrayMode mode, int failed_disk)
+{
+    double sum = 0.0;
+    forEachOffset(layout, count, type, mode, failed_disk,
+                  [&](const std::vector<PhysOp> &ops) {
+                      sum += static_cast<double>(ops.size());
+                  });
+    return sum / static_cast<double>(layout.dataUnitsPerPeriod());
+}
+
+} // namespace pddl

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Disk working-set analysis (paper Figure 3).
+ *
+ * For logical access l the *disk working set* is the number of disks
+ * performing at least one physical access to process l. Figure 3
+ * averages this over every possible aligned offset in the array; the
+ * analyzer enumerates one layout pattern (all residues of the offset)
+ * which is exactly that average.
+ */
+
+#ifndef PDDL_ARRAY_WORKING_SET_HH
+#define PDDL_ARRAY_WORKING_SET_HH
+
+#include "array/request_mapper.hh"
+
+namespace pddl {
+
+/**
+ * Average disk working-set size of `count`-unit accesses of the given
+ * type under the given mode, over all aligned offsets of one layout
+ * pattern.
+ *
+ * @param failed_disk used for Degraded / PostReconstruction modes
+ */
+double averageWorkingSet(const Layout &layout, int count,
+                         AccessType type,
+                         ArrayMode mode = ArrayMode::FaultFree,
+                         int failed_disk = 0);
+
+/** Largest working set over the same enumeration. */
+int maxWorkingSet(const Layout &layout, int count, AccessType type,
+                  ArrayMode mode = ArrayMode::FaultFree,
+                  int failed_disk = 0);
+
+/**
+ * Average number of physical operations per logical access over the
+ * same enumeration (the paper's per-access seek budget).
+ */
+double averagePhysicalOps(const Layout &layout, int count,
+                          AccessType type,
+                          ArrayMode mode = ArrayMode::FaultFree,
+                          int failed_disk = 0);
+
+} // namespace pddl
+
+#endif // PDDL_ARRAY_WORKING_SET_HH

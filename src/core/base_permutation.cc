@@ -1,0 +1,192 @@
+#include "core/base_permutation.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+#include "util/modmath.hh"
+
+namespace pddl {
+
+bool
+PermutationGroup::valid() const
+{
+    if (n < 2 || k < 2 || g < 1 || spares < 1 ||
+        n != g * k + spares || perms.empty()) {
+        return false;
+    }
+    for (const auto &perm : perms) {
+        if (static_cast<int>(perm.size()) != n)
+            return false;
+        std::vector<bool> seen(n, false);
+        for (int value : perm) {
+            if (value < 0 || value >= n || seen[value])
+                return false;
+            seen[value] = true;
+        }
+    }
+    return true;
+}
+
+std::vector<int64_t>
+reconstructionReadTally(const PermutationGroup &group)
+{
+    assert(group.valid());
+    const int n = group.n;
+    const int k = group.k;
+    std::vector<int64_t> tally(n, 0);
+    for (const auto &perm : group.perms) {
+        for (int stripe = 0; stripe < group.g; ++stripe) {
+            const int base = group.spares + stripe * k;
+            // When the unit in column c is lost, the disks at
+            // development distance perm[c'] (-) perm[c] from the
+            // failed disk each read one surviving unit.
+            for (int c = base; c < base + k; ++c) {
+                for (int c2 = base; c2 < base + k; ++c2) {
+                    if (c2 == c)
+                        continue;
+                    int delta = group.xor_development
+                                    ? (perm[c2] ^ perm[c])
+                                    : (perm[c2] - perm[c] + n) % n;
+                    assert(delta != 0);
+                    ++tally[delta];
+                }
+            }
+        }
+    }
+    return tally;
+}
+
+bool
+isSatisfactory(const PermutationGroup &group)
+{
+    // Flat tally target: total reads / surviving disks. With one
+    // spare this is size() * (k - 1); with more spares flatness is
+    // only possible when the division is exact.
+    int64_t total = static_cast<int64_t>(group.size()) * group.g *
+                    group.k * (group.k - 1);
+    if (total % (group.n - 1) != 0)
+        return false;
+    const int64_t target = total / (group.n - 1);
+    auto tally = reconstructionReadTally(group);
+    for (int delta = 1; delta < group.n; ++delta) {
+        if (tally[delta] != target)
+            return false;
+    }
+    return true;
+}
+
+int64_t
+imbalanceCost(const PermutationGroup &group)
+{
+    int64_t total = static_cast<int64_t>(group.size()) * group.g *
+                    group.k * (group.k - 1);
+    const int64_t target = total / (group.n - 1); // rounded
+    auto tally = reconstructionReadTally(group);
+    int64_t cost = 0;
+    for (int delta = 1; delta < group.n; ++delta) {
+        int64_t dev = tally[delta] - target;
+        cost += dev * dev;
+    }
+    return cost;
+}
+
+PermutationGroup
+boseConstruction(int n, int k)
+{
+    assert(isPrime(n));
+    assert((n - 1) % k == 0);
+    const int g = (n - 1) / k;
+    int64_t omega = primitiveRoot(n);
+    assert(omega > 0);
+
+    std::vector<int> perm(n);
+    perm[0] = 0;
+    // Round-robin: stripe i takes powers omega^i, omega^(g+i), ...
+    for (int i = 0; i < g; ++i) {
+        for (int j = 0; j < k; ++j) {
+            perm[1 + i * k + j] =
+                static_cast<int>(powMod(omega, i + j * g, n));
+        }
+    }
+
+    PermutationGroup group;
+    group.n = n;
+    group.k = k;
+    group.g = g;
+    group.xor_development = false;
+    group.perms.push_back(std::move(perm));
+    assert(group.valid());
+    return group;
+}
+
+PermutationGroup
+paperFigure17Pair()
+{
+    // Figure 17 prints each permutation as a 6-row x 9-column grid
+    // (after the leading spare 0): column i is stripe i's block, row
+    // j its j-th element. Flattened here block by block.
+    static const int grid_a[6][9] = {
+        {1, 2, 4, 5, 6, 8, 9, 15, 26},
+        {18, 3, 19, 21, 17, 12, 10, 16, 27},
+        {24, 7, 23, 30, 28, 14, 20, 37, 38},
+        {31, 11, 29, 33, 49, 22, 25, 42, 41},
+        {40, 13, 32, 36, 52, 34, 39, 50, 43},
+        {48, 44, 47, 53, 54, 35, 46, 51, 45},
+    };
+    static const int grid_b[6][9] = {
+        {1, 3, 4, 5, 7, 9, 12, 14, 15},
+        {2, 6, 11, 18, 10, 17, 31, 16, 19},
+        {8, 27, 26, 22, 13, 20, 37, 21, 23},
+        {25, 32, 39, 24, 28, 30, 38, 29, 33},
+        {46, 41, 43, 36, 40, 48, 42, 44, 34},
+        {54, 49, 45, 50, 52, 53, 47, 51, 35},
+    };
+    PermutationGroup group;
+    group.n = 55;
+    group.k = 6;
+    group.g = 9;
+    group.xor_development = false;
+    for (const auto &grid : {grid_a, grid_b}) {
+        std::vector<int> perm;
+        perm.reserve(55);
+        perm.push_back(0);
+        for (int block = 0; block < 9; ++block)
+            for (int row = 0; row < 6; ++row)
+                perm.push_back(grid[row][block]);
+        group.perms.push_back(std::move(perm));
+    }
+    assert(group.valid());
+    return group;
+}
+
+PermutationGroup
+boseGF2m(const GF2m &field, int k, uint32_t generator)
+{
+    const int n = static_cast<int>(field.size());
+    assert((n - 1) % k == 0);
+    const int g = (n - 1) / k;
+    uint32_t omega = generator == 0 ? field.generator() : generator;
+    assert(field.isGenerator(omega));
+
+    std::vector<int> perm(n);
+    perm[0] = 0;
+    for (int i = 0; i < g; ++i) {
+        for (int j = 0; j < k; ++j) {
+            perm[1 + i * k + j] = static_cast<int>(
+                field.pow(omega, static_cast<uint64_t>(i) + //
+                                     static_cast<uint64_t>(j) * g));
+        }
+    }
+
+    PermutationGroup group;
+    group.n = n;
+    group.k = k;
+    group.g = g;
+    group.xor_development = true;
+    group.perms.push_back(std::move(perm));
+    assert(group.valid());
+    return group;
+}
+
+} // namespace pddl

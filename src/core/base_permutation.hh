@@ -1,0 +1,128 @@
+/**
+ * @file
+ * PDDL base permutations and their constructions.
+ *
+ * A base permutation pi of the n = g*k + 1 disks fixes the roles of
+ * one virtual-RAID-4 row: pi[0] is the spare column and each
+ * following group of k entries is one reliability stripe (last entry
+ * of the group = check column). Development adds (or XORs, for
+ * GF(2^m) arrays) the row index to every entry.
+ *
+ * Development makes goals #1, #2, #4, #6 and #7 automatic; goal #3
+ * (distributed reconstruction) additionally requires the column
+ * groups to form an (n, k, k-1) difference family -- equivalently the
+ * reconstruction read tally must be flat. Such a permutation (or a
+ * group of permutations whose combined tally is flat) is called
+ * *satisfactory*. Bose's construction yields a solitary satisfactory
+ * permutation whenever n is prime; the GF(2^m) variant covers
+ * power-of-two array sizes with XOR development.
+ */
+
+#ifndef PDDL_CORE_BASE_PERMUTATION_HH
+#define PDDL_CORE_BASE_PERMUTATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/gf2m.hh"
+
+namespace pddl {
+
+/**
+ * One or more base permutations plus the development rule.
+ *
+ * The layout pattern developed from p permutations spans p*n rows:
+ * permutation q covers rows [q*n, (q+1)*n).
+ */
+struct PermutationGroup
+{
+    int n = 0; ///< disks; n = g*k + spares
+    int k = 0; ///< stripe width
+    int g = 0; ///< stripes per row
+    /**
+     * Distributed spare columns (the first `spares` columns of the
+     * virtual row). Section 5: "PDDL can even be altered to have
+     * more than one spare disk distributed in the disk array."
+     */
+    int spares = 1;
+    /** Development by bitwise XOR (GF(2^m)) instead of mod-n add. */
+    bool xor_development = false;
+    /** The base permutations, each a permutation of {0..n-1}. */
+    std::vector<std::vector<int>> perms;
+
+    /** Number of base permutations p. */
+    int size() const { return static_cast<int>(perms.size()); }
+
+    /** Develop one permutation entry by a row offset. */
+    int
+    develop(int value, int offset) const
+    {
+        return xor_development ? (value ^ offset)
+                               : (value + offset) % n;
+    }
+
+    /** Inverse of develop in its second argument. */
+    int
+    undevelop(int value, int offset) const
+    {
+        return xor_development ? (value ^ offset)
+                               : (value - offset % n + n) % n;
+    }
+
+    /** True when fields are consistent and perms are permutations. */
+    bool valid() const;
+};
+
+/**
+ * Reconstruction read tally of the group, relative to the failed
+ * disk: entry delta counts, per layout pattern, the stripe-unit reads
+ * performed by the disk at development-distance delta from the failed
+ * disk. Entry 0 is always 0. Development symmetry makes the tally
+ * independent of which disk failed.
+ */
+std::vector<int64_t> reconstructionReadTally(const PermutationGroup &group);
+
+/**
+ * True iff the reconstruction workload is evenly distributed over all
+ * surviving disks (goal #3): the tally is flat at size() * (k - 1).
+ */
+bool isSatisfactory(const PermutationGroup &group);
+
+/**
+ * Sum of squared deviations of the tally from the flat target; 0 iff
+ * the group is satisfactory. This is the hill-climbing cost.
+ */
+int64_t imbalanceCost(const PermutationGroup &group);
+
+/**
+ * Bose's construction for prime n: distribute the powers of a
+ * primitive root round-robin over the g stripes. Always satisfactory.
+ *
+ * @param n prime number of disks with (n - 1) divisible by k
+ * @param k stripe width
+ */
+PermutationGroup boseConstruction(int n, int k);
+
+/**
+ * The published 55-disk pair of base permutations (paper Figure 17:
+ * n = 55, stripe width 6, 9 stripes per row). Neither permutation is
+ * satisfactory alone; the pair's combined reconstruction tally is
+ * flat, as the test suite verifies.
+ */
+PermutationGroup paperFigure17Pair();
+
+/**
+ * Bose's construction in GF(2^m) (n = 2^m disks, XOR development).
+ *
+ * @param field the field, chosen by the caller (the reduction
+ *        polynomial changes the resulting permutation)
+ * @param k stripe width dividing 2^m - 1
+ * @param generator multiplicative generator to use; 0 picks the
+ *        field's smallest generator
+ */
+PermutationGroup boseGF2m(const GF2m &field, int k,
+                          uint32_t generator = 0);
+
+} // namespace pddl
+
+#endif // PDDL_CORE_BASE_PERMUTATION_HH

@@ -1,0 +1,114 @@
+#include "core/pddl_layout.hh"
+
+#include <cstddef>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/search.hh"
+#include "util/modmath.hh"
+
+namespace pddl {
+
+VirtualAddress
+virtualDiskAddress(int64_t stripe_unit, int g, int k)
+{
+    // Appendix listing: data columns are 1.. skipping every stripe's
+    // check column (the k-th column of each group).
+    assert(stripe_unit >= 0);
+    const int64_t data_per_row = static_cast<int64_t>(g) * (k - 1);
+    VirtualAddress va;
+    va.offset = stripe_unit / data_per_row;
+    int64_t d = stripe_unit % data_per_row;
+    va.disk = static_cast<int>(1 + d + d / (k - 1));
+    return va;
+}
+
+PddlLayout::PddlLayout(PermutationGroup group, int check_units,
+                       bool require_satisfactory)
+    : Layout("PDDL", group.n, group.k, check_units),
+      group_(std::move(group))
+{
+    assert(group_.valid());
+    assert((!require_satisfactory || isSatisfactory(group_)) &&
+           "base permutations must distribute reconstruction evenly");
+    (void)require_satisfactory;
+}
+
+PddlLayout
+PddlLayout::make(int disks, int width)
+{
+    if ((disks - 1) % width != 0) {
+        throw std::runtime_error(
+            "PDDL requires disks = g * width + 1");
+    }
+    if (isPrime(disks))
+        return PddlLayout(boseConstruction(disks, width));
+    // Power-of-two arrays develop with XOR in GF(2^m).
+    if ((disks & (disks - 1)) == 0) {
+        int m = 0;
+        while ((1 << m) < disks)
+            ++m;
+        GF2m field(m);
+        PermutationGroup group = boseGF2m(field, width);
+        if (isSatisfactory(group))
+            return PddlLayout(std::move(group));
+    }
+    auto group = findBasePermutations(disks, width);
+    if (!group) {
+        throw std::runtime_error(
+            "no satisfactory base permutation group found");
+    }
+    return PddlLayout(std::move(*group));
+}
+
+PhysAddr
+PddlLayout::unitAddress(int64_t stripe, int pos) const
+{
+    assert(pos >= 0 && pos < stripeWidth());
+    const int n = numDisks();
+    const int k = stripeWidth();
+    const int g = group_.g;
+    const int rows_per_pattern = group_.size() * n;
+
+    int64_t row = stripe / g;
+    int stripe_in_row = static_cast<int>(stripe % g);
+
+    // Column in the virtual RAID-4 row: spare columns first, then
+    // per stripe group the data columns followed by its check
+    // columns.
+    int column = group_.spares + stripe_in_row * k + pos;
+
+    int r = static_cast<int>(row % rows_per_pattern);
+    int q = r / n;      // which base permutation
+    int offset = r % n; // development offset
+    int disk = group_.develop(group_.perms[q][column], offset);
+    return PhysAddr{disk, row};
+}
+
+PhysAddr
+PddlLayout::spareAddress(int spare_index, int64_t unit) const
+{
+    assert(spare_index >= 0 && spare_index < group_.spares);
+    const int n = numDisks();
+    const int rows_per_pattern = group_.size() * n;
+    int r = static_cast<int>(unit % rows_per_pattern);
+    int q = r / n;
+    int offset = r % n;
+    int disk = group_.develop(group_.perms[q][spare_index], offset);
+    return PhysAddr{disk, unit};
+}
+
+PhysAddr
+PddlLayout::relocatedAddress(int failed_disk, int64_t unit) const
+{
+    // The first spare column hosts the first failure; additional
+    // spare columns (section 5's multi-spare variant) are available
+    // through spareAddress for subsequent failures.
+    PhysAddr home = spareAddress(0, unit);
+    assert(home.disk != failed_disk &&
+           "a spare unit holds nothing to relocate");
+    (void)failed_disk;
+    return home;
+}
+
+} // namespace pddl

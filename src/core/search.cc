@@ -1,0 +1,324 @@
+#include "core/search.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <map>
+#include <numeric>
+#include <tuple>
+
+#include "util/modmath.hh"
+#include "util/rng.hh"
+
+namespace pddl {
+
+namespace {
+
+/**
+ * Joint hill-climber over p permutations with an incrementally
+ * maintained reconstruction tally and squared-deviation cost.
+ */
+class GroupClimber
+{
+  public:
+    GroupClimber(int n, int k, int p, Rng &rng, int spares = 1)
+        : n_(n), k_(k), g_((n - spares) / k), p_(p),
+          spares_(spares), rng_(rng)
+    {
+        assert(n == g_ * k + spares_);
+        int64_t total =
+            static_cast<int64_t>(p_) * g_ * k_ * (k_ - 1);
+        assert(total % (n_ - 1) == 0 &&
+               "flat tally target must be integral");
+        target_ = total / (n_ - 1);
+    }
+
+    void
+    randomize()
+    {
+        perms_.clear();
+        for (int q = 0; q < p_; ++q)
+            perms_.push_back(rng_.permutation(n_));
+        rebuildTally();
+    }
+
+    int64_t cost() const { return cost_; }
+
+    /**
+     * First-improvement hill climbing over all (perm, a, b) swaps in
+     * a random order per sweep; stops at a local optimum or after
+     * max_steps accepted moves.
+     *
+     * @return true when a satisfactory group (cost 0) was reached.
+     */
+    bool
+    climb(int64_t max_steps)
+    {
+        // Enumerate all candidate swaps once; reshuffle per sweep.
+        std::vector<std::tuple<int, int, int>> moves;
+        moves.reserve(static_cast<size_t>(p_) * n_ * (n_ - 1) / 2);
+        for (int q = 0; q < p_; ++q)
+            for (int a = 0; a < n_; ++a)
+                for (int b = a + 1; b < n_; ++b)
+                    moves.emplace_back(q, a, b);
+
+        // One shuffled circular order, scanned with first
+        // improvement; sideways (equal-cost) moves are allowed with a
+        // budget so the climber can walk the landscape's large
+        // plateaus. A full scan with no acceptance is a (plateau-
+        // exhausted) local optimum.
+        rng_.shuffle(moves);
+        const int max_sideways = 3 * n_;
+        int sideways = 0;
+        int64_t steps = 0;
+        size_t index = 0;
+        size_t rejected_in_a_row = 0;
+        while (cost_ > 0 && steps < max_steps) {
+            if (rejected_in_a_row == moves.size())
+                return false; // local optimum, plateau spent
+            const auto &[q, a, b] = moves[index];
+            index = (index + 1) % moves.size();
+            int64_t before = cost_;
+            applySwap(q, a, b);
+            if (cost_ < before) {
+                sideways = 0;
+                rejected_in_a_row = 0;
+                ++steps;
+            } else if (cost_ == before && sideways < max_sideways) {
+                ++sideways;
+                rejected_in_a_row = 0;
+                ++steps;
+            } else {
+                applySwap(q, a, b); // revert
+                ++rejected_in_a_row;
+            }
+        }
+        return cost_ == 0;
+    }
+
+    /** Deviation of the tally from flat, per development distance. */
+    std::vector<int64_t>
+    deviations() const
+    {
+        std::vector<int64_t> dev(n_, 0);
+        for (int delta = 1; delta < n_; ++delta)
+            dev[delta] = tally_[delta] - target_;
+        return dev;
+    }
+
+    const std::vector<int> &perm(int q) const { return perms_[q]; }
+
+    /** Basin-hopping kick: a burst of random swaps, cost updated. */
+    void
+    perturb(int count)
+    {
+        for (int i = 0; i < count; ++i) {
+            int q = static_cast<int>(rng_.below(p_));
+            int a = static_cast<int>(rng_.below(n_));
+            int b = static_cast<int>(rng_.below(n_));
+            if (a != b)
+                applySwap(q, a, b);
+        }
+    }
+
+    PermutationGroup
+    group() const
+    {
+        PermutationGroup result;
+        result.n = n_;
+        result.k = k_;
+        result.g = g_;
+        result.spares = spares_;
+        result.xor_development = false;
+        result.perms = perms_;
+        return result;
+    }
+
+  private:
+    int
+    blockOfColumn(int column) const
+    {
+        return column < spares_ ? -1 : (column - spares_) / k_;
+    }
+
+    /** Add (sign=+1) or remove (sign=-1) one block's differences. */
+    void
+    accountBlock(int q, int block, int sign)
+    {
+        const int base = spares_ + block * k_;
+        const auto &perm = perms_[q];
+        for (int c = base; c < base + k_; ++c) {
+            for (int c2 = base; c2 < base + k_; ++c2) {
+                if (c2 == c)
+                    continue;
+                int delta = (perm[c2] - perm[c] + n_) % n_;
+                bumpTally(delta, sign);
+            }
+        }
+    }
+
+    void
+    bumpTally(int delta, int sign)
+    {
+        int64_t old_dev = tally_[delta] - target_;
+        tally_[delta] += sign;
+        int64_t new_dev = tally_[delta] - target_;
+        cost_ += new_dev * new_dev - old_dev * old_dev;
+    }
+
+    /** Swap entries a and b of permutation q, updating the cost. */
+    void
+    applySwap(int q, int a, int b)
+    {
+        int block_a = blockOfColumn(a);
+        int block_b = blockOfColumn(b);
+        if (block_a >= 0)
+            accountBlock(q, block_a, -1);
+        if (block_b >= 0 && block_b != block_a)
+            accountBlock(q, block_b, -1);
+        std::swap(perms_[q][a], perms_[q][b]);
+        if (block_a >= 0)
+            accountBlock(q, block_a, +1);
+        if (block_b >= 0 && block_b != block_a)
+            accountBlock(q, block_b, +1);
+    }
+
+    void
+    rebuildTally()
+    {
+        tally_.assign(n_, 0);
+        cost_ = 0;
+        // Start from a zero tally so bumpTally accumulates the cost.
+        for (int delta = 1; delta < n_; ++delta)
+            cost_ += target_ * target_;
+        for (int q = 0; q < p_; ++q)
+            for (int block = 0; block < g_; ++block)
+                accountBlock(q, block, +1);
+    }
+
+    int n_, k_, g_, p_;
+    int spares_ = 1;
+    int64_t target_ = 0;
+    std::vector<std::vector<int>> perms_;
+    std::vector<int64_t> tally_;
+    int64_t cost_ = 0;
+    Rng &rng_;
+};
+
+/**
+ * Pair search by complement matching: collect the deviation
+ * signatures of solitary local optima and look for two whose
+ * combined tally is flat. The paper's own pairs work this way (the
+ * n=10 example's tallies are mirror images); multiplying a
+ * permutation by a unit m permutes its deviation vector, which
+ * multiplies the number of usable matches per stored optimum.
+ */
+std::optional<PermutationGroup>
+searchPairByComplement(int n, int k, const SearchOptions &options,
+                       Rng &rng)
+{
+    GroupClimber climber(n, k, 1, rng);
+    std::map<std::vector<int64_t>, std::vector<int>> seen;
+    const int attempts = options.restarts * 8;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        climber.randomize();
+        if (climber.climb(options.max_steps)) {
+            // A satisfactory solitary permutation doubles as a pair.
+            PermutationGroup group = climber.group();
+            group.perms.push_back(group.perms[0]);
+            assert(isSatisfactory(group));
+            return group;
+        }
+        std::vector<int64_t> dev = climber.deviations();
+        for (int m = 1; m < n; ++m) {
+            if (gcd(m, n) != 1)
+                continue;
+            // A stored B with dev_B[d'] = -dev_A[m d'] pairs with A
+            // once B is scaled by m.
+            std::vector<int64_t> key(n, 0);
+            for (int dp = 1; dp < n; ++dp)
+                key[dp] = -dev[static_cast<int>(
+                    static_cast<int64_t>(m) * dp % n)];
+            auto it = seen.find(key);
+            if (it == seen.end())
+                continue;
+            PermutationGroup group;
+            group.n = n;
+            group.k = k;
+            group.g = (n - 1) / k;
+            group.xor_development = false;
+            group.perms.push_back(climber.perm(0));
+            std::vector<int> scaled(n);
+            for (int i = 0; i < n; ++i) {
+                scaled[i] = static_cast<int>(
+                    static_cast<int64_t>(m) * it->second[i] % n);
+            }
+            group.perms.push_back(std::move(scaled));
+            assert(group.valid());
+            assert(isSatisfactory(group));
+            return group;
+        }
+        seen.emplace(std::move(dev), climber.perm(0));
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<PermutationGroup>
+searchGroupOfSize(int n, int k, int p, const SearchOptions &options,
+                  int spares)
+{
+    if (k < 2 || spares < 1 || (n - spares) % k != 0 ||
+        (n - spares) / k < 1) {
+        return std::nullopt;
+    }
+    // Flatness requires an integral target.
+    int64_t total = static_cast<int64_t>(p) *
+                    ((n - spares) / k) * k * (k - 1);
+    if (total % (n - 1) != 0)
+        return std::nullopt;
+    Rng rng(options.seed + static_cast<uint64_t>(p) * 0x9e37);
+    if (p == 2 && spares == 1) {
+        auto pair = searchPairByComplement(n, k, options, rng);
+        if (pair)
+            return pair;
+    }
+    GroupClimber climber(n, k, p, rng, spares);
+    // Basin hopping: between full restarts, kick a stuck climber
+    // with a burst of random swaps and climb again -- much more
+    // effective than pure restarts on the plateau-heavy tally
+    // landscape (and still the paper's "simple hill-climbing from
+    // random starting points" in spirit).
+    const int kicks_per_restart = 8;
+    const int kick_strength = std::max(2, n / 6);
+    for (int restart = 0; restart < options.restarts; ++restart) {
+        climber.randomize();
+        for (int kick = 0; kick <= kicks_per_restart; ++kick) {
+            if (climber.climb(options.max_steps)) {
+                PermutationGroup group = climber.group();
+                assert(isSatisfactory(group));
+                return group;
+            }
+            climber.perturb(kick_strength);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<PermutationGroup>
+findBasePermutations(int n, int k, const SearchOptions &options)
+{
+    if ((n - 1) % k != 0 || k < 2)
+        return std::nullopt;
+    if (isPrime(n))
+        return boseConstruction(n, k);
+    for (int p = 1; p <= options.max_group_size; ++p) {
+        auto group = searchGroupOfSize(n, k, p, options);
+        if (group)
+            return group;
+    }
+    return std::nullopt;
+}
+
+} // namespace pddl

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hill-climbing search for satisfactory PDDL base permutations.
+ *
+ * Section 3 of the paper: when n is not prime (or no algebraic
+ * construction applies), simple hill-climbing from random starting
+ * points locates satisfactory permutations, and when no solitary
+ * permutation is found, small *groups* of permutations whose combined
+ * reconstruction tally is flat. This module climbs p permutations
+ * jointly: a move swaps two entries of one permutation; the cost is
+ * the squared deviation of the combined reconstruction read tally
+ * from flat (imbalanceCost == 0 means satisfactory).
+ */
+
+#ifndef PDDL_CORE_SEARCH_HH
+#define PDDL_CORE_SEARCH_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "core/base_permutation.hh"
+
+namespace pddl {
+
+/** Effort knobs for the base-permutation search. */
+struct SearchOptions
+{
+    /** Largest permutation-group size to try. */
+    int max_group_size = 3;
+    /** Random restarts per group size. */
+    int restarts = 40;
+    /** Accepted moves per climb before giving up on the start. */
+    int64_t max_steps = 4000;
+    /** RNG seed; searches are deterministic per seed. */
+    uint64_t seed = 0x5eedbeef;
+};
+
+/**
+ * Find a satisfactory base permutation (or group) for n = g*k + 1
+ * disks and stripe width k.
+ *
+ * Uses Bose's construction directly when n is prime; otherwise hill
+ * climbs with mod-n development. Returns nullopt when the search
+ * budget is exhausted (the paper's Table 1 likewise leaves some
+ * configurations open).
+ */
+std::optional<PermutationGroup>
+findBasePermutations(int n, int k, const SearchOptions &options = {});
+
+/**
+ * Search restricted to a fixed group size p (no Bose shortcut); used
+ * to reproduce Table 1's per-size entries and Figure 17.
+ *
+ * @param spares distributed spare columns (n = g*k + spares);
+ *        values above 1 realize section 5's multi-spare variant.
+ *        Group sizes with a non-integral flat target are rejected.
+ */
+std::optional<PermutationGroup>
+searchGroupOfSize(int n, int k, int p, const SearchOptions &options = {},
+                  int spares = 1);
+
+} // namespace pddl
+
+#endif // PDDL_CORE_SEARCH_HH

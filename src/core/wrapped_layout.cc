@@ -1,0 +1,59 @@
+#include "core/wrapped_layout.hh"
+
+#include <cstddef>
+#include <string>
+
+namespace pddl {
+
+WrappedLayout::WrappedLayout(int outer_disks, PddlLayout inner)
+    : Layout("PDDL-wrapped", outer_disks, inner.stripeWidth(),
+             inner.checkUnitsPerStripe()),
+      inner_(std::move(inner))
+{
+    assert(inner_.numDisks() == outer_disks - 1 &&
+           "inner layout must cover all but one disk");
+}
+
+WrappedLayout
+WrappedLayout::make(int outer_disks, int width)
+{
+    return WrappedLayout(outer_disks,
+                         PddlLayout::make(outer_disks - 1, width));
+}
+
+PhysAddr
+WrappedLayout::unitAddress(int64_t stripe, int pos) const
+{
+    const int64_t inner_stripes = inner_.stripesPerPeriod();
+    int64_t block = stripe / inner_stripes;
+    int64_t inner_stripe = stripe % inner_stripes;
+
+    PhysAddr inner_addr = inner_.unitAddress(inner_stripe, pos);
+    int excluded = excludedDisk(block);
+    int disk = toPhysical(inner_addr.disk, excluded);
+    return PhysAddr{disk, rowBase(disk, block) + inner_addr.unit};
+}
+
+PhysAddr
+WrappedLayout::relocatedAddress(int failed_disk, int64_t unit) const
+{
+    const int n = numDisks();
+    const int64_t inner_rows = inner_.unitsPerDiskPerPeriod();
+
+    // Undo the per-disk block compaction to recover the super-block.
+    int64_t compact_total = unit / inner_rows;
+    int64_t inner_row = unit % inner_rows;
+    int64_t period = compact_total / (n - 1);
+    int64_t compact = compact_total % (n - 1);
+    int sits_out = n - 1 - failed_disk;
+    int64_t in_period = compact < sits_out ? compact : compact + 1;
+    int64_t block = period * n + in_period;
+
+    int excluded = excludedDisk(block);
+    PhysAddr inner_home = inner_.relocatedAddress(
+        toInner(failed_disk, excluded), inner_row);
+    int disk = toPhysical(inner_home.disk, excluded);
+    return PhysAddr{disk, rowBase(disk, block) + inner_home.unit};
+}
+
+} // namespace pddl

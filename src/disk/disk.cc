@@ -1,0 +1,143 @@
+#include "disk/disk.hh"
+
+#include <cstddef>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+namespace pddl {
+
+Disk::Disk(EventQueue &events, const DiskModel &model, int sstf_window)
+    : events_(events), model_(model), window_(sstf_window)
+{
+    assert(window_ >= 1);
+}
+
+void
+Disk::submit(DiskRequest request)
+{
+    assert(request.sectors >= 1);
+    assert(request.lba >= 0 &&
+           request.lba + request.sectors <=
+               model_.geometry.totalSectors());
+    queue_.push_back(std::move(request));
+    if (!busy_)
+        startNext();
+}
+
+void
+Disk::startNext()
+{
+    assert(!busy_ && !queue_.empty());
+
+    // SSTF over the scan window: nearest cylinder wins, earliest
+    // arrival breaks ties (keeps the policy starvation-resistant for
+    // the closed-loop workloads we simulate).
+    size_t window = std::min<size_t>(window_, queue_.size());
+    size_t best = 0;
+    int best_distance =
+        std::abs(model_.geometry.lbaToChs(queue_[0].lba).cylinder -
+                 arm_cylinder_);
+    for (size_t i = 1; i < window; ++i) {
+        int distance =
+            std::abs(model_.geometry.lbaToChs(queue_[i].lba).cylinder -
+                     arm_cylinder_);
+        if (distance < best_distance) {
+            best = i;
+            best_distance = distance;
+        }
+    }
+
+    DiskRequest request = std::move(queue_[best]);
+    queue_.erase(queue_.begin() + best);
+    busy_ = true;
+
+    // Classify before the arm moves (section 4's local/non-local).
+    Chs start = model_.geometry.lbaToChs(request.lba);
+    SeekClass cls;
+    if (!has_last_ || request.access_id != last_access_id_) {
+        cls = SeekClass::NonLocal;
+    } else if (start.cylinder != arm_cylinder_) {
+        cls = SeekClass::CylinderSwitch;
+    } else if (start.head != current_head_) {
+        cls = SeekClass::TrackSwitch;
+    } else {
+        cls = SeekClass::NoSwitch;
+    }
+    tally_.add(cls);
+    last_access_id_ = request.access_id;
+    has_last_ = true;
+
+    SimTime service = serviceTime(request);
+    busy_ms_ += service;
+    events_.scheduleAfter(service, [this, request = std::move(request)] {
+        busy_ = false;
+        if (request.done)
+            request.done();
+        // The completion callback may have enqueued more work.
+        if (!busy_ && !queue_.empty())
+            startNext();
+    });
+}
+
+SimTime
+Disk::serviceTime(const DiskRequest &request)
+{
+    const DiskGeometry &geo = model_.geometry;
+    const double rev = model_.revolutionMs();
+
+    Chs start = geo.lbaToChs(request.lba);
+
+    // Arm positioning.
+    SimTime t = 0.0;
+    if (start.cylinder != arm_cylinder_) {
+        t += model_.seek.seekTime(std::abs(start.cylinder - arm_cylinder_));
+    } else if (start.head != current_head_) {
+        t += model_.seek.headSwitchMs();
+    }
+
+    // Rotational latency: the platter spins continuously, so the
+    // angular position when the arm settles is determined by absolute
+    // simulated time.
+    int spt = geo.sectorsPerTrack(start.cylinder);
+    double settle_time = events_.now() + t;
+    double angle_now = std::fmod(settle_time, rev) / rev;       // [0,1)
+    double angle_target = double(start.sector) / spt;
+    double wait = angle_target - angle_now;
+    if (wait < 0)
+        wait += 1.0;
+    t += wait * rev;
+
+    // Media transfer, walking across track and cylinder boundaries.
+    // Track skew is assumed to hide rotational resynchronization, so
+    // boundary crossings cost only the switch time.
+    int remaining = request.sectors;
+    int cylinder = start.cylinder;
+    int head = start.head;
+    int sector = start.sector;
+    while (remaining > 0) {
+        spt = geo.sectorsPerTrack(cylinder);
+        int chunk = std::min(remaining, spt - sector);
+        t += double(chunk) / spt * rev;
+        remaining -= chunk;
+        sector += chunk;
+        if (remaining > 0) {
+            sector = 0;
+            ++head;
+            if (head == geo.heads()) {
+                head = 0;
+                ++cylinder;
+                t += model_.seek.seekTime(1);
+            } else {
+                t += model_.seek.headSwitchMs();
+            }
+        }
+    }
+
+    arm_cylinder_ = cylinder;
+    current_head_ = head;
+    return t;
+}
+
+} // namespace pddl

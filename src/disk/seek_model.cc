@@ -1,0 +1,53 @@
+#include "disk/seek_model.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace pddl {
+
+SeekModel::SeekModel(double sqrt_base, double sqrt_coeff,
+                     int knee_cylinders, double linear_slope,
+                     double head_switch_ms)
+    : sqrt_base_(sqrt_base), sqrt_coeff_(sqrt_coeff),
+      knee_(knee_cylinders), linear_slope_(linear_slope),
+      head_switch_ms_(head_switch_ms)
+{
+    assert(sqrt_base_ >= 0 && sqrt_coeff_ >= 0 && knee_ >= 1 &&
+           linear_slope_ >= 0 && head_switch_ms_ >= 0);
+    linear_base_ = sqrt_base_ + sqrt_coeff_ * std::sqrt(double(knee_));
+}
+
+double
+SeekModel::seekTime(int distance) const
+{
+    assert(distance >= 0);
+    if (distance == 0)
+        return 0.0;
+    if (distance <= knee_)
+        return sqrt_base_ + sqrt_coeff_ * std::sqrt(double(distance));
+    return linear_base_ + linear_slope_ * (distance - knee_);
+}
+
+double
+SeekModel::averageSeek(int cylinders) const
+{
+    assert(cylinders >= 2);
+    // Uniform independent endpoints: P(distance = d) is
+    // 2(C - d) / C^2 for d >= 1 and 1/C for d == 0.
+    double c = cylinders;
+    double sum = 0.0;
+    for (int d = 1; d < cylinders; ++d)
+        sum += seekTime(d) * 2.0 * (c - d) / (c * c);
+    return sum;
+}
+
+SeekModel
+SeekModel::hp2247()
+{
+    // Calibrated against Table 2 and the service times quoted in
+    // section 4: seekTime(1) = 2.90 ms (cylinder switch), random
+    // average ~10 ms over 1981 cylinders, full sweep < 18 ms.
+    return SeekModel(2.54, 0.36, 400, 0.0052, 0.8);
+}
+
+} // namespace pddl

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Disk arm seek-time model.
+ *
+ * The classic two-piece curve: settle + b*sqrt(distance) for short
+ * seeks (acceleration-limited) and an affine function of distance for
+ * long seeks (coast-limited), joined continuously. The HP 2247
+ * instance is calibrated so that the single-cylinder seek is the
+ * paper's 2.9 ms cylinder-switch service time and the random average
+ * is the paper's 10 ms.
+ */
+
+#ifndef PDDL_DISK_SEEK_MODEL_HH
+#define PDDL_DISK_SEEK_MODEL_HH
+
+namespace pddl {
+
+/** Two-piece (sqrt / linear) seek curve plus head-switch time. */
+class SeekModel
+{
+  public:
+    /**
+     * @param sqrt_base ms floor of the short-seek piece
+     * @param sqrt_coeff ms multiplier of sqrt(distance)
+     * @param knee_cylinders distance where the linear piece takes over
+     * @param linear_slope ms per cylinder beyond the knee
+     * @param head_switch_ms time to switch heads within a cylinder
+     */
+    SeekModel(double sqrt_base, double sqrt_coeff, int knee_cylinders,
+              double linear_slope, double head_switch_ms);
+
+    /** Seek time for a cylinder distance (0 for distance == 0). */
+    double seekTime(int distance) const;
+
+    /** Head (track) switch time within a cylinder. */
+    double headSwitchMs() const { return head_switch_ms_; }
+
+    /** Largest seek the curve will report for a given disk size. */
+    double maxSeek(int cylinders) const { return seekTime(cylinders - 1); }
+
+    /**
+     * Exact mean seek time over independent uniformly random start and
+     * end cylinders (the conventional "average seek" definition).
+     */
+    double averageSeek(int cylinders) const;
+
+    /** HP 2247-class curve: 2.9 ms single-cylinder, ~10 ms average. */
+    static SeekModel hp2247();
+
+  private:
+    double sqrt_base_;
+    double sqrt_coeff_;
+    int knee_;
+    double linear_slope_;
+    double linear_base_; ///< value of the sqrt piece at the knee
+    double head_switch_ms_;
+};
+
+} // namespace pddl
+
+#endif // PDDL_DISK_SEEK_MODEL_HH

@@ -1,0 +1,209 @@
+#include "layout/bibd.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace pddl {
+
+bool
+verifyBibd(const Bibd &design)
+{
+    const int v = design.v;
+    const int k = design.k;
+    if (v < 2 || k < 2 || k > v)
+        return false;
+    // Pair coverage matrix.
+    std::vector<int> pairs(static_cast<size_t>(v) * v, 0);
+    std::vector<int> point_count(v, 0);
+    for (const auto &block : design.blocks) {
+        if (static_cast<int>(block.size()) != k)
+            return false;
+        for (size_t i = 0; i < block.size(); ++i) {
+            int a = block[i];
+            if (a < 0 || a >= v)
+                return false;
+            if (i > 0 && block[i - 1] >= a)
+                return false; // must be strictly ascending
+            ++point_count[a];
+            for (size_t j = i + 1; j < block.size(); ++j) {
+                int b = block[j];
+                ++pairs[static_cast<size_t>(a) * v + b];
+            }
+        }
+    }
+    for (int a = 0; a < v; ++a) {
+        for (int b = a + 1; b < v; ++b) {
+            if (pairs[static_cast<size_t>(a) * v + b] != design.lambda)
+                return false;
+        }
+    }
+    // Replication follows from pair balance, but check anyway.
+    for (int a = 1; a < v; ++a) {
+        if (point_count[a] != point_count[0])
+            return false;
+    }
+    return true;
+}
+
+Bibd
+developCyclic(int v, int k, int lambda,
+              const std::vector<std::vector<int>> &base_blocks)
+{
+    Bibd design;
+    design.v = v;
+    design.k = k;
+    design.lambda = lambda;
+    design.blocks.reserve(base_blocks.size() * v);
+    for (const auto &base : base_blocks) {
+        assert(static_cast<int>(base.size()) == k);
+        for (int shift = 0; shift < v; ++shift) {
+            std::vector<int> block(base.size());
+            for (size_t i = 0; i < base.size(); ++i)
+                block[i] = (base[i] + shift) % v;
+            std::sort(block.begin(), block.end());
+            design.blocks.push_back(std::move(block));
+        }
+    }
+    return design;
+}
+
+namespace {
+
+/** Backtracking state for the cyclic difference family search. */
+struct FamilySearch
+{
+    int v;
+    int k;
+    int lambda;
+    int blocks_needed;
+    std::vector<int> diff_count;            // per nonzero residue
+    std::vector<std::vector<int>> blocks;   // completed base blocks
+    std::vector<int> current;               // block under construction
+    int64_t nodes = 0;
+    int64_t node_budget;
+
+    bool
+    tryAdd(int e)
+    {
+        // Check-and-increment pairwise so duplicate differences
+        // introduced by the same element are caught (e.g. both
+        // (e, x1) and (e, x2) producing the same residue), rolling
+        // back on failure. When v is even, the residue v/2 is its
+        // own negation and counts twice per pair.
+        size_t added = 0;
+        bool ok = true;
+        for (; added < current.size(); ++added) {
+            int x = current[added];
+            int d1 = (e - x + v) % v;
+            int d2 = (x - e + v) % v;
+            if (diff_count[d1] + 1 > lambda ||
+                diff_count[d2] + (d1 == d2 ? 2 : 1) > lambda) {
+                ok = false;
+                break;
+            }
+            ++diff_count[d1];
+            ++diff_count[d2];
+        }
+        if (ok) {
+            current.push_back(e);
+            return true;
+        }
+        for (size_t i = 0; i < added; ++i) {
+            int x = current[i];
+            --diff_count[(e - x + v) % v];
+            --diff_count[(x - e + v) % v];
+        }
+        return false;
+    }
+
+    void
+    remove()
+    {
+        int e = current.back();
+        current.pop_back();
+        for (int x : current) {
+            --diff_count[(e - x + v) % v];
+            --diff_count[(x - e + v) % v];
+        }
+    }
+
+    bool
+    search()
+    {
+        if (++nodes > node_budget)
+            return false;
+        if (static_cast<int>(blocks.size()) == blocks_needed) {
+            // All differences must be exactly covered; the counting
+            // identity guarantees it once every block is placed.
+            return true;
+        }
+        if (current.empty()) {
+            // Canonical form: every base block starts at 0 (any
+            // translate is equivalent under development).
+            bool ok = tryAdd(0);
+            assert(ok);
+            (void)ok;
+            bool found = search();
+            if (!found)
+                remove();
+            return found;
+        }
+        if (static_cast<int>(current.size()) == k) {
+            blocks.push_back(current);
+            std::vector<int> saved = std::move(current);
+            current.clear();
+            if (search())
+                return true;
+            current = std::move(saved);
+            blocks.pop_back();
+            return false;
+        }
+        // Ascending elements keep each block canonical. When starting
+        // the family's next block, also require its second element to
+        // be >= the previous block's second element to cut symmetry.
+        int start = current.back() + 1;
+        if (current.size() == 1 && !blocks.empty())
+            start = std::max(start, blocks.back()[1]);
+        for (int e = start; e < v; ++e) {
+            if (!tryAdd(e))
+                continue;
+            if (search())
+                return true;
+            remove();
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+std::optional<Bibd>
+findCyclicBibd(int v, int k, int max_lambda)
+{
+    if (v < 2 || k < 2 || k > v)
+        return std::nullopt;
+    for (int lambda = 1; lambda <= max_lambda; ++lambda) {
+        int64_t pairs = static_cast<int64_t>(lambda) * (v - 1);
+        if (pairs % (static_cast<int64_t>(k) * (k - 1)) != 0)
+            continue;
+        FamilySearch state;
+        state.v = v;
+        state.k = k;
+        state.lambda = lambda;
+        state.blocks_needed =
+            static_cast<int>(pairs / (static_cast<int64_t>(k) * (k - 1)));
+        state.diff_count.assign(v, 0);
+        state.node_budget = 4'000'000;
+        if (state.search()) {
+            Bibd design =
+                developCyclic(v, k, lambda, state.blocks);
+            assert(verifyBibd(design));
+            return design;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace pddl

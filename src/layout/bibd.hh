@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Balanced incomplete block designs (BIBDs).
+ *
+ * Holland and Gibson's Parity Declustering stores a BIBD table: each
+ * block is the set of disks holding one stripe. A BIBD(v, k, lambda)
+ * is a family of k-element blocks over v points in which every
+ * unordered point pair appears in exactly lambda blocks; this is what
+ * makes the reconstruction workload even.
+ *
+ * We construct BIBDs from cyclic difference families (each base block
+ * developed by all v translations), searched by backtracking. The
+ * (13, 4, 1) design the paper's evaluation needs comes from the
+ * planar difference set {0, 1, 3, 9} mod 13.
+ */
+
+#ifndef PDDL_LAYOUT_BIBD_HH
+#define PDDL_LAYOUT_BIBD_HH
+
+#include <optional>
+#include <vector>
+
+namespace pddl {
+
+/** A block design: b blocks of size k over points {0..v-1}. */
+struct Bibd
+{
+    int v;      ///< number of points (disks)
+    int k;      ///< block size (stripe width)
+    int lambda; ///< pairs covered exactly lambda times
+    std::vector<std::vector<int>> blocks; ///< each ascending
+
+    /** Blocks containing each point (BIBD replication number). */
+    int
+    replication() const
+    {
+        return static_cast<int>(blocks.size()) * k / v;
+    }
+};
+
+/** True iff the design is a valid BIBD(v, k, lambda). */
+bool verifyBibd(const Bibd &design);
+
+/**
+ * Develop base blocks cyclically: every base block is translated by
+ * each element of Z_v, yielding |base| * v blocks.
+ */
+Bibd developCyclic(int v, int k, int lambda,
+                   const std::vector<std::vector<int>> &base_blocks);
+
+/**
+ * Find a cyclic difference family for (v, k) by backtracking and
+ * develop it into a BIBD.
+ *
+ * Tries the smallest feasible lambda first (lambda * (v-1) must be
+ * divisible by k * (k-1) for a cyclic family of full orbits), up to
+ * `max_lambda`. Search effort is bounded, suitable for array-sized v.
+ *
+ * @return the developed BIBD, or nullopt if none was found.
+ */
+std::optional<Bibd> findCyclicBibd(int v, int k, int max_lambda = 6);
+
+} // namespace pddl
+
+#endif // PDDL_LAYOUT_BIBD_HH

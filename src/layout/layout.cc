@@ -1,0 +1,14 @@
+#include "layout/layout.hh"
+
+namespace pddl {
+
+Layout::Layout(std::string name, int disks, int width, int check_units)
+    : name_(std::move(name)), disks_(disks), width_(width),
+      check_units_(check_units)
+{
+    assert(disks_ >= 2);
+    assert(width_ >= 2 && width_ <= disks_);
+    assert(check_units_ >= 1 && check_units_ < width_);
+}
+
+} // namespace pddl

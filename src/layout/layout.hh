@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Abstract disk-array data layout.
+ *
+ * A layout maps the units of reliability stripes onto (disk, row)
+ * positions of an n-disk array. Client data is addressed as a linear
+ * sequence of fixed-size stripe units; every layout in this library
+ * satisfies the paper's large-write optimization (goal #4), i.e.
+ * stripe `s` holds client data units
+ * [s * dataUnits, (s+1) * dataUnits) plus its check unit(s).
+ */
+
+#ifndef PDDL_LAYOUT_LAYOUT_HH
+#define PDDL_LAYOUT_LAYOUT_HH
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+namespace pddl {
+
+/** Physical position of one stripe unit. */
+struct PhysAddr
+{
+    int disk;
+    int64_t unit; ///< stripe-unit row on the disk
+
+    bool
+    operator==(const PhysAddr &o) const
+    {
+        return disk == o.disk && unit == o.unit;
+    }
+
+    bool
+    operator<(const PhysAddr &o) const
+    {
+        return std::tie(disk, unit) < std::tie(o.disk, o.unit);
+    }
+};
+
+/**
+ * Base class of all data layouts.
+ *
+ * A layout is periodic: addresses repeat (shifted by the per-disk row
+ * count) every stripesPerPeriod() stripes. Positions within a stripe
+ * are logical: 0 .. dataUnitsPerStripe()-1 address the client data
+ * units in client order and the remaining checkUnitsPerStripe()
+ * positions address the check (parity) units.
+ */
+class Layout
+{
+  public:
+    /**
+     * @param name human-readable scheme name
+     * @param disks number of disks n
+     * @param width stripe width k (data + check units)
+     * @param check_units check units per stripe (1 tolerates one
+     *        failure; PDDL and DATUM accept more)
+     */
+    Layout(std::string name, int disks, int width, int check_units = 1);
+
+    virtual ~Layout() = default;
+
+    const std::string &name() const { return name_; }
+
+    /** Number of disks in the array (n). */
+    int numDisks() const { return disks_; }
+
+    /** Stripe width (k), counting data and check units. */
+    int stripeWidth() const { return width_; }
+
+    /** Check units per stripe. */
+    int checkUnitsPerStripe() const { return check_units_; }
+
+    /** Client data units per stripe (k minus check units). */
+    int dataUnitsPerStripe() const { return width_ - check_units_; }
+
+    /** Stripes in one layout pattern before it repeats. */
+    virtual int64_t stripesPerPeriod() const = 0;
+
+    /** Rows each disk contributes to one layout pattern. */
+    virtual int64_t unitsPerDiskPerPeriod() const = 0;
+
+    /**
+     * Physical address of one unit of a stripe.
+     *
+     * @param stripe global stripe index (any non-negative value; the
+     *        pattern repeats every stripesPerPeriod() stripes)
+     * @param pos 0..dataUnits-1 for data units in client order,
+     *        dataUnits..k-1 for check units
+     */
+    virtual PhysAddr unitAddress(int64_t stripe, int pos) const = 0;
+
+    /** True when the layout embeds distributed spare space. */
+    virtual bool hasSparing() const { return false; }
+
+    /**
+     * Post-reconstruction home of a failed disk's unit.
+     *
+     * Only meaningful when hasSparing(); (failed_disk, unit) must be
+     * a data or check unit (spare units hold nothing to relocate).
+     */
+    virtual PhysAddr
+    relocatedAddress(int failed_disk, int64_t unit) const
+    {
+        (void)failed_disk;
+        (void)unit;
+        assert(false && "layout has no spare space");
+        return PhysAddr{-1, -1};
+    }
+
+    /** Stripe index holding client data unit du. */
+    int64_t
+    stripeOfDataUnit(int64_t du) const
+    {
+        return du / dataUnitsPerStripe();
+    }
+
+    /** Physical address of client data unit du. */
+    PhysAddr
+    dataUnitAddress(int64_t du) const
+    {
+        return unitAddress(du / dataUnitsPerStripe(),
+                           static_cast<int>(du % dataUnitsPerStripe()));
+    }
+
+    /** Client data units in one layout pattern. */
+    int64_t
+    dataUnitsPerPeriod() const
+    {
+        return stripesPerPeriod() * dataUnitsPerStripe();
+    }
+
+  private:
+    std::string name_;
+    int disks_;
+    int width_;
+    int check_units_;
+};
+
+} // namespace pddl
+
+#endif // PDDL_LAYOUT_LAYOUT_HH

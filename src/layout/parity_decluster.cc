@@ -1,0 +1,68 @@
+#include "layout/parity_decluster.hh"
+
+#include <cstddef>
+#include <cassert>
+#include <stdexcept>
+
+namespace pddl {
+
+ParityDeclusterLayout::ParityDeclusterLayout(Bibd design)
+    : Layout("Parity Declustering", design.v, design.k, 1),
+      design_(std::move(design))
+{
+    assert(verifyBibd(design_));
+    // Per-tile offsets: stripes are laid out block after block, so a
+    // unit's row within a tile is how many earlier blocks already
+    // placed a unit on its disk.
+    std::vector<int> used(design_.v, 0);
+    offsets_.reserve(design_.blocks.size());
+    for (const auto &block : design_.blocks) {
+        std::vector<int> row(block.size());
+        for (size_t i = 0; i < block.size(); ++i)
+            row[i] = used[block[i]]++;
+        offsets_.push_back(std::move(row));
+    }
+    for (int d = 0; d < design_.v; ++d)
+        assert(used[d] == design_.replication());
+}
+
+ParityDeclusterLayout
+ParityDeclusterLayout::make(int disks, int width)
+{
+    auto design = findCyclicBibd(disks, width);
+    if (!design) {
+        throw std::runtime_error(
+            "no cyclic BIBD found for this configuration");
+    }
+    return ParityDeclusterLayout(std::move(*design));
+}
+
+PhysAddr
+ParityDeclusterLayout::unitAddress(int64_t stripe, int pos) const
+{
+    assert(pos >= 0 && pos < stripeWidth());
+    const int k = stripeWidth();
+    const int64_t blocks = static_cast<int64_t>(design_.blocks.size());
+    const int r = design_.replication();
+
+    int64_t period = stripe / (blocks * k);
+    int64_t in_period = stripe % (blocks * k);
+    int tile = static_cast<int>(in_period / blocks);
+    int block_index = static_cast<int>(in_period % blocks);
+
+    // Tile `tile` puts the parity on element index `tile`; data units
+    // take the remaining elements in ascending order.
+    int element;
+    if (pos == dataUnitsPerStripe())
+        element = tile;
+    else
+        element = pos < tile ? pos : pos + 1;
+
+    const auto &block = design_.blocks[block_index];
+    int64_t unit = period * unitsPerDiskPerPeriod() +
+                   static_cast<int64_t>(tile) * r +
+                   offsets_[block_index][element];
+    return PhysAddr{block[element], unit};
+}
+
+} // namespace pddl

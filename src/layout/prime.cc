@@ -1,0 +1,44 @@
+#include "layout/prime.hh"
+
+#include <cstddef>
+#include "util/modmath.hh"
+
+namespace pddl {
+
+PrimeLayout::PrimeLayout(int disks, int width)
+    : Layout("PRIME", disks, width, 1)
+{
+    assert(isPrime(disks));
+    assert(width < disks);
+}
+
+PhysAddr
+PrimeLayout::unitAddress(int64_t stripe, int pos) const
+{
+    assert(pos >= 0 && pos < stripeWidth());
+    const int n = numDisks();
+    const int k = stripeWidth();
+
+    int64_t period = stripe / stripesPerPeriod();
+    int64_t in_period = stripe % stripesPerPeriod();
+    int c = static_cast<int>(in_period / n) + 1; // section multiplier
+    int64_t j = in_period % n;                   // stripe within section
+
+    // Virtual slot within the section: data slots are linear in
+    // client order; the parity slot lives in the last row at the
+    // collision-free bijection sigma(j) = (j(k-1) - 1) mod n.
+    int64_t v;
+    if (pos == dataUnitsPerStripe()) {
+        int64_t sigma = floorMod(j * (k - 1) - 1, n);
+        v = static_cast<int64_t>(n) * (k - 1) + sigma;
+    } else {
+        v = j * (k - 1) + pos;
+    }
+
+    int disk = static_cast<int>(mulMod(c, v, n));
+    int64_t unit = period * unitsPerDiskPerPeriod() +
+                   static_cast<int64_t>(c - 1) * k + v / n;
+    return PhysAddr{disk, unit};
+}
+
+} // namespace pddl

@@ -1,0 +1,172 @@
+#include "layout/properties.hh"
+
+#include <cstddef>
+#include <algorithm>
+#include <set>
+
+namespace pddl {
+
+bool
+checkSingleFailureCorrecting(const Layout &layout)
+{
+    const int k = layout.stripeWidth();
+    for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
+        std::set<int> disks;
+        for (int pos = 0; pos < k; ++pos)
+            disks.insert(layout.unitAddress(s, pos).disk);
+        if (static_cast<int>(disks.size()) != k)
+            return false;
+    }
+    return true;
+}
+
+bool
+checkAddressCollisionFree(const Layout &layout)
+{
+    const int64_t rows = layout.unitsPerDiskPerPeriod();
+    std::set<PhysAddr> seen;
+    for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
+        for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
+            PhysAddr a = layout.unitAddress(s, pos);
+            if (a.disk < 0 || a.disk >= layout.numDisks())
+                return false;
+            if (a.unit < 0 || a.unit >= rows)
+                return false;
+            if (!seen.insert(a).second)
+                return false;
+        }
+    }
+    return true;
+}
+
+std::vector<int64_t>
+checkUnitsPerDisk(const Layout &layout)
+{
+    std::vector<int64_t> tally(layout.numDisks(), 0);
+    for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
+        for (int pos = layout.dataUnitsPerStripe();
+             pos < layout.stripeWidth(); ++pos) {
+            ++tally[layout.unitAddress(s, pos).disk];
+        }
+    }
+    return tally;
+}
+
+std::vector<int64_t>
+occupiedUnitsPerDisk(const Layout &layout)
+{
+    std::vector<int64_t> tally(layout.numDisks(), 0);
+    for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
+        for (int pos = 0; pos < layout.stripeWidth(); ++pos)
+            ++tally[layout.unitAddress(s, pos).disk];
+    }
+    return tally;
+}
+
+std::vector<int64_t>
+spareUnitsPerDisk(const Layout &layout)
+{
+    std::vector<int64_t> tally = occupiedUnitsPerDisk(layout);
+    for (auto &count : tally)
+        count = layout.unitsPerDiskPerPeriod() - count;
+    return tally;
+}
+
+bool
+isBalanced(const std::vector<int64_t> &tally)
+{
+    return std::all_of(tally.begin(), tally.end(),
+                       [&](int64_t c) { return c == tally.front(); });
+}
+
+int64_t
+ReconstructionTally::minReads() const
+{
+    int64_t best = -1;
+    for (int64_t r : reads)
+        if (r > 0 && (best < 0 || r < best))
+            best = r;
+    return best < 0 ? 0 : best;
+}
+
+int64_t
+ReconstructionTally::maxReads() const
+{
+    return reads.empty() ? 0
+                         : *std::max_element(reads.begin(), reads.end());
+}
+
+bool
+ReconstructionTally::balancedReads(int failed_disk) const
+{
+    int64_t expected = -1;
+    for (size_t d = 0; d < reads.size(); ++d) {
+        if (static_cast<int>(d) == failed_disk)
+            continue;
+        if (expected < 0)
+            expected = reads[d];
+        else if (reads[d] != expected)
+            return false;
+    }
+    return true;
+}
+
+ReconstructionTally
+reconstructionWorkload(const Layout &layout, int failed_disk)
+{
+    ReconstructionTally tally;
+    tally.reads.assign(layout.numDisks(), 0);
+    tally.writes.assign(layout.numDisks(), 0);
+    const int k = layout.stripeWidth();
+    for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
+        for (int pos = 0; pos < k; ++pos) {
+            PhysAddr a = layout.unitAddress(s, pos);
+            if (a.disk != failed_disk)
+                continue;
+            // Reconstruct this unit: read every surviving unit of the
+            // stripe, then (with sparing) write the rebuilt unit to
+            // its spare home.
+            for (int other = 0; other < k; ++other) {
+                if (other == pos)
+                    continue;
+                ++tally.reads[layout.unitAddress(s, other).disk];
+            }
+            if (layout.hasSparing()) {
+                PhysAddr home =
+                    layout.relocatedAddress(failed_disk, a.unit);
+                ++tally.writes[home.disk];
+            }
+        }
+    }
+    return tally;
+}
+
+double
+averageReadParallelism(const Layout &layout, int count)
+{
+    const int64_t total = layout.dataUnitsPerPeriod();
+    double sum = 0.0;
+    for (int64_t start = 0; start < total; ++start) {
+        std::set<int> disks;
+        for (int i = 0; i < count; ++i)
+            disks.insert(layout.dataUnitAddress(start + i).disk);
+        sum += static_cast<double>(disks.size());
+    }
+    return sum / static_cast<double>(total);
+}
+
+int
+minReadParallelism(const Layout &layout, int count)
+{
+    const int64_t total = layout.dataUnitsPerPeriod();
+    int best = layout.numDisks() + 1;
+    for (int64_t start = 0; start < total; ++start) {
+        std::set<int> disks;
+        for (int i = 0; i < count; ++i)
+            disks.insert(layout.dataUnitAddress(start + i).disk);
+        best = std::min(best, static_cast<int>(disks.size()));
+    }
+    return best;
+}
+
+} // namespace pddl

@@ -1,0 +1,109 @@
+#include "layout/pseudo_random.hh"
+
+#include <cstddef>
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hh"
+
+namespace pddl {
+
+PseudoRandomLayout::PseudoRandomLayout(int disks, int width,
+                                       uint64_t seed)
+    : Layout("Pseudo-Random", disks, width, 1), seed_(seed)
+{
+}
+
+const PseudoRandomLayout::Round &
+PseudoRandomLayout::round(int64_t r) const
+{
+    if (cached_.index == r)
+        return cached_;
+
+    const int n = numDisks();
+    const int k = stripeWidth();
+    Rng rng(hashMix64(static_cast<uint64_t>(r), seed_));
+
+    // Column c of the round is a random permutation of the disks, so
+    // each disk appears exactly k times per round.
+    std::vector<std::vector<int>> columns(k);
+    for (int c = 0; c < k; ++c)
+        columns[c] = rng.permutation(n);
+
+    // Repair intra-stripe collisions: if stripe j already uses the
+    // disk that column c assigns it, swap with a later stripe in the
+    // same column that can legally exchange. A full pass always
+    // terminates because a conflicting pair (j, j2) can swap unless
+    // both rows block both values, which the scan rules out by
+    // advancing; in the rare unresolved case we restart the column
+    // with fresh randomness.
+    for (int c = 1; c < k; ++c) {
+        for (int restart = 0;; ++restart) {
+            assert(restart < 64 && "collision repair diverged");
+            bool ok = true;
+            for (int j = 0; j < n && ok; ++j) {
+                auto conflicts = [&](int row, int disk) {
+                    for (int cc = 0; cc < c; ++cc)
+                        if (columns[cc][row] == disk)
+                            return true;
+                    return false;
+                };
+                if (!conflicts(j, columns[c][j]))
+                    continue;
+                ok = false;
+                for (int j2 = 0; j2 < n; ++j2) {
+                    if (j2 == j)
+                        continue;
+                    if (!conflicts(j, columns[c][j2]) &&
+                        !conflicts(j2, columns[c][j])) {
+                        std::swap(columns[c][j], columns[c][j2]);
+                        ok = true;
+                        break;
+                    }
+                }
+            }
+            if (ok)
+                break;
+            columns[c] = rng.permutation(n);
+        }
+    }
+
+    cached_.index = r;
+    cached_.placement.assign(n, std::vector<int>(k));
+    cached_.offset.assign(n, std::vector<int>(k));
+    std::vector<int> used(n, 0);
+    for (int j = 0; j < n; ++j) {
+        for (int c = 0; c < k; ++c) {
+            int disk = columns[c][j];
+            cached_.placement[j][c] = disk;
+            cached_.offset[j][c] = used[disk]++;
+        }
+    }
+    for (int d = 0; d < n; ++d)
+        assert(used[d] == k);
+    return cached_;
+}
+
+PhysAddr
+PseudoRandomLayout::unitAddress(int64_t stripe, int pos) const
+{
+    assert(pos >= 0 && pos < stripeWidth());
+    const int n = numDisks();
+    const int k = stripeWidth();
+    int64_t r = stripe / n;
+    int j = static_cast<int>(stripe % n);
+    const Round &rd = round(r);
+
+    // Parity rotates through the slots with the stripe index.
+    int parity = static_cast<int>(stripe % k);
+    int slot;
+    if (pos == dataUnitsPerStripe())
+        slot = parity;
+    else
+        slot = pos < parity ? pos : pos + 1;
+
+    return PhysAddr{rd.placement[j][slot],
+                    r * k + rd.offset[j][slot]};
+}
+
+} // namespace pddl

@@ -1,0 +1,29 @@
+#include "layout/raid5.hh"
+
+#include <cstddef>
+namespace pddl {
+
+Raid5Layout::Raid5Layout(int disks)
+    : Layout("RAID-5", disks, disks, 1)
+{
+}
+
+PhysAddr
+Raid5Layout::unitAddress(int64_t stripe, int pos) const
+{
+    assert(pos >= 0 && pos < stripeWidth());
+    const int n = numDisks();
+    int rotation = static_cast<int>(stripe % n);
+    int parity_disk = (n - 1 - rotation + n) % n;
+    int disk;
+    if (pos == dataUnitsPerStripe()) {
+        disk = parity_disk;
+    } else {
+        // Data follows the parity unit; with left-symmetric rotation
+        // consecutive client data units fall on consecutive disks.
+        disk = (parity_disk + 1 + pos) % n;
+    }
+    return PhysAddr{disk, stripe};
+}
+
+} // namespace pddl

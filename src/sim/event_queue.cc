@@ -1,0 +1,46 @@
+#include "sim/event_queue.hh"
+
+#include <cstddef>
+#include <cassert>
+#include <utility>
+
+namespace pddl {
+
+void
+EventQueue::schedule(SimTime when, Callback callback)
+{
+    assert(when >= now_ && "cannot schedule into the past");
+    heap_.push(Item{when, next_seq_++, std::move(callback)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; the callback is moved out via
+    // a const_cast that is safe because we pop immediately after.
+    Item item = std::move(const_cast<Item &>(heap_.top()));
+    heap_.pop();
+    now_ = item.when;
+    item.callback();
+    return true;
+}
+
+void
+EventQueue::runUntilEmpty()
+{
+    while (runOne()) {
+    }
+}
+
+void
+EventQueue::runUntil(SimTime t)
+{
+    while (!heap_.empty() && heap_.top().when <= t)
+        runOne();
+    if (t > now_)
+        now_ = t;
+}
+
+} // namespace pddl

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * A minimal, deterministic event queue: events are callbacks scheduled
+ * at a simulated time (milliseconds). Ties are broken by insertion
+ * order so that repeated runs of the same configuration replay the
+ * same history exactly.
+ */
+
+#ifndef PDDL_SIM_EVENT_QUEUE_HH
+#define PDDL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pddl {
+
+/** Simulated time in milliseconds. */
+using SimTime = double;
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Components schedule closures at absolute simulated times; the
+ * driver advances time by firing events in (time, insertion) order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time (time of the last fired event). */
+    SimTime now() const { return now_; }
+
+    /** Number of events not yet fired. */
+    size_t pending() const { return heap_.size(); }
+
+    /**
+     * Schedule a callback at absolute time `when`.
+     * @pre when >= now()
+     */
+    void schedule(SimTime when, Callback callback);
+
+    /** Schedule a callback `delay` milliseconds from now. */
+    void
+    scheduleAfter(SimTime delay, Callback callback)
+    {
+        schedule(now_ + delay, std::move(callback));
+    }
+
+    /**
+     * Fire the earliest pending event.
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /** Fire events until the queue is empty. */
+    void runUntilEmpty();
+
+    /**
+     * Fire events with time <= t, then set the clock to t.
+     * Events scheduled during the run are honored if they fall
+     * within the horizon.
+     */
+    void runUntil(SimTime t);
+
+  private:
+    struct Item
+    {
+        SimTime when;
+        uint64_t seq;
+        Callback callback;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    SimTime now_ = 0.0;
+    uint64_t next_seq_ = 0;
+};
+
+} // namespace pddl
+
+#endif // PDDL_SIM_EVENT_QUEUE_HH

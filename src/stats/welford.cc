@@ -1,0 +1,59 @@
+#include "stats/welford.hh"
+
+#include <cstddef>
+#include <cmath>
+
+namespace pddl {
+
+void
+Welford::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+Welford::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Welford::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Welford::confidenceHalfWidth(double z) const
+{
+    if (count_ < 2)
+        return 0.0;
+    return z * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+bool
+Welford::converged(double relative_tolerance, double z,
+                   int64_t min_samples) const
+{
+    if (count_ < min_samples)
+        return false;
+    if (mean_ == 0.0)
+        return true;
+    return confidenceHalfWidth(z) <=
+           relative_tolerance * std::abs(mean_);
+}
+
+} // namespace pddl

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Streaming statistics and the paper's confidence stopping rule.
+ *
+ * The paper runs each simulation "until the measured access response
+ * time is within 2% of the true average with 95% confidence". Welford
+ * accumulation gives the running mean/variance; the stopping rule
+ * compares the normal-approximation confidence half-width against a
+ * relative tolerance.
+ */
+
+#ifndef PDDL_STATS_WELFORD_HH
+#define PDDL_STATS_WELFORD_HH
+
+#include <cstdint>
+
+namespace pddl {
+
+/** Numerically stable streaming mean / variance / extrema. */
+class Welford
+{
+  public:
+    void add(double x);
+
+    int64_t count() const { return count_; }
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 with fewer than 2 samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /**
+     * Half-width of the two-sided confidence interval for the mean
+     * under the normal approximation.
+     *
+     * @param z quantile (1.96 for 95%)
+     */
+    double confidenceHalfWidth(double z = 1.96) const;
+
+    /**
+     * The paper's stopping rule: at least `min_samples` samples and
+     * half-width <= tolerance * mean.
+     */
+    bool converged(double relative_tolerance, double z = 1.96,
+                   int64_t min_samples = 200) const;
+
+  private:
+    int64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace pddl
+
+#endif // PDDL_STATS_WELFORD_HH

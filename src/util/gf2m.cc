@@ -1,0 +1,138 @@
+#include "util/gf2m.hh"
+
+#include <cassert>
+
+#include "util/modmath.hh"
+
+namespace pddl {
+
+GF2m::GF2m(int m, uint32_t poly) : m_(m), poly_(poly)
+{
+    assert(m >= 1 && m <= 16);
+    assert((poly >> m) == 1u && "poly must have degree exactly m");
+    assert(isIrreducible(poly, m));
+}
+
+GF2m::GF2m(int m) : GF2m(m, lowestIrreducible(m))
+{
+}
+
+uint32_t
+GF2m::mul(uint32_t a, uint32_t b) const
+{
+    assert(a < size() && b < size());
+    // Carry-less multiply with interleaved reduction: shift a left,
+    // folding the x^m overflow back in with the reduction polynomial.
+    uint32_t result = 0;
+    uint32_t high_bit = 1u << (m_ - 1);
+    uint32_t mask = size() - 1;
+    while (b != 0) {
+        if (b & 1)
+            result ^= a;
+        bool carry = (a & high_bit) != 0;
+        a = (a << 1) & mask;
+        if (carry)
+            a ^= (poly_ & mask);
+        b >>= 1;
+    }
+    return result;
+}
+
+uint32_t
+GF2m::pow(uint32_t a, uint64_t e) const
+{
+    uint32_t result = 1;
+    uint32_t base = a;
+    while (e > 0) {
+        if (e & 1)
+            result = mul(result, base);
+        base = mul(base, base);
+        e >>= 1;
+    }
+    return result;
+}
+
+uint32_t
+GF2m::inv(uint32_t a) const
+{
+    assert(a != 0);
+    // a^(2^m - 2) = a^(-1) in GF(2^m)^* (Fermat).
+    return pow(a, size() - 2);
+}
+
+uint32_t
+GF2m::order(uint32_t a) const
+{
+    assert(a != 0);
+    uint32_t v = a;
+    uint32_t ord = 1;
+    while (v != 1) {
+        v = mul(v, a);
+        ++ord;
+        assert(ord < size());
+    }
+    return ord;
+}
+
+bool
+GF2m::isGenerator(uint32_t a) const
+{
+    if (a == 0)
+        return false;
+    uint32_t group = size() - 1;
+    // a generates iff a^(group/q) != 1 for every prime q | group.
+    for (const auto &[q, e] : factorize(group)) {
+        (void)e;
+        if (pow(a, group / q) == 1)
+            return false;
+    }
+    return true;
+}
+
+uint32_t
+GF2m::generator() const
+{
+    for (uint32_t a = 2; a < size(); ++a) {
+        if (isGenerator(a))
+            return a;
+    }
+    return 1; // GF(2): the only nonzero element
+}
+
+bool
+GF2m::isIrreducible(uint32_t poly, int m)
+{
+    if (m == 1)
+        return poly == 0b10 || poly == 0b11;
+    if ((poly & 1) == 0)
+        return false; // divisible by x
+    // Trial division by all polynomials of degree 1..m/2.
+    for (uint32_t d = 2; d < (1u << (m / 2 + 1)); ++d) {
+        // Compute poly mod d with schoolbook polynomial division.
+        int dd = 31 - __builtin_clz(d);
+        uint32_t rem = poly;
+        while (true) {
+            int rd = rem == 0 ? -1 : 31 - __builtin_clz(rem);
+            if (rd < dd)
+                break;
+            rem ^= d << (rd - dd);
+        }
+        if (rem == 0)
+            return false;
+    }
+    return true;
+}
+
+uint32_t
+GF2m::lowestIrreducible(int m)
+{
+    assert(m >= 1 && m <= 16);
+    for (uint32_t poly = (1u << m) + 1; poly < (2u << m); poly += 2) {
+        if (isIrreducible(poly, m))
+            return poly;
+    }
+    assert(false && "irreducible polynomial exists for every degree");
+    return 0;
+}
+
+} // namespace pddl

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Arithmetic in the finite field GF(2^m).
+ *
+ * PDDL arrays whose size is a power of two develop the base
+ * permutation with bitwise XOR instead of modular addition (GF(2^m)
+ * addition), making the mapping function a candidate for the fastest
+ * possible scheme (paper, Appendix). Bose's construction then needs a
+ * multiplicative generator of GF(2^m)^*, which this class provides.
+ */
+
+#ifndef PDDL_UTIL_GF2M_HH
+#define PDDL_UTIL_GF2M_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pddl {
+
+/**
+ * The field GF(2^m), 1 <= m <= 16, with a configurable irreducible
+ * reduction polynomial. Elements are m-bit integers; addition is XOR.
+ */
+class GF2m
+{
+  public:
+    /**
+     * Construct GF(2^m) with a given reduction polynomial.
+     *
+     * @param m field degree
+     * @param poly reduction polynomial including the x^m term,
+     *             e.g. 0b10011 for x^4 + x + 1; must be irreducible.
+     */
+    GF2m(int m, uint32_t poly);
+
+    /** Construct GF(2^m) with the lowest irreducible polynomial. */
+    explicit GF2m(int m);
+
+    /** Field degree m. */
+    int degree() const { return m_; }
+
+    /** Field size 2^m. */
+    uint32_t size() const { return 1u << m_; }
+
+    /** Reduction polynomial (bit i = coefficient of x^i). */
+    uint32_t polynomial() const { return poly_; }
+
+    /** Field addition (= subtraction): bitwise XOR. */
+    uint32_t add(uint32_t a, uint32_t b) const { return a ^ b; }
+
+    /** Field multiplication via carry-less product + reduction. */
+    uint32_t mul(uint32_t a, uint32_t b) const;
+
+    /** a^e for e >= 0 (a^0 = 1). */
+    uint32_t pow(uint32_t a, uint64_t e) const;
+
+    /** Multiplicative inverse of a != 0. */
+    uint32_t inv(uint32_t a) const;
+
+    /** Multiplicative order of a != 0. */
+    uint32_t order(uint32_t a) const;
+
+    /** True iff a generates the full multiplicative group. */
+    bool isGenerator(uint32_t a) const;
+
+    /**
+     * Smallest multiplicative generator (primitive element) of the
+     * field under this reduction polynomial.
+     */
+    uint32_t generator() const;
+
+    /**
+     * Lowest-valued irreducible polynomial of degree m (with x^m
+     * term set), found by exhaustive search; m <= 16.
+     */
+    static uint32_t lowestIrreducible(int m);
+
+    /** True iff poly (degree m, bit m set) is irreducible over GF(2). */
+    static bool isIrreducible(uint32_t poly, int m);
+
+  private:
+    int m_;
+    uint32_t poly_;
+};
+
+} // namespace pddl
+
+#endif // PDDL_UTIL_GF2M_HH

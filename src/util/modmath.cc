@@ -1,0 +1,132 @@
+#include "util/modmath.hh"
+
+#include <cassert>
+
+namespace pddl {
+
+int64_t
+powMod(int64_t base, int64_t exp, int64_t m)
+{
+    assert(exp >= 0 && m > 0);
+    int64_t result = 1;
+    int64_t b = floorMod(base, m);
+    while (exp > 0) {
+        if (exp & 1)
+            result = mulMod(result, b, m);
+        b = mulMod(b, b, m);
+        exp >>= 1;
+    }
+    return result;
+}
+
+int64_t
+gcd(int64_t a, int64_t b)
+{
+    if (a < 0) a = -a;
+    if (b < 0) b = -b;
+    while (b != 0) {
+        int64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+bool
+isPrime(int64_t n)
+{
+    if (n < 2)
+        return false;
+    if (n < 4)
+        return true;
+    if (n % 2 == 0)
+        return false;
+    for (int64_t d = 3; d * d <= n; d += 2) {
+        if (n % d == 0)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::pair<int64_t, int>>
+factorize(int64_t n)
+{
+    assert(n >= 1);
+    std::vector<std::pair<int64_t, int>> factors;
+    for (int64_t d = 2; d * d <= n; d += (d == 2 ? 1 : 2)) {
+        if (n % d == 0) {
+            int e = 0;
+            while (n % d == 0) {
+                n /= d;
+                ++e;
+            }
+            factors.emplace_back(d, e);
+        }
+    }
+    if (n > 1)
+        factors.emplace_back(n, 1);
+    return factors;
+}
+
+bool
+isPrimePower(int64_t n, int64_t *prime_out, int *exp_out)
+{
+    if (n < 2)
+        return false;
+    auto factors = factorize(n);
+    if (factors.size() != 1)
+        return false;
+    if (prime_out)
+        *prime_out = factors[0].first;
+    if (exp_out)
+        *exp_out = factors[0].second;
+    return true;
+}
+
+int64_t
+primitiveRoot(int64_t p)
+{
+    if (!isPrime(p))
+        return -1;
+    if (p == 2)
+        return 1;
+    int64_t phi = p - 1;
+    auto factors = factorize(phi);
+    for (int64_t g = 2; g < p; ++g) {
+        bool primitive = true;
+        for (const auto &[q, e] : factors) {
+            if (powMod(g, phi / q, p) == 1) {
+                primitive = false;
+                break;
+            }
+        }
+        if (primitive)
+            return g;
+    }
+    return -1; // unreachable for prime p
+}
+
+int64_t
+multiplicativeOrder(int64_t a, int64_t m)
+{
+    assert(gcd(a, m) == 1);
+    int64_t x = floorMod(a, m);
+    int64_t order = 1;
+    int64_t v = x;
+    while (v != 1) {
+        v = mulMod(v, x, m);
+        ++order;
+        assert(order <= m);
+    }
+    return order;
+}
+
+int64_t
+invModPrime(int64_t a, int64_t p)
+{
+    assert(isPrime(p));
+    assert(floorMod(a, p) != 0);
+    return powMod(a, p - 2, p);
+}
+
+} // namespace pddl

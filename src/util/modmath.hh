@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Modular arithmetic, primality, and primitive-root utilities.
+ *
+ * These are the number-theoretic building blocks for the PDDL base
+ * permutation constructions (Bose's construction needs a primitive
+ * root of a prime modulus) and for the PRIME layout (multiplier
+ * development over Z_n with n prime).
+ */
+
+#ifndef PDDL_UTIL_MODMATH_HH
+#define PDDL_UTIL_MODMATH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pddl {
+
+/** Non-negative remainder of a mod m (m > 0), correct for negative a. */
+inline int64_t
+floorMod(int64_t a, int64_t m)
+{
+    int64_t r = a % m;
+    return r < 0 ? r + m : r;
+}
+
+/** (a * b) mod m without overflow for m < 2^31. */
+inline int64_t
+mulMod(int64_t a, int64_t b, int64_t m)
+{
+    return (a % m) * (b % m) % m;
+}
+
+/** (base ^ exp) mod m by binary exponentiation. exp >= 0, m > 0. */
+int64_t powMod(int64_t base, int64_t exp, int64_t m);
+
+/** Greatest common divisor (non-negative result). */
+int64_t gcd(int64_t a, int64_t b);
+
+/** Deterministic primality test (trial division; n is array-sized). */
+bool isPrime(int64_t n);
+
+/** Prime factorization as (prime, multiplicity) pairs, ascending. */
+std::vector<std::pair<int64_t, int>> factorize(int64_t n);
+
+/**
+ * True iff n = p^e for a prime p and e >= 1; if so, reports p and e.
+ *
+ * @param n value to test, n >= 2
+ * @param prime_out receives p when non-null
+ * @param exp_out receives e when non-null
+ */
+bool isPrimePower(int64_t n, int64_t *prime_out = nullptr,
+                  int *exp_out = nullptr);
+
+/**
+ * Smallest primitive root modulo a prime p.
+ *
+ * A primitive root generates the full multiplicative group Z_p^*,
+ * which is exactly what Bose's construction distributes round-robin
+ * into the stripe blocks.
+ *
+ * @return the smallest primitive root, or -1 if p is not prime.
+ */
+int64_t primitiveRoot(int64_t p);
+
+/** Multiplicative order of a modulo m (gcd(a, m) must be 1). */
+int64_t multiplicativeOrder(int64_t a, int64_t m);
+
+/** Modular inverse of a mod prime p (a not divisible by p). */
+int64_t invModPrime(int64_t a, int64_t p);
+
+} // namespace pddl
+
+#endif // PDDL_UTIL_MODMATH_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A small, fast, seedable generator used by the workload generator,
+ * the hill-climbing permutation search, and the Pseudo-Random layout.
+ * Determinism matters: simulations and searches must be reproducible
+ * run to run, so nothing in the library uses std::random_device.
+ */
+
+#ifndef PDDL_UTIL_RNG_HH
+#define PDDL_UTIL_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace pddl {
+
+/** SplitMix64: one 64-bit hash step; good for seeding and hashing. */
+inline uint64_t
+splitMix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix of a value (e.g. a stripe id) with a seed. */
+inline uint64_t
+hashMix64(uint64_t value, uint64_t seed = 0)
+{
+    uint64_t state = value + seed * 0x9e3779b97f4a7c15ULL;
+    return splitMix64(state);
+}
+
+/**
+ * xoshiro256** pseudo-random generator.
+ *
+ * Satisfies enough of UniformRandomBitGenerator to be used directly,
+ * but the class also provides the bounded helpers the library needs.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    result_type
+    operator()()
+    {
+        auto rotl = [](uint64_t x, int k) {
+            return (x << k) | (x >> (64 - k));
+        };
+        uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound), bound > 0 (Lemire's method). */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Rejection-free for our purposes: bias is < 2^-64 * bound.
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        return -mean * std::log(1.0 - uniform());
+    }
+
+    /** Fisher-Yates shuffle of a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i)
+            std::swap(v[i - 1], v[below(i)]);
+    }
+
+    /** Random permutation of {0..n-1}. */
+    std::vector<int>
+    permutation(int n)
+    {
+        std::vector<int> p(n);
+        std::iota(p.begin(), p.end(), 0);
+        shuffle(p);
+        return p;
+    }
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace pddl
+
+#endif // PDDL_UTIL_RNG_HH

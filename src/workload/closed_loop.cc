@@ -1,0 +1,137 @@
+#include "workload/closed_loop.hh"
+
+#include <cstddef>
+#include <cassert>
+
+#include "array/controller.hh"
+#include "sim/event_queue.hh"
+#include "util/rng.hh"
+
+namespace pddl {
+
+namespace {
+
+/** Shared state of one experiment run. */
+struct Experiment
+{
+    EventQueue events;
+    ArrayController *array = nullptr;
+    SimConfig config;
+    Rng rng{0};
+
+    Welford response;
+    int64_t completions = 0;
+    bool measuring = false;
+    bool done = false;
+    SimTime measure_start = 0.0;
+    SeekTally tally_at_start;
+    int64_t accesses_at_start = 0;
+
+    /**
+     * Sticky stop decision: the confidence test can flicker (pass at
+     * n samples, fail at n+1), and letting individual clients drop
+     * out would silently change the offered concurrency mid-run.
+     */
+    bool
+    finished()
+    {
+        if (done)
+            return true;
+        if (response.count() >= config.max_samples ||
+            response.converged(config.relative_tolerance, 1.96,
+                               config.min_samples)) {
+            done = true;
+        }
+        return done;
+    }
+
+    void
+    issueOne()
+    {
+        int64_t span = array->dataUnits() - config.access_units;
+        assert(span >= 0);
+        int64_t start = static_cast<int64_t>(
+            rng.below(static_cast<uint64_t>(span + 1)));
+        SimTime issued = events.now();
+        array->access(start, config.access_units, config.type,
+                      [this, issued] {
+                          ++completions;
+                          if (completions == config.warmup) {
+                              measuring = true;
+                              measure_start = events.now();
+                              tally_at_start = array->aggregateTally();
+                              accesses_at_start =
+                                  static_cast<int64_t>(
+                                      array->accessesIssued());
+                          } else if (measuring) {
+                              response.add(events.now() - issued);
+                          }
+                          if (!finished())
+                              issueOne();
+                      });
+    }
+};
+
+} // namespace
+
+SimResult
+runClosedLoop(const Layout &layout, const DiskModel &disk_model,
+              const SimConfig &config)
+{
+    Experiment experiment;
+    experiment.config = config;
+    experiment.rng = Rng(config.seed);
+
+    ArrayConfig array_config;
+    array_config.unit_sectors = config.unit_sectors;
+    array_config.mode = config.mode;
+    array_config.failed_disk =
+        config.mode == ArrayMode::FaultFree ? -1 : config.failed_disk;
+    array_config.sstf_window = config.sstf_window;
+
+    ArrayController array(experiment.events, layout, disk_model,
+                          array_config);
+    experiment.array = &array;
+    if (config.warmup <= 0)
+        experiment.measuring = true;
+
+    for (int c = 0; c < config.clients; ++c)
+        experiment.issueOne();
+    experiment.events.runUntilEmpty();
+
+    SimResult result;
+    result.mean_response_ms = experiment.response.mean();
+    result.ci_half_width_ms = experiment.response.confidenceHalfWidth();
+    result.samples = experiment.response.count();
+    SimTime elapsed = experiment.events.now() - experiment.measure_start;
+    if (elapsed > 0.0) {
+        result.throughput_per_s =
+            static_cast<double>(result.samples) / (elapsed / 1000.0);
+    }
+    SeekTally tally = array.aggregateTally();
+    int64_t accesses = static_cast<int64_t>(array.accessesIssued()) -
+                       experiment.accesses_at_start;
+    if (accesses > 0) {
+        double denom = static_cast<double>(accesses);
+        result.non_local_seeks =
+            static_cast<double>(tally.non_local -
+                                experiment.tally_at_start.non_local) /
+            denom;
+        result.cylinder_switches =
+            static_cast<double>(
+                tally.cylinder_switch -
+                experiment.tally_at_start.cylinder_switch) /
+            denom;
+        result.track_switches =
+            static_cast<double>(tally.track_switch -
+                                experiment.tally_at_start.track_switch) /
+            denom;
+        result.no_switches =
+            static_cast<double>(tally.no_switch -
+                                experiment.tally_at_start.no_switch) /
+            denom;
+    }
+    return result;
+}
+
+} // namespace pddl

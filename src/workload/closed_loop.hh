@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Closed-loop synthetic workload and simulation driver.
+ *
+ * The paper's workload (Table 2): a fixed number of clients, each
+ * generating one logical access at a time -- fixed size, aligned to a
+ * stripe-unit boundary, start uniformly distributed over the client
+ * data -- blocking until the array completes it, then immediately
+ * issuing the next. Experiments run until the measured mean response
+ * time is within a relative tolerance at 95% confidence (2% in the
+ * paper).
+ */
+
+#ifndef PDDL_WORKLOAD_CLOSED_LOOP_HH
+#define PDDL_WORKLOAD_CLOSED_LOOP_HH
+
+#include <cstdint>
+
+#include "array/request_mapper.hh"
+#include "disk/disk.hh"
+#include "layout/layout.hh"
+#include "stats/welford.hh"
+
+namespace pddl {
+
+/** One simulated experiment configuration. */
+struct SimConfig
+{
+    int clients = 1;
+    /** Access size in stripe units (8 KB units in the paper). */
+    int access_units = 1;
+    AccessType type = AccessType::Read;
+    ArrayMode mode = ArrayMode::FaultFree;
+    int failed_disk = 0; ///< used when mode != FaultFree
+    int unit_sectors = 16;
+    int sstf_window = 20;
+
+    /** Stopping rule: relative CI half-width at 95% confidence. */
+    double relative_tolerance = 0.02;
+    int64_t min_samples = 400;
+    int64_t max_samples = 200000;
+    /** Completions discarded before measurement starts. */
+    int64_t warmup = 200;
+    uint64_t seed = 42;
+};
+
+/** Measured outcome of one experiment. */
+struct SimResult
+{
+    double mean_response_ms = 0.0;
+    double ci_half_width_ms = 0.0;
+    /** Logical accesses per second during the measurement window. */
+    double throughput_per_s = 0.0;
+    int64_t samples = 0;
+    /** Per-logical-access seek classification averages (Figure 4). */
+    double non_local_seeks = 0.0;
+    double cylinder_switches = 0.0;
+    double track_switches = 0.0;
+    double no_switches = 0.0;
+};
+
+/**
+ * Run one closed-loop experiment on a fresh simulated array.
+ *
+ * Deterministic per configuration (seeded RNG, deterministic event
+ * ordering).
+ */
+SimResult runClosedLoop(const Layout &layout,
+                        const DiskModel &disk_model,
+                        const SimConfig &config);
+
+} // namespace pddl
+
+#endif // PDDL_WORKLOAD_CLOSED_LOOP_HH

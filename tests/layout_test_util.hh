@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared factory for building every layout family in the test suite
+ * and benchmarks from a (kind, disks, width) triple.
+ */
+
+#ifndef PDDL_TESTS_LAYOUT_TEST_UTIL_HH
+#define PDDL_TESTS_LAYOUT_TEST_UTIL_HH
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/pddl_layout.hh"
+#include "core/wrapped_layout.hh"
+#include "layout/datum.hh"
+#include "layout/parity_decluster.hh"
+#include "layout/prime.hh"
+#include "layout/pseudo_random.hh"
+#include "layout/raid5.hh"
+
+namespace pddl {
+
+/** Identifier + configuration of a layout under test. */
+struct LayoutSpec
+{
+    std::string kind; ///< raid5 | pd | prime | datum | pseudo | pddl
+    int disks;
+    int width;
+
+    friend std::ostream &
+    operator<<(std::ostream &os, const LayoutSpec &spec)
+    {
+        return os << spec.kind << "_n" << spec.disks << "_k"
+                  << spec.width;
+    }
+};
+
+inline std::unique_ptr<Layout>
+makeLayout(const LayoutSpec &spec)
+{
+    if (spec.kind == "raid5")
+        return std::make_unique<Raid5Layout>(spec.disks);
+    if (spec.kind == "pd") {
+        return std::make_unique<ParityDeclusterLayout>(
+            ParityDeclusterLayout::make(spec.disks, spec.width));
+    }
+    if (spec.kind == "prime")
+        return std::make_unique<PrimeLayout>(spec.disks, spec.width);
+    if (spec.kind == "datum")
+        return std::make_unique<DatumLayout>(spec.disks, spec.width);
+    if (spec.kind == "pseudo") {
+        return std::make_unique<PseudoRandomLayout>(spec.disks,
+                                                    spec.width);
+    }
+    if (spec.kind == "pddl") {
+        return std::make_unique<PddlLayout>(
+            PddlLayout::make(spec.disks, spec.width));
+    }
+    if (spec.kind == "wrapped") {
+        return std::make_unique<WrappedLayout>(
+            WrappedLayout::make(spec.disks, spec.width));
+    }
+    throw std::invalid_argument("unknown layout kind " + spec.kind);
+}
+
+} // namespace pddl
+
+#endif // PDDL_TESTS_LAYOUT_TEST_UTIL_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for PDDL base permutations against the paper's own worked
+ * examples (sections 2-3 and the appendix).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/base_permutation.hh"
+
+namespace pddl {
+namespace {
+
+TEST(BoseConstruction, PaperSevenDiskExample)
+{
+    // Section 3: n=7, g=2, primitive element 3, B1={1,2,4},
+    // B2={3,6,5}, base permutation (0 1 2 4 3 6 5).
+    PermutationGroup group = boseConstruction(7, 3);
+    ASSERT_EQ(group.size(), 1);
+    EXPECT_EQ(group.perms[0],
+              (std::vector<int>{0, 1, 2, 4, 3, 6, 5}));
+    EXPECT_EQ(group.g, 2);
+    EXPECT_FALSE(group.xor_development);
+    EXPECT_TRUE(group.valid());
+    EXPECT_TRUE(isSatisfactory(group));
+}
+
+TEST(BoseConstruction, ThirteenDiskEvaluationConfiguration)
+{
+    // Table 2's array: 13 disks, stripe width 4 -> g = 3.
+    PermutationGroup group = boseConstruction(13, 4);
+    EXPECT_EQ(group.g, 3);
+    EXPECT_TRUE(group.valid());
+    EXPECT_TRUE(isSatisfactory(group));
+}
+
+class BoseEveryPrime
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(BoseEveryPrime, AlwaysSatisfactory)
+{
+    auto [n, k] = GetParam();
+    PermutationGroup group = boseConstruction(n, k);
+    EXPECT_TRUE(group.valid());
+    EXPECT_TRUE(isSatisfactory(group)) << "n=" << n << " k=" << k;
+    EXPECT_EQ(imbalanceCost(group), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrimeConfigs, BoseEveryPrime,
+    ::testing::Values(std::pair{7, 3}, std::pair{7, 2},
+                      std::pair{11, 2}, std::pair{11, 5},
+                      std::pair{13, 4}, std::pair{13, 3},
+                      std::pair{13, 6}, std::pair{31, 5},
+                      std::pair{31, 6}, std::pair{41, 8},
+                      std::pair{61, 10}, std::pair{71, 7},
+                      std::pair{101, 10}));
+
+TEST(BoseGF2m, PaperAppendixSixteenDiskExample)
+{
+    // Appendix: n=16, g=3, primitive element x+1 over
+    // x^4+x^3+x^2+x+1 gives (0 1 15 8 4 2 3 14 7 12 6 5 13 9 11 10).
+    GF2m field(4, 0b11111);
+    PermutationGroup group = boseGF2m(field, 5, 3);
+    ASSERT_EQ(group.size(), 1);
+    EXPECT_EQ(group.perms[0],
+              (std::vector<int>{0, 1, 15, 8, 4, 2, 3, 14, 7, 12, 6, 5,
+                                13, 9, 11, 10}));
+    EXPECT_TRUE(group.xor_development);
+    EXPECT_TRUE(group.valid());
+    EXPECT_TRUE(isSatisfactory(group));
+}
+
+TEST(BoseGF2m, DefaultFieldAlsoSatisfactory)
+{
+    for (int k : {3, 5}) { // k must divide 15
+        GF2m field(4);
+        PermutationGroup group = boseGF2m(field, k);
+        EXPECT_TRUE(isSatisfactory(group)) << "k=" << k;
+    }
+    GF2m field8(3); // n=8, k divides 7
+    EXPECT_TRUE(isSatisfactory(boseGF2m(field8, 7)));
+}
+
+TEST(PaperExample, IdentityPermutationIsNotSatisfactory)
+{
+    // Section 2: "if we use the permutation (0 1 2 3 4 5 6) ... the
+    // reconstruction workload is spread over only four disks ... Two
+    // of the four disks will be reading two stripe units instead of
+    // one."
+    PermutationGroup group;
+    group.n = 7;
+    group.k = 3;
+    group.g = 2;
+    group.perms = {{0, 1, 2, 3, 4, 5, 6}};
+    ASSERT_TRUE(group.valid());
+    EXPECT_FALSE(isSatisfactory(group));
+
+    auto tally = reconstructionReadTally(group);
+    int disks_loaded = 0;
+    int disks_double = 0;
+    for (int d = 1; d < 7; ++d) {
+        if (tally[d] > 0)
+            ++disks_loaded;
+        if (tally[d] == 4) // two units per stripe group (2 groups)
+            ++disks_double;
+    }
+    EXPECT_EQ(disks_loaded, 4);
+    EXPECT_EQ(disks_double, 2);
+}
+
+TEST(PaperExample, TenDiskPairOfBasePermutations)
+{
+    // Section 2's n=10, k=3 example: two base permutations whose
+    // individual tallies are (1,3,2,2,2,2,2,3,1) and
+    // (3,1,2,2,2,2,2,1,3) and whose combination is satisfactory.
+    PermutationGroup first;
+    first.n = 10;
+    first.k = 3;
+    first.g = 3;
+    first.perms = {{0, 1, 2, 8, 3, 5, 7, 4, 6, 9}};
+    PermutationGroup second = first;
+    second.perms = {{0, 1, 2, 4, 3, 7, 8, 5, 6, 9}};
+
+    ASSERT_TRUE(first.valid());
+    ASSERT_TRUE(second.valid());
+    EXPECT_EQ(reconstructionReadTally(first),
+              (std::vector<int64_t>{0, 1, 3, 2, 2, 2, 2, 2, 3, 1}));
+    EXPECT_EQ(reconstructionReadTally(second),
+              (std::vector<int64_t>{0, 3, 1, 2, 2, 2, 2, 2, 1, 3}));
+    EXPECT_FALSE(isSatisfactory(first));
+    EXPECT_FALSE(isSatisfactory(second));
+
+    PermutationGroup pair = first;
+    pair.perms.push_back(second.perms[0]);
+    EXPECT_TRUE(isSatisfactory(pair));
+}
+
+TEST(PaperExample, Figure17FiftyFiveDiskPair)
+{
+    // Figure 17: "Two permutations provide satisfactory base
+    // permutations for 55 disks and stripe width six."
+    PermutationGroup pair = paperFigure17Pair();
+    EXPECT_EQ(pair.n, 55);
+    EXPECT_EQ(pair.k, 6);
+    EXPECT_EQ(pair.g, 9);
+    ASSERT_EQ(pair.size(), 2);
+    ASSERT_TRUE(pair.valid());
+    EXPECT_TRUE(isSatisfactory(pair));
+
+    // Neither permutation is satisfactory on its own.
+    for (int q = 0; q < 2; ++q) {
+        PermutationGroup solo = pair;
+        solo.perms = {pair.perms[q]};
+        EXPECT_FALSE(isSatisfactory(solo));
+    }
+}
+
+TEST(ReconstructionReadTally, TotalsMatchCountingIdentity)
+{
+    // Total reads = p * g * k * (k-1) regardless of balance.
+    for (auto [n, k] : {std::pair{7, 3}, std::pair{13, 4}}) {
+        PermutationGroup group = boseConstruction(n, k);
+        auto tally = reconstructionReadTally(group);
+        int64_t total = 0;
+        for (int64_t reads : tally)
+            total += reads;
+        EXPECT_EQ(total, static_cast<int64_t>(group.g) * k * (k - 1));
+    }
+}
+
+TEST(PermutationGroup, ValidRejectsMalformedInput)
+{
+    PermutationGroup group;
+    group.n = 7;
+    group.k = 3;
+    group.g = 2;
+    group.perms = {{0, 1, 2, 4, 3, 6, 5}};
+    EXPECT_TRUE(group.valid());
+
+    PermutationGroup wrong_size = group;
+    wrong_size.perms[0].pop_back();
+    EXPECT_FALSE(wrong_size.valid());
+
+    PermutationGroup duplicate = group;
+    duplicate.perms[0][1] = 2; // 2 appears twice
+    EXPECT_FALSE(duplicate.valid());
+
+    PermutationGroup bad_shape = group;
+    bad_shape.g = 3; // 3*3+1 != 7
+    EXPECT_FALSE(bad_shape.valid());
+}
+
+TEST(PermutationGroup, DevelopAndUndevelopAreInverse)
+{
+    PermutationGroup mod = boseConstruction(13, 4);
+    for (int v = 0; v < 13; ++v)
+        for (int off = 0; off < 13; ++off)
+            EXPECT_EQ(mod.undevelop(mod.develop(v, off), off), v);
+
+    GF2m field(4);
+    PermutationGroup xored = boseGF2m(field, 5);
+    for (int v = 0; v < 16; ++v)
+        for (int off = 0; off < 16; ++off)
+            EXPECT_EQ(xored.undevelop(xored.develop(v, off), off), v);
+}
+
+} // namespace
+} // namespace pddl

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for BIBD construction: verification, cyclic development and
+ * the difference-family backtracking search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/bibd.hh"
+
+namespace pddl {
+namespace {
+
+TEST(Bibd, VerifyAcceptsFanoPlane)
+{
+    Bibd fano;
+    fano.v = 7;
+    fano.k = 3;
+    fano.lambda = 1;
+    fano.blocks = {{0, 1, 3}, {1, 2, 4}, {2, 3, 5}, {3, 4, 6},
+                   {0, 4, 5}, {1, 5, 6}, {0, 2, 6}};
+    EXPECT_TRUE(verifyBibd(fano));
+    EXPECT_EQ(fano.replication(), 3);
+}
+
+TEST(Bibd, VerifyRejectsBrokenDesigns)
+{
+    Bibd bad;
+    bad.v = 7;
+    bad.k = 3;
+    bad.lambda = 1;
+    bad.blocks = {{0, 1, 3}, {1, 2, 4}, {2, 3, 5}, {3, 4, 6},
+                  {0, 4, 5}, {1, 5, 6}, {0, 2, 5}}; // last block wrong
+    EXPECT_FALSE(verifyBibd(bad));
+
+    Bibd unsorted;
+    unsorted.v = 3;
+    unsorted.k = 2;
+    unsorted.lambda = 1;
+    unsorted.blocks = {{1, 0}, {1, 2}, {0, 2}};
+    EXPECT_FALSE(verifyBibd(unsorted));
+}
+
+TEST(Bibd, DevelopPlanarDifferenceSet13)
+{
+    // {0,1,3,9} is a planar difference set mod 13: its development is
+    // the projective plane of order 3, the (13,4,1) design Holland &
+    // Gibson's 13-disk configuration needs.
+    Bibd design = developCyclic(13, 4, 1, {{0, 1, 3, 9}});
+    EXPECT_EQ(design.blocks.size(), 13u);
+    EXPECT_TRUE(verifyBibd(design));
+    EXPECT_EQ(design.replication(), 4);
+}
+
+TEST(Bibd, DevelopFanoDifferenceSet)
+{
+    Bibd design = developCyclic(7, 3, 1, {{0, 1, 3}});
+    EXPECT_EQ(design.blocks.size(), 7u);
+    EXPECT_TRUE(verifyBibd(design));
+}
+
+TEST(FindCyclicBibd, FindsEvaluationConfiguration)
+{
+    // The paper's simulated configuration: 13 disks, stripe width 4.
+    auto design = findCyclicBibd(13, 4);
+    ASSERT_TRUE(design.has_value());
+    EXPECT_EQ(design->lambda, 1);
+    EXPECT_EQ(design->blocks.size(), 13u);
+    EXPECT_TRUE(verifyBibd(*design));
+}
+
+class FindCyclicBibdConfigs
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(FindCyclicBibdConfigs, FindsValidDesign)
+{
+    auto [v, k] = GetParam();
+    auto design = findCyclicBibd(v, k);
+    ASSERT_TRUE(design.has_value()) << "v=" << v << " k=" << k;
+    EXPECT_EQ(design->v, v);
+    EXPECT_EQ(design->k, k);
+    EXPECT_TRUE(verifyBibd(*design));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallConfigurations, FindCyclicBibdConfigs,
+    ::testing::Values(std::pair{7, 3}, std::pair{13, 4},
+                      std::pair{11, 5}, std::pair{13, 3},
+                      std::pair{9, 3}, std::pair{15, 3},
+                      std::pair{21, 5}, std::pair{10, 4},
+                      std::pair{13, 6}, std::pair{19, 3}));
+
+TEST(FindCyclicBibd, RejectsDegenerateInput)
+{
+    EXPECT_FALSE(findCyclicBibd(3, 5).has_value());
+    EXPECT_FALSE(findCyclicBibd(1, 1).has_value());
+}
+
+} // namespace
+} // namespace pddl

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the DATUM layout reconstruction (complete block design in
+ * the binomial number system).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/datum.hh"
+#include "layout/properties.hh"
+#include "util/binomial.hh"
+
+namespace pddl {
+namespace {
+
+TEST(Datum, PatternShape)
+{
+    DatumLayout layout(13, 4);
+    EXPECT_EQ(layout.stripesPerPeriod(), 715); // C(13,4)
+    EXPECT_EQ(layout.unitsPerDiskPerPeriod(), 220); // C(12,3)
+    EXPECT_FALSE(layout.hasSparing());
+}
+
+TEST(Datum, EveryKSubsetHostsExactlyOneStripe)
+{
+    DatumLayout layout(7, 3);
+    std::set<std::vector<int>> subsets;
+    for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
+        std::vector<int> disks;
+        for (int pos = 0; pos < 3; ++pos)
+            disks.push_back(layout.unitAddress(s, pos).disk);
+        std::sort(disks.begin(), disks.end());
+        EXPECT_TRUE(subsets.insert(disks).second)
+            << "subset reused at stripe " << s;
+    }
+    EXPECT_EQ(static_cast<int64_t>(subsets.size()), binomial(7, 3));
+}
+
+TEST(Datum, OffsetsCountEarlierStripesOnSameDisk)
+{
+    DatumLayout layout(9, 4);
+    std::vector<int64_t> used(9, 0);
+    for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
+        for (int pos = 0; pos < 4; ++pos) {
+            PhysAddr a = layout.unitAddress(s, pos);
+            EXPECT_EQ(a.unit, used[a.disk])
+                << "stripe " << s << " pos " << pos;
+        }
+        // Advance after checking all positions of the stripe.
+        std::set<int> disks;
+        for (int pos = 0; pos < 4; ++pos)
+            disks.insert(layout.unitAddress(s, pos).disk);
+        for (int d : disks)
+            ++used[d];
+    }
+}
+
+TEST(Datum, ReconstructionExactlyBalanced)
+{
+    // Complete design symmetry: when f fails, every surviving disk
+    // reads one unit per stripe containing both -> C(n-2, k-2).
+    DatumLayout layout(9, 4);
+    for (int failed : {0, 4, 8}) {
+        ReconstructionTally tally =
+            reconstructionWorkload(layout, failed);
+        for (int d = 0; d < 9; ++d) {
+            if (d == failed)
+                continue;
+            EXPECT_EQ(tally.reads[d], binomial(7, 2))
+                << "failed=" << failed << " d=" << d;
+        }
+    }
+}
+
+TEST(Datum, SmallWorkingSetForSequentialAccess)
+{
+    // Colex enumeration shares k-1 of k disks between consecutive
+    // stripes: DATUM has the smallest working sets of the evaluated
+    // layouts (paper Figure 3). Compare against maximal parallelism.
+    DatumLayout datum(13, 4);
+    double avg = averageReadParallelism(datum, 13);
+    EXPECT_LT(avg, 9.0); // far below the optimal 13
+    EXPECT_GE(avg, 4.0);
+}
+
+TEST(Datum, MultipleCheckUnitsSupported)
+{
+    DatumLayout layout(9, 4, 2); // tolerates two failures
+    EXPECT_EQ(layout.checkUnitsPerStripe(), 2);
+    EXPECT_EQ(layout.dataUnitsPerStripe(), 2);
+    EXPECT_TRUE(checkSingleFailureCorrecting(layout));
+    EXPECT_TRUE(checkAddressCollisionFree(layout));
+    // Check units balanced over the complete design.
+    auto tally = checkUnitsPerDisk(layout);
+    int64_t lo = *std::min_element(tally.begin(), tally.end());
+    int64_t hi = *std::max_element(tally.begin(), tally.end());
+    EXPECT_LE(hi - lo, 1);
+}
+
+TEST(Datum, DataAndCheckPositionsPartitionTheSubset)
+{
+    DatumLayout layout(8, 5, 2);
+    for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
+        std::set<int> disks;
+        for (int pos = 0; pos < 5; ++pos)
+            disks.insert(layout.unitAddress(s, pos).disk);
+        EXPECT_EQ(disks.size(), 5u) << "stripe " << s;
+    }
+}
+
+} // namespace
+} // namespace pddl

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the discrete-event engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace pddl {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5.0, [&] { order.push_back(2); });
+    q.schedule(1.0, [&] { order.push_back(0); });
+    q.schedule(3.0, [&] { order.push_back(1); });
+    q.runUntilEmpty();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(2.0, [&order, i] { order.push_back(i); });
+    q.runUntilEmpty();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            q.scheduleAfter(1.0, chain);
+    };
+    q.schedule(0.0, chain);
+    q.runUntilEmpty();
+    EXPECT_EQ(fired, 5);
+    EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.runOne());
+    q.schedule(1.0, [] {});
+    EXPECT_TRUE(q.runOne());
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, RunUntilHonorsHorizon)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&] { ++fired; });
+    q.schedule(2.0, [&] { ++fired; });
+    q.schedule(10.0, [&] { ++fired; });
+    q.runUntil(5.0);
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(q.now(), 5.0);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runUntilEmpty();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, NowAdvancesMonotonically)
+{
+    EventQueue q;
+    SimTime last = -1.0;
+    bool monotonic = true;
+    for (int i = 0; i < 100; ++i)
+        q.schedule((i * 37) % 100, [&] {
+            monotonic = monotonic && q.now() >= last;
+            last = q.now();
+        });
+    q.runUntilEmpty();
+    EXPECT_TRUE(monotonic);
+}
+
+} // namespace
+} // namespace pddl

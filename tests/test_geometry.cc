@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for zoned disk geometry and the HP 2247 instance (Table 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "disk/geometry.hh"
+
+namespace pddl {
+namespace {
+
+TEST(Hp2247Geometry, MatchesTable2)
+{
+    DiskGeometry geo = DiskGeometry::hp2247();
+    EXPECT_EQ(geo.cylinders(), 1981);
+    EXPECT_EQ(geo.heads(), 13);
+    EXPECT_EQ(geo.zones().size(), 8u);
+    EXPECT_EQ(geo.sectorBytes(), 512);
+    // "Capacity 1.03 GB": within 1% of 1.03e9 bytes.
+    EXPECT_NEAR(static_cast<double>(geo.capacityBytes()), 1.03e9,
+                0.01e9);
+}
+
+TEST(Hp2247Geometry, ZonesDescendInDensity)
+{
+    DiskGeometry geo = DiskGeometry::hp2247();
+    const auto &zones = geo.zones();
+    for (size_t i = 1; i < zones.size(); ++i) {
+        EXPECT_LT(zones[i].sectors_per_track,
+                  zones[i - 1].sectors_per_track);
+    }
+}
+
+TEST(Geometry, LbaChsRoundTripExhaustiveSmallDisk)
+{
+    DiskGeometry geo(2,
+                     {{0, 3, 4}, {3, 2, 3}}, // 2 zones
+                     512);
+    EXPECT_EQ(geo.cylinders(), 5);
+    EXPECT_EQ(geo.totalSectors(), 3 * 2 * 4 + 2 * 2 * 3);
+    for (int64_t lba = 0; lba < geo.totalSectors(); ++lba) {
+        Chs chs = geo.lbaToChs(lba);
+        EXPECT_EQ(geo.chsToLba(chs), lba);
+        EXPECT_LT(chs.sector, geo.sectorsPerTrack(chs.cylinder));
+        EXPECT_LT(chs.head, geo.heads());
+    }
+}
+
+TEST(Geometry, LbaChsRoundTripSampledHp2247)
+{
+    DiskGeometry geo = DiskGeometry::hp2247();
+    for (int64_t lba = 0; lba < geo.totalSectors(); lba += 997) {
+        Chs chs = geo.lbaToChs(lba);
+        EXPECT_EQ(geo.chsToLba(chs), lba) << "lba " << lba;
+    }
+    // Boundary cases.
+    EXPECT_EQ(geo.chsToLba(geo.lbaToChs(0)), 0);
+    EXPECT_EQ(geo.chsToLba(geo.lbaToChs(geo.totalSectors() - 1)),
+              geo.totalSectors() - 1);
+}
+
+TEST(Geometry, ConsecutiveLbasAdvanceAlongTrackThenHeadThenCylinder)
+{
+    DiskGeometry geo = DiskGeometry::hp2247();
+    Chs prev = geo.lbaToChs(0);
+    for (int64_t lba = 1; lba < 5000; ++lba) {
+        Chs cur = geo.lbaToChs(lba);
+        if (cur.cylinder == prev.cylinder && cur.head == prev.head) {
+            EXPECT_EQ(cur.sector, prev.sector + 1);
+        } else if (cur.cylinder == prev.cylinder) {
+            EXPECT_EQ(cur.head, prev.head + 1);
+            EXPECT_EQ(cur.sector, 0);
+        } else {
+            EXPECT_EQ(cur.cylinder, prev.cylinder + 1);
+            EXPECT_EQ(cur.head, 0);
+            EXPECT_EQ(cur.sector, 0);
+        }
+        prev = cur;
+    }
+}
+
+TEST(Geometry, ZoneOfFindsCorrectZone)
+{
+    DiskGeometry geo = DiskGeometry::hp2247();
+    EXPECT_EQ(geo.zoneOf(0), 0);
+    EXPECT_EQ(geo.zoneOf(geo.cylinders() - 1), 7);
+    int prev_zone = 0;
+    for (int cyl = 0; cyl < geo.cylinders(); ++cyl) {
+        int zone = geo.zoneOf(cyl);
+        EXPECT_GE(zone, prev_zone); // zones ascend with cylinders
+        prev_zone = zone;
+    }
+}
+
+} // namespace
+} // namespace pddl

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit and property tests for GF(2^m) arithmetic, including the
+ * paper's appendix example field GF(16) with reduction polynomial
+ * x^4 + x^3 + x^2 + x + 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/gf2m.hh"
+
+namespace pddl {
+namespace {
+
+TEST(GF2m, LowestIrreduciblePolynomials)
+{
+    // Well-known table entries.
+    EXPECT_EQ(GF2m::lowestIrreducible(1), 0b11u);      // x + 1
+    EXPECT_EQ(GF2m::lowestIrreducible(2), 0b111u);     // x^2 + x + 1
+    EXPECT_EQ(GF2m::lowestIrreducible(3), 0b1011u);    // x^3 + x + 1
+    EXPECT_EQ(GF2m::lowestIrreducible(4), 0b10011u);   // x^4 + x + 1
+    EXPECT_EQ(GF2m::lowestIrreducible(8), 0b100011011u); // AES poly
+}
+
+TEST(GF2m, IrreducibilityChecks)
+{
+    EXPECT_TRUE(GF2m::isIrreducible(0b10011, 4));  // x^4+x+1
+    EXPECT_TRUE(GF2m::isIrreducible(0b11111, 4));  // x^4+x^3+x^2+x+1
+    EXPECT_FALSE(GF2m::isIrreducible(0b10101, 4)); // (x^2+x+1)^2
+    EXPECT_FALSE(GF2m::isIrreducible(0b10001, 4)); // (x+1)^4
+}
+
+TEST(GF2m, PaperAppendixPowerSequence)
+{
+    // Appendix: primitive element x+1 with x^4+x^3+x^2+x+1;
+    // "successive powers ... are 1 3 5 15 14 13 8 7 9 4 12 11 2 6 10".
+    GF2m field(4, 0b11111);
+    const uint32_t expected[15] = {1, 3,  5,  15, 14, 13, 8, 7,
+                                   9, 4,  12, 11, 2,  6,  10};
+    for (int e = 0; e < 15; ++e)
+        EXPECT_EQ(field.pow(3, e), expected[e]) << "exponent " << e;
+    EXPECT_TRUE(field.isGenerator(3));
+}
+
+class GF2mField : public ::testing::TestWithParam<int>
+{
+  protected:
+    GF2m field{GetParam()};
+};
+
+TEST_P(GF2mField, AdditionIsXorGroup)
+{
+    const uint32_t size = field.size();
+    for (uint32_t a = 0; a < size; ++a) {
+        EXPECT_EQ(field.add(a, 0), a);
+        EXPECT_EQ(field.add(a, a), 0u); // characteristic 2
+    }
+}
+
+TEST_P(GF2mField, MultiplicationIsCommutativeAndAssociative)
+{
+    const uint32_t size = field.size();
+    for (uint32_t a = 0; a < size; ++a) {
+        for (uint32_t b = 0; b < size; ++b) {
+            EXPECT_EQ(field.mul(a, b), field.mul(b, a));
+            EXPECT_EQ(field.mul(a, 1), a);
+            EXPECT_EQ(field.mul(a, 0), 0u);
+        }
+    }
+    // Associativity spot-checked over all triples for small fields.
+    if (size <= 16) {
+        for (uint32_t a = 0; a < size; ++a)
+            for (uint32_t b = 0; b < size; ++b)
+                for (uint32_t c = 0; c < size; ++c)
+                    EXPECT_EQ(field.mul(field.mul(a, b), c),
+                              field.mul(a, field.mul(b, c)));
+    }
+}
+
+TEST_P(GF2mField, Distributivity)
+{
+    const uint32_t size = field.size();
+    for (uint32_t a = 0; a < std::min(size, 16u); ++a) {
+        for (uint32_t b = 0; b < size; ++b) {
+            for (uint32_t c = 0; c < size; ++c) {
+                EXPECT_EQ(field.mul(a, field.add(b, c)),
+                          field.add(field.mul(a, b), field.mul(a, c)));
+            }
+        }
+    }
+}
+
+TEST_P(GF2mField, EveryNonzeroElementHasInverse)
+{
+    for (uint32_t a = 1; a < field.size(); ++a)
+        EXPECT_EQ(field.mul(a, field.inv(a)), 1u) << "a=" << a;
+}
+
+TEST_P(GF2mField, GeneratorHasFullOrder)
+{
+    uint32_t g = field.generator();
+    EXPECT_EQ(field.order(g), field.size() - 1);
+}
+
+TEST_P(GF2mField, OrdersDivideGroupOrder)
+{
+    const uint32_t group = field.size() - 1;
+    for (uint32_t a = 1; a < field.size(); ++a)
+        EXPECT_EQ(group % field.order(a), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, GF2mField,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8));
+
+} // namespace
+} // namespace pddl

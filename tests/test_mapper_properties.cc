@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Parameterized properties of logical-to-physical expansion, checked
+ * for every layout family, access shape and mode: structural
+ * invariants that any correct array controller must uphold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "array/request_mapper.hh"
+#include "layout_test_util.hh"
+
+namespace pddl {
+namespace {
+
+class MapperProperties : public ::testing::TestWithParam<LayoutSpec>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        layout_ = makeLayout(GetParam());
+    }
+
+    std::vector<ArrayMode>
+    modes() const
+    {
+        std::vector<ArrayMode> modes = {ArrayMode::FaultFree,
+                                        ArrayMode::Degraded};
+        if (layout_->hasSparing())
+            modes.push_back(ArrayMode::PostReconstruction);
+        return modes;
+    }
+
+    std::unique_ptr<Layout> layout_;
+};
+
+TEST_P(MapperProperties, OpsAreUniqueAndOnHealthyDisks)
+{
+    const int failed = 1;
+    for (ArrayMode mode : modes()) {
+        RequestMapper mapper(*layout_, mode, failed);
+        for (int64_t start = 0; start < 40; start += 3) {
+            for (int count :
+                 {1, layout_->dataUnitsPerStripe(),
+                  2 * layout_->dataUnitsPerStripe() + 1}) {
+                for (AccessType type :
+                     {AccessType::Read, AccessType::Write}) {
+                    auto ops = mapper.expand(start, count, type);
+                    ASSERT_FALSE(ops.empty());
+                    std::set<std::tuple<int, int64_t, bool, int>> seen;
+                    for (const PhysOp &op : ops) {
+                        EXPECT_GE(op.addr.disk, 0);
+                        EXPECT_LT(op.addr.disk, layout_->numDisks());
+                        if (mode != ArrayMode::FaultFree)
+                            EXPECT_NE(op.addr.disk, failed);
+                        EXPECT_TRUE(
+                            seen.emplace(op.addr.disk, op.addr.unit,
+                                         op.write, op.phase)
+                                .second);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST_P(MapperProperties, ReadsNeverWriteAndHaveNoSecondPhase)
+{
+    for (ArrayMode mode : modes()) {
+        RequestMapper mapper(*layout_, mode, 0);
+        for (int64_t start = 0; start < 30; start += 5) {
+            auto ops = mapper.expand(start, 4, AccessType::Read);
+            for (const PhysOp &op : ops) {
+                EXPECT_FALSE(op.write);
+                EXPECT_EQ(op.phase, 0);
+            }
+        }
+    }
+}
+
+TEST_P(MapperProperties, WritePhasesAreReadThenWrite)
+{
+    for (ArrayMode mode : modes()) {
+        RequestMapper mapper(*layout_, mode, 2);
+        for (int64_t start = 0; start < 30; start += 4) {
+            auto ops = mapper.expand(start, 2, AccessType::Write);
+            bool has_write = false;
+            for (const PhysOp &op : ops) {
+                if (op.phase == 0)
+                    EXPECT_FALSE(op.write) << "pre-reads only";
+                else
+                    EXPECT_TRUE(op.write) << "overwrites only";
+                has_write = has_write || op.write;
+            }
+            EXPECT_TRUE(has_write);
+        }
+    }
+}
+
+TEST_P(MapperProperties, WritesAlwaysTouchEveryModifiedHealthyUnit)
+{
+    // Every modified data unit that is not on the failed disk must be
+    // written exactly once.
+    const int failed = 3;
+    for (ArrayMode mode : modes()) {
+        RequestMapper mapper(*layout_, mode, failed);
+        const int data_units = layout_->dataUnitsPerStripe();
+        for (int64_t start = 0; start < 25; start += 2) {
+            const int count = data_units + 1; // spans two stripes
+            auto ops = mapper.expand(start, count, AccessType::Write);
+            for (int64_t du = start; du < start + count; ++du) {
+                PhysAddr addr = layout_->dataUnitAddress(du);
+                if (mode == ArrayMode::Degraded &&
+                    addr.disk == failed) {
+                    continue; // lost unit is captured via parity
+                }
+                if (mode == ArrayMode::PostReconstruction &&
+                    addr.disk == failed) {
+                    addr = layout_->relocatedAddress(failed,
+                                                     addr.unit);
+                }
+                int writes = 0;
+                for (const PhysOp &op : ops) {
+                    if (op.addr == addr && op.write)
+                        ++writes;
+                }
+                EXPECT_EQ(writes, 1)
+                    << "du " << du << " mode "
+                    << static_cast<int>(mode);
+            }
+        }
+    }
+}
+
+TEST_P(MapperProperties, FaultFreeWriteMaintainsEveryCheckUnit)
+{
+    RequestMapper mapper(*layout_);
+    const int data_units = layout_->dataUnitsPerStripe();
+    for (int64_t stripe = 0; stripe < 12; ++stripe) {
+        auto ops = mapper.expand(stripe * data_units, 1,
+                                 AccessType::Write);
+        for (int pos = data_units; pos < layout_->stripeWidth();
+             ++pos) {
+            PhysAddr check = layout_->unitAddress(stripe, pos);
+            bool written = false;
+            for (const PhysOp &op : ops)
+                written = written || (op.addr == check && op.write);
+            EXPECT_TRUE(written) << "stripe " << stripe;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayouts, MapperProperties,
+    ::testing::Values(LayoutSpec{"raid5", 13, 13},
+                      LayoutSpec{"pd", 13, 4},
+                      LayoutSpec{"prime", 13, 4},
+                      LayoutSpec{"datum", 13, 4},
+                      LayoutSpec{"pseudo", 13, 4},
+                      LayoutSpec{"pddl", 13, 4},
+                      LayoutSpec{"pddl", 16, 5},
+                      LayoutSpec{"wrapped", 8, 3}),
+    [](const ::testing::TestParamInfo<LayoutSpec> &info) {
+        return info.param.kind + "_n" +
+               std::to_string(info.param.disks) + "_k" +
+               std::to_string(info.param.width);
+    });
+
+} // namespace
+} // namespace pddl

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the open-loop (Poisson, mixed-profile) workload driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pddl_layout.hh"
+#include "layout/raid5.hh"
+#include "workload/open_loop.hh"
+
+namespace pddl {
+namespace {
+
+OpenLoopConfig
+fastConfig()
+{
+    OpenLoopConfig config;
+    config.samples = 800;
+    config.warmup = 100;
+    return config;
+}
+
+TEST(OpenLoop, CompletesAllSamples)
+{
+    Raid5Layout raid5(13);
+    OpenLoopConfig config = fastConfig();
+    config.arrivals_per_s = 50.0;
+    OpenLoopResult r = runOpenLoop(raid5, DiskModel::hp2247(), config);
+    EXPECT_EQ(r.samples, config.samples);
+    EXPECT_GT(r.mean_response_ms, 5.0);
+    EXPECT_GE(r.p95_response_ms, r.mean_response_ms);
+    EXPECT_GE(r.max_response_ms, r.p95_response_ms);
+}
+
+TEST(OpenLoop, DeterministicPerSeed)
+{
+    Raid5Layout raid5(13);
+    OpenLoopConfig config = fastConfig();
+    OpenLoopResult a = runOpenLoop(raid5, DiskModel::hp2247(), config);
+    OpenLoopResult b = runOpenLoop(raid5, DiskModel::hp2247(), config);
+    EXPECT_DOUBLE_EQ(a.mean_response_ms, b.mean_response_ms);
+    config.seed += 1;
+    OpenLoopResult c = runOpenLoop(raid5, DiskModel::hp2247(), config);
+    EXPECT_NE(a.mean_response_ms, c.mean_response_ms);
+}
+
+TEST(OpenLoop, LatencyExplodesNearSaturation)
+{
+    // Unlike the closed loop, offered load is independent of service
+    // rate: queues (and response times) grow sharply near capacity.
+    Raid5Layout raid5(13);
+    OpenLoopConfig config = fastConfig();
+    config.arrivals_per_s = 50.0;
+    OpenLoopResult light = runOpenLoop(raid5, DiskModel::hp2247(),
+                                       config);
+    config.arrivals_per_s = 900.0; // beyond ~13 disks' service rate
+    OpenLoopResult heavy = runOpenLoop(raid5, DiskModel::hp2247(),
+                                       config);
+    EXPECT_GT(heavy.mean_response_ms, 2.0 * light.mean_response_ms);
+    EXPECT_GT(heavy.max_outstanding, light.max_outstanding);
+}
+
+TEST(OpenLoop, ThroughputTracksOfferedLoadBelowSaturation)
+{
+    Raid5Layout raid5(13);
+    OpenLoopConfig config = fastConfig();
+    config.arrivals_per_s = 100.0;
+    OpenLoopResult r = runOpenLoop(raid5, DiskModel::hp2247(), config);
+    EXPECT_NEAR(r.completed_per_s, 100.0, 15.0);
+}
+
+TEST(OpenLoop, MixedProfileRuns)
+{
+    PddlLayout pddl = PddlLayout::make(13, 4);
+    OpenLoopConfig config = fastConfig();
+    config.arrivals_per_s = 60.0;
+    // 70% 8 KB reads, 20% 24 KB writes, 10% 96 KB reads.
+    config.mix = {
+        AccessMixEntry{1, AccessType::Read, 0.7},
+        AccessMixEntry{3, AccessType::Write, 0.2},
+        AccessMixEntry{12, AccessType::Read, 0.1},
+    };
+    OpenLoopResult r = runOpenLoop(pddl, DiskModel::hp2247(), config);
+    EXPECT_EQ(r.samples, config.samples);
+    EXPECT_GT(r.mean_response_ms, 0.0);
+}
+
+TEST(OpenLoop, DegradedModeSlower)
+{
+    PddlLayout pddl = PddlLayout::make(13, 4);
+    OpenLoopConfig config = fastConfig();
+    config.arrivals_per_s = 150.0;
+    OpenLoopResult ff = runOpenLoop(pddl, DiskModel::hp2247(), config);
+    config.mode = ArrayMode::Degraded;
+    config.failed_disk = 0;
+    OpenLoopResult f1 = runOpenLoop(pddl, DiskModel::hp2247(), config);
+    EXPECT_GT(f1.mean_response_ms, ff.mean_response_ms);
+}
+
+} // namespace
+} // namespace pddl

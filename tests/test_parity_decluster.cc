@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the Holland-Gibson Parity Declustering layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/parity_decluster.hh"
+#include "layout/properties.hh"
+
+namespace pddl {
+namespace {
+
+TEST(ParityDecluster, EvaluationConfigurationShape)
+{
+    auto layout = ParityDeclusterLayout::make(13, 4);
+    EXPECT_EQ(layout.numDisks(), 13);
+    EXPECT_EQ(layout.stripeWidth(), 4);
+    // (13,4,1) design: 13 blocks, replication 4, pattern = 4 tiles.
+    EXPECT_EQ(layout.design().blocks.size(), 13u);
+    EXPECT_EQ(layout.stripesPerPeriod(), 52);
+    EXPECT_EQ(layout.unitsPerDiskPerPeriod(), 16);
+    // Parity overhead 25% (paper section 4).
+    EXPECT_NEAR(1.0 / layout.stripeWidth(), 0.25, 1e-12);
+}
+
+TEST(ParityDecluster, EachTileRotatesParityPosition)
+{
+    auto layout = ParityDeclusterLayout::make(13, 4);
+    const auto &blocks = layout.design().blocks;
+    const int b = static_cast<int>(blocks.size());
+    // In tile t, the parity of block j sits on block[j][t].
+    for (int t = 0; t < 4; ++t) {
+        for (int j = 0; j < b; ++j) {
+            PhysAddr parity = layout.unitAddress(
+                static_cast<int64_t>(t) * b + j, 3);
+            EXPECT_EQ(parity.disk, blocks[j][t]);
+        }
+    }
+}
+
+TEST(ParityDecluster, OffsetsPackTilesDensely)
+{
+    // Within one tile each disk receives exactly replication() units
+    // at offsets tile*r .. tile*r + r - 1.
+    auto layout = ParityDeclusterLayout::make(13, 4);
+    const int r = layout.design().replication();
+    const int b = static_cast<int>(layout.design().blocks.size());
+    for (int tile = 0; tile < 4; ++tile) {
+        std::vector<int> per_disk(13, 0);
+        for (int j = 0; j < b; ++j) {
+            for (int pos = 0; pos < 4; ++pos) {
+                PhysAddr a = layout.unitAddress(
+                    static_cast<int64_t>(tile) * b + j, pos);
+                EXPECT_GE(a.unit, static_cast<int64_t>(tile) * r);
+                EXPECT_LT(a.unit, static_cast<int64_t>(tile + 1) * r);
+                ++per_disk[a.disk];
+            }
+        }
+        for (int d = 0; d < 13; ++d)
+            EXPECT_EQ(per_disk[d], r);
+    }
+}
+
+TEST(ParityDecluster, ReconstructionReadsEqualLambdaTimesK)
+{
+    auto layout = ParityDeclusterLayout::make(13, 4);
+    ReconstructionTally tally = reconstructionWorkload(layout, 5);
+    // Every surviving disk reads lambda units per tile, k tiles.
+    for (int d = 0; d < 13; ++d) {
+        if (d == 5)
+            continue;
+        EXPECT_EQ(tally.reads[d],
+                  static_cast<int64_t>(layout.design().lambda) * 4);
+    }
+}
+
+TEST(ParityDecluster, RejectsInvalidDesign)
+{
+    Bibd bogus;
+    bogus.v = 7;
+    bogus.k = 3;
+    bogus.lambda = 1;
+    bogus.blocks = {{0, 1, 2}}; // not a BIBD
+    EXPECT_DEATH(
+        { ParityDeclusterLayout layout(bogus); (void)layout; }, "");
+}
+
+TEST(ParityDecluster, ThrowsWhenNoDesignExists)
+{
+    // v=4, k=3: lambda*(v-1) must be divisible by k*(k-1)=6; lambda=2
+    // gives one block, which cannot cover pairs cyclically... the
+    // search may legitimately fail -- accept either a valid design or
+    // a throw, but never an invalid layout.
+    try {
+        auto layout = ParityDeclusterLayout::make(4, 3);
+        EXPECT_TRUE(verifyBibd(layout.design()));
+    } catch (const std::runtime_error &) {
+        SUCCEED();
+    }
+}
+
+} // namespace
+} // namespace pddl

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the PDDL layout, pinned to the paper's Figure 2 mapping
+ * example and its stated space overheads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pddl_layout.hh"
+#include "layout/properties.hh"
+
+namespace pddl {
+namespace {
+
+/** The seven-disk storage server of Figure 2. */
+PddlLayout
+sevenDiskExample()
+{
+    return PddlLayout(boseConstruction(7, 3));
+}
+
+TEST(PddlLayout, Figure2MappingReproducedExactly)
+{
+    PddlLayout layout = sevenDiskExample();
+    // Expected disks for stripes A..N: {data0, data1, parity}.
+    const int expected[14][3] = {
+        {1, 2, 4}, {3, 6, 5}, // row 0: A, B
+        {2, 3, 5}, {4, 0, 6}, // row 1: C, D
+        {3, 4, 6}, {5, 1, 0}, // row 2: E, F
+        {4, 5, 0}, {6, 2, 1}, // row 3: G, H
+        {5, 6, 1}, {0, 3, 2}, // row 4: I, J
+        {6, 0, 2}, {1, 4, 3}, // row 5: K, L
+        {0, 1, 3}, {2, 5, 4}, // row 6: M, N
+    };
+    for (int s = 0; s < 14; ++s) {
+        for (int pos = 0; pos < 3; ++pos) {
+            PhysAddr a = layout.unitAddress(s, pos);
+            EXPECT_EQ(a.disk, expected[s][pos])
+                << "stripe " << s << " pos " << pos;
+            EXPECT_EQ(a.unit, s / 2);
+        }
+    }
+}
+
+TEST(PddlLayout, Figure2SpareDiagonal)
+{
+    // In Figure 2 the spare unit of row r sits on disk r.
+    PddlLayout layout = sevenDiskExample();
+    for (int64_t row = 0; row < 7; ++row) {
+        // Any failed unit in row `row` relocates to the spare there.
+        for (int failed = 0; failed < 7; ++failed) {
+            if (failed == static_cast<int>(row))
+                continue; // that disk holds the spare itself
+            PhysAddr home = layout.relocatedAddress(failed, row);
+            EXPECT_EQ(home.disk, static_cast<int>(row));
+            EXPECT_EQ(home.unit, row);
+        }
+    }
+}
+
+TEST(PddlLayout, PaperVirtual2PhysicalListing)
+{
+    // Section 2's C listing: permutation {0,1,2,4,3,6,5};
+    // virtual2physical(d, l) = (permutation[d] + l) % 7.
+    PddlLayout layout = sevenDiskExample();
+    const int permutation[7] = {0, 1, 2, 4, 3, 6, 5};
+    for (int d = 0; d < 7; ++d) {
+        for (int l = 0; l < 21; ++l) {
+            EXPECT_EQ(layout.virtual2physical(d, l),
+                      (permutation[d] + l) % 7);
+        }
+    }
+}
+
+TEST(PddlLayout, SpaceFractionsMatchSection2)
+{
+    // "each disk containing 1/7th of the total spare space, 2/7ths of
+    // the parity space and 4/7ths of the data space."
+    PddlLayout layout = sevenDiskExample();
+    auto spare = spareUnitsPerDisk(layout);
+    auto parity = checkUnitsPerDisk(layout);
+    const int64_t rows = layout.unitsPerDiskPerPeriod();
+    for (int d = 0; d < 7; ++d) {
+        EXPECT_EQ(spare[d] * 7, rows * 1);
+        EXPECT_EQ(parity[d] * 7, rows * 2);
+    }
+}
+
+TEST(PddlLayout, Table2OverheadsFor13Disks)
+{
+    // "PDDL has a parity overhead of 23.1% plus spare overhead of
+    // 7.8% in our configuration" (n=13, k=4, g=3).
+    PddlLayout layout = PddlLayout::make(13, 4);
+    auto spare = spareUnitsPerDisk(layout);
+    auto parity = checkUnitsPerDisk(layout);
+    const double rows =
+        static_cast<double>(layout.unitsPerDiskPerPeriod());
+    EXPECT_NEAR(static_cast<double>(parity[0]) / rows, 0.231, 0.001);
+    EXPECT_NEAR(static_cast<double>(spare[0]) / rows, 0.077, 0.001);
+}
+
+TEST(PddlLayout, VirtualDiskAddressMatchesAppendixListing)
+{
+    // Appendix: offset = su / (g*(k-1));
+    // disk = 1 + d + d/(k-1) with d = su % (g*(k-1)).
+    const int g = 2, k = 3;
+    for (int64_t su = 0; su < 40; ++su) {
+        VirtualAddress va = virtualDiskAddress(su, g, k);
+        int64_t d = su % (g * (k - 1));
+        EXPECT_EQ(va.offset, su / (g * (k - 1)));
+        EXPECT_EQ(va.disk, 1 + d + d / (k - 1));
+    }
+    // Data columns skip the spare (0) and check columns (3, 6).
+    EXPECT_EQ(virtualDiskAddress(0, g, k).disk, 1);
+    EXPECT_EQ(virtualDiskAddress(1, g, k).disk, 2);
+    EXPECT_EQ(virtualDiskAddress(2, g, k).disk, 4);
+    EXPECT_EQ(virtualDiskAddress(3, g, k).disk, 5);
+    EXPECT_EQ(virtualDiskAddress(4, g, k).disk, 1);
+}
+
+TEST(PddlLayout, VirtualDiskAgreesWithStripeAddressing)
+{
+    // The appendix front end and the Layout interface describe the
+    // same client ordering: stripe_unit su's virtual column equals
+    // the column unitAddress derives for data position su % (k-1).
+    PddlLayout layout = sevenDiskExample();
+    const int g = layout.stripesPerRow();
+    const int k = layout.stripeWidth();
+    for (int64_t su = 0; su < layout.dataUnitsPerPeriod(); ++su) {
+        VirtualAddress va = virtualDiskAddress(su, g, k);
+        PhysAddr addr = layout.dataUnitAddress(su);
+        EXPECT_EQ(addr.disk,
+                  layout.virtual2physical(va.disk, va.offset));
+        EXPECT_EQ(addr.unit, va.offset);
+    }
+}
+
+TEST(PddlLayout, XorDevelopmentLayoutIsSound)
+{
+    GF2m field(4, 0b11111);
+    PddlLayout layout(boseGF2m(field, 5, 3));
+    EXPECT_EQ(layout.numDisks(), 16);
+    EXPECT_TRUE(checkSingleFailureCorrecting(layout));
+    EXPECT_TRUE(checkAddressCollisionFree(layout));
+    EXPECT_TRUE(isBalanced(spareUnitsPerDisk(layout)));
+    EXPECT_TRUE(isBalanced(checkUnitsPerDisk(layout)));
+    ReconstructionTally tally = reconstructionWorkload(layout, 9);
+    EXPECT_TRUE(tally.balancedReads(9));
+}
+
+TEST(PddlLayout, MultiCheckVariantToleratesMoreFailures)
+{
+    // Section 5: "PDDL can be adjusted to schemes using more than one
+    // check block per stripe."
+    PddlLayout layout(boseConstruction(13, 4), 2);
+    EXPECT_EQ(layout.checkUnitsPerStripe(), 2);
+    EXPECT_EQ(layout.dataUnitsPerStripe(), 2);
+    EXPECT_TRUE(checkSingleFailureCorrecting(layout));
+    EXPECT_TRUE(checkAddressCollisionFree(layout));
+    EXPECT_TRUE(isBalanced(checkUnitsPerDisk(layout)));
+    EXPECT_TRUE(isBalanced(spareUnitsPerDisk(layout)));
+}
+
+TEST(PddlLayout, SuperStripeReadsAreRowParallel)
+{
+    // Goal #8 for super stripes: a row-aligned read of n - g - 1
+    // contiguous data units touches n - g - 1 distinct disks.
+    PddlLayout layout = PddlLayout::make(13, 4);
+    const int super = 13 - 3 - 1; // g(k-1) = 9
+    ASSERT_EQ(super, layout.stripesPerRow() *
+                         layout.dataUnitsPerStripe());
+    for (int64_t row = 0; row < layout.unitsPerDiskPerPeriod();
+         ++row) {
+        std::set<int> disks;
+        for (int i = 0; i < super; ++i)
+            disks.insert(
+                layout.dataUnitAddress(row * super + i).disk);
+        EXPECT_EQ(static_cast<int>(disks.size()), super)
+            << "row " << row;
+    }
+}
+
+TEST(PddlLayout, MakeThrowsOnImpossibleShape)
+{
+    EXPECT_THROW(PddlLayout::make(12, 4), std::runtime_error);
+}
+
+} // namespace
+} // namespace pddl

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the PRIME layout reconstruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/prime.hh"
+#include "layout/properties.hh"
+
+namespace pddl {
+namespace {
+
+TEST(Prime, PatternShape)
+{
+    PrimeLayout layout(13, 4);
+    EXPECT_EQ(layout.stripesPerPeriod(), 13 * 12);
+    EXPECT_EQ(layout.unitsPerDiskPerPeriod(), 4 * 12);
+    EXPECT_FALSE(layout.hasSparing());
+}
+
+TEST(Prime, MultiplierPlacesUnitsOnExpectedDisks)
+{
+    PrimeLayout layout(7, 3);
+    // Section c=1 (stripes 0..6): data slot v = j(k-1)+i goes to
+    // disk v mod 7; stripe 0's data slots are v = 0,1.
+    EXPECT_EQ(layout.unitAddress(0, 0).disk, 0);
+    EXPECT_EQ(layout.unitAddress(0, 1).disk, 1);
+    // Parity of stripe j=0 sits at slot n(k-1) + sigma(0) with
+    // sigma(0) = (0-1) mod 7 = 6: v = 20 -> disk 6, row 2.
+    EXPECT_EQ(layout.unitAddress(0, 2).disk, 6);
+    EXPECT_EQ(layout.unitAddress(0, 2).unit, 2);
+    // Section c=2 (stripes 7..13): disk = (2v) mod 7, rows 3..5.
+    EXPECT_EQ(layout.unitAddress(7, 0).disk, 0);
+    EXPECT_EQ(layout.unitAddress(7, 1).disk, 2);
+    EXPECT_EQ(layout.unitAddress(7, 2).disk, 5); // 2*20 mod 7
+    EXPECT_EQ(layout.unitAddress(7, 0).unit, 3);
+}
+
+TEST(Prime, NearOptimalParallelism)
+{
+    // The PDDL paper: "PRIME almost satisfies maximal parallelism
+    // optimally with a deviation of one from optimal." Within a
+    // section n consecutive data units hit all n disks; only windows
+    // crossing section boundaries fall short.
+    PrimeLayout layout(13, 4);
+    EXPECT_GE(averageReadParallelism(layout, 13), 12.0);
+    // Aligned-in-section windows are perfectly parallel.
+    const int data_per_section = 13 * 3;
+    for (int64_t section = 0; section < 4; ++section) {
+        std::set<int> disks;
+        for (int i = 0; i < 13; ++i) {
+            disks.insert(layout
+                             .dataUnitAddress(section *
+                                                  data_per_section +
+                                              i)
+                             .disk);
+        }
+        EXPECT_EQ(disks.size(), 13u);
+    }
+}
+
+TEST(Prime, ReconstructionExactlyBalanced)
+{
+    for (auto [n, k] : {std::pair{13, 4}, std::pair{7, 3},
+                        std::pair{11, 5}, std::pair{5, 2}}) {
+        PrimeLayout layout(n, k);
+        for (int failed : {0, n / 2, n - 1}) {
+            ReconstructionTally tally =
+                reconstructionWorkload(layout, failed);
+            EXPECT_TRUE(tally.balancedReads(failed))
+                << "n=" << n << " k=" << k << " failed=" << failed;
+            // k(k-1) reads per surviving disk per pattern.
+            for (int d = 0; d < n; ++d) {
+                if (d != failed)
+                    EXPECT_EQ(tally.reads[d], k * (k - 1));
+            }
+        }
+    }
+}
+
+TEST(Prime, RequiresPrimeDiskCount)
+{
+    EXPECT_DEATH({ PrimeLayout layout(12, 4); (void)layout; }, "");
+}
+
+TEST(Prime, EachDiskHoldsKUnitsPerSection)
+{
+    PrimeLayout layout(13, 4);
+    std::vector<int> per_disk(13, 0);
+    for (int64_t s = 0; s < 13; ++s) { // first section
+        for (int pos = 0; pos < 4; ++pos) {
+            PhysAddr a = layout.unitAddress(s, pos);
+            EXPECT_LT(a.unit, 4); // rows 0..3
+            ++per_disk[a.disk];
+        }
+    }
+    for (int d = 0; d < 13; ++d)
+        EXPECT_EQ(per_disk[d], 4);
+}
+
+} // namespace
+} // namespace pddl

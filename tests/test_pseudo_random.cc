@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the pseudo-random declustering layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/properties.hh"
+#include "layout/pseudo_random.hh"
+
+namespace pddl {
+namespace {
+
+TEST(PseudoRandom, DeterministicPerSeed)
+{
+    PseudoRandomLayout a(13, 4, 7), b(13, 4, 7), c(13, 4, 8);
+    bool all_equal = true;
+    bool any_differs = false;
+    for (int64_t s = 0; s < 200; ++s) {
+        for (int pos = 0; pos < 4; ++pos) {
+            PhysAddr pa = a.unitAddress(s, pos);
+            all_equal = all_equal && pa == b.unitAddress(s, pos);
+            any_differs =
+                any_differs || !(pa == c.unitAddress(s, pos));
+        }
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_differs);
+}
+
+TEST(PseudoRandom, RoundsAreIndependentlyScrambled)
+{
+    PseudoRandomLayout layout(13, 4, 7);
+    bool differs = false;
+    for (int64_t s = 0; s < 13 && !differs; ++s) {
+        for (int pos = 0; pos < 4; ++pos) {
+            if (!(layout.unitAddress(s, pos).disk ==
+                  layout.unitAddress(s + 13, pos).disk)) {
+                differs = true;
+            }
+        }
+    }
+    EXPECT_TRUE(differs) << "rounds should not repeat placements";
+}
+
+TEST(PseudoRandom, EveryRoundIsBalancedAndCollisionFree)
+{
+    PseudoRandomLayout layout(11, 4, 3);
+    for (int64_t round = 0; round < 20; ++round) {
+        std::vector<int> per_disk(11, 0);
+        std::set<std::pair<int, int64_t>> used;
+        for (int64_t j = 0; j < 11; ++j) {
+            int64_t s = round * 11 + j;
+            std::set<int> stripe_disks;
+            for (int pos = 0; pos < 4; ++pos) {
+                PhysAddr a = layout.unitAddress(s, pos);
+                stripe_disks.insert(a.disk);
+                ++per_disk[a.disk];
+                EXPECT_GE(a.unit, round * 4);
+                EXPECT_LT(a.unit, (round + 1) * 4);
+                EXPECT_TRUE(used.insert({a.disk, a.unit}).second);
+            }
+            EXPECT_EQ(stripe_disks.size(), 4u) << "stripe " << s;
+        }
+        for (int d = 0; d < 11; ++d)
+            EXPECT_EQ(per_disk[d], 4) << "round " << round;
+    }
+}
+
+TEST(PseudoRandom, LongRunParityRoughlyBalanced)
+{
+    PseudoRandomLayout layout(13, 4, 1);
+    std::vector<int64_t> parity(13, 0);
+    const int64_t stripes = 13 * 400;
+    for (int64_t s = 0; s < stripes; ++s)
+        ++parity[layout.unitAddress(s, 3).disk];
+    double expected = static_cast<double>(stripes) / 13.0;
+    for (int d = 0; d < 13; ++d)
+        EXPECT_NEAR(static_cast<double>(parity[d]), expected,
+                    expected * 0.25)
+            << "disk " << d;
+}
+
+TEST(PseudoRandom, ReconstructionRoughlyBalancedOverManyRounds)
+{
+    PseudoRandomLayout layout(13, 4, 5);
+    std::vector<int64_t> reads(13, 0);
+    const int failed = 3;
+    for (int64_t s = 0; s < 13 * 300; ++s) {
+        int failed_pos = -1;
+        for (int pos = 0; pos < 4; ++pos) {
+            if (layout.unitAddress(s, pos).disk == failed)
+                failed_pos = pos;
+        }
+        if (failed_pos < 0)
+            continue;
+        for (int pos = 0; pos < 4; ++pos) {
+            if (pos != failed_pos)
+                ++reads[layout.unitAddress(s, pos).disk];
+        }
+    }
+    int64_t lo = INT64_MAX, hi = 0, total = 0;
+    for (int d = 0; d < 13; ++d) {
+        if (d == failed)
+            continue;
+        lo = std::min(lo, reads[d]);
+        hi = std::max(hi, reads[d]);
+        total += reads[d];
+    }
+    double mean = static_cast<double>(total) / 12.0;
+    EXPECT_EQ(reads[failed], 0);
+    EXPECT_GT(static_cast<double>(lo), mean * 0.75);
+    EXPECT_LT(static_cast<double>(hi), mean * 1.25);
+}
+
+} // namespace
+} // namespace pddl

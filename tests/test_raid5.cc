@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the left-symmetric RAID-5 layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/properties.hh"
+#include "layout/raid5.hh"
+
+namespace pddl {
+namespace {
+
+TEST(Raid5, ParityRotatesLeft)
+{
+    Raid5Layout layout(5);
+    // Parity of stripe s sits on disk (n-1-s) mod n.
+    for (int64_t s = 0; s < 10; ++s) {
+        PhysAddr parity = layout.unitAddress(s, 4);
+        EXPECT_EQ(parity.disk, (5 - 1 - s % 5 + 5) % 5);
+        EXPECT_EQ(parity.unit, s);
+    }
+}
+
+TEST(Raid5, DataFollowsParityDisk)
+{
+    Raid5Layout layout(5);
+    // Stripe 0: parity on disk 4, data on 0,1,2,3.
+    EXPECT_EQ(layout.unitAddress(0, 0).disk, 0);
+    EXPECT_EQ(layout.unitAddress(0, 3).disk, 3);
+    // Stripe 1: parity on disk 3, data begins on disk 4.
+    EXPECT_EQ(layout.unitAddress(1, 0).disk, 4);
+    EXPECT_EQ(layout.unitAddress(1, 1).disk, 0);
+}
+
+TEST(Raid5, Goal5MaximalReadParallelism)
+{
+    // Left-symmetric placement: any n contiguous data units touch all
+    // n disks -- the property the paper credits RAID-5 with.
+    for (int n : {5, 13}) {
+        Raid5Layout layout(n);
+        EXPECT_EQ(minReadParallelism(layout, n), n) << "n=" << n;
+        // And n-1 contiguous units touch at least n-1 disks.
+        EXPECT_GE(minReadParallelism(layout, n - 1), n - 1);
+    }
+}
+
+TEST(Raid5, ConsecutiveDataUnitsOnConsecutiveDisks)
+{
+    Raid5Layout layout(13);
+    for (int64_t du = 0; du + 1 < layout.dataUnitsPerPeriod(); ++du) {
+        int disk_a = layout.dataUnitAddress(du).disk;
+        int disk_b = layout.dataUnitAddress(du + 1).disk;
+        EXPECT_EQ(disk_b, (disk_a + 1) % 13) << "du=" << du;
+    }
+}
+
+TEST(Raid5, ParityOverheadMatchesPaper)
+{
+    // "RAID-5 uses 7.7% of the disks for parity" at n = 13.
+    Raid5Layout layout(13);
+    double overhead = 1.0 / layout.stripeWidth();
+    EXPECT_NEAR(overhead, 0.077, 0.001);
+    EXPECT_FALSE(layout.hasSparing());
+}
+
+} // namespace
+} // namespace pddl

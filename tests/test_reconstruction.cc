@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the background reconstruction engine: completeness,
+ * accounting, interference with foreground load, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "array/reconstruction.hh"
+#include "core/pddl_layout.hh"
+#include "core/wrapped_layout.hh"
+#include "util/rng.hh"
+
+namespace pddl {
+namespace {
+
+struct ReconstructionFixture : ::testing::Test
+{
+    EventQueue events;
+    PddlLayout layout{boseConstruction(13, 4)};
+    DiskModel model = DiskModel::hp2247();
+
+    ArrayConfig
+    degradedConfig()
+    {
+        ArrayConfig config;
+        config.mode = ArrayMode::Degraded;
+        config.failed_disk = 0;
+        return config;
+    }
+};
+
+TEST_F(ReconstructionFixture, RebuildsEveryLostUnitExactlyOnce)
+{
+    ArrayController array(events, layout, model, degradedConfig());
+    const int64_t stripes = 390; // 10 patterns
+    ReconstructionEngine engine(events, array, 0, stripes);
+
+    // Expected lost units: disk 0 holds one unit per row except its
+    // spare rows -> per 13-row pattern: 12 of 13 rows.
+    int64_t expected = 0;
+    for (int64_t s = 0; s < stripes; ++s) {
+        for (int pos = 0; pos < 4; ++pos) {
+            if (layout.unitAddress(s, pos).disk == 0)
+                ++expected;
+        }
+    }
+    EXPECT_EQ(expected, 10 * 12); // 12 lost units per pattern
+
+    bool finished = false;
+    engine.start([&] { finished = true; });
+    events.runUntilEmpty();
+    EXPECT_TRUE(finished);
+    EXPECT_TRUE(engine.complete());
+    EXPECT_EQ(engine.unitsRebuilt(), expected);
+    EXPECT_EQ(engine.readsIssued(), expected * 3); // k-1 reads each
+    EXPECT_GT(engine.durationMs(), 0.0);
+}
+
+TEST_F(ReconstructionFixture, FailedDiskNeverTouched)
+{
+    ArrayController array(events, layout, model, degradedConfig());
+    ReconstructionEngine engine(events, array, 0, 130);
+    engine.start({});
+    events.runUntilEmpty();
+    EXPECT_EQ(array.disk(0).tally().total(), 0);
+}
+
+TEST_F(ReconstructionFixture, MoreParallelismRebuildsFaster)
+{
+    auto rebuild_time = [&](int parallel) {
+        EventQueue queue;
+        ArrayController array(queue, layout, model, degradedConfig());
+        ReconstructionEngine engine(queue, array, 0, 390, parallel);
+        engine.start({});
+        queue.runUntilEmpty();
+        return engine.durationMs();
+    };
+    double serial = rebuild_time(1);
+    double wide = rebuild_time(8);
+    EXPECT_LT(wide, serial);
+}
+
+TEST_F(ReconstructionFixture, ForegroundLoadSlowsRebuild)
+{
+    auto rebuild_time = [&](int clients) {
+        EventQueue queue;
+        ArrayController array(queue, layout, model, degradedConfig());
+        Rng rng(7);
+        // Closed-loop foreground clients that stop when rebuild ends.
+        ReconstructionEngine engine(queue, array, 0, 390, 2);
+        std::function<void(int)> client = [&](int id) {
+            if (engine.complete())
+                return;
+            int64_t start = static_cast<int64_t>(
+                rng.below(array.dataUnits() - 3));
+            array.access(start, 3, AccessType::Read,
+                         [&, id] { client(id); });
+        };
+        engine.start({});
+        for (int c = 0; c < clients; ++c)
+            client(c);
+        queue.runUntilEmpty();
+        return engine.durationMs();
+    };
+    double idle = rebuild_time(0);
+    double busy = rebuild_time(8);
+    EXPECT_GT(busy, idle * 1.2);
+}
+
+TEST_F(ReconstructionFixture, DeterministicReplay)
+{
+    auto run = [&] {
+        EventQueue queue;
+        ArrayController array(queue, layout, model, degradedConfig());
+        ReconstructionEngine engine(queue, array, 0, 130);
+        engine.start({});
+        queue.runUntilEmpty();
+        return engine.durationMs();
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST_F(ReconstructionFixture, WorksForWrappedLayouts)
+{
+    WrappedLayout wrapped = WrappedLayout::make(8, 3);
+    ArrayConfig config;
+    config.mode = ArrayMode::Degraded;
+    config.failed_disk = 3;
+    ArrayController array(events, wrapped, model, config);
+    ReconstructionEngine engine(events, array, 3,
+                                wrapped.stripesPerPeriod());
+    engine.start({});
+    events.runUntilEmpty();
+    EXPECT_TRUE(engine.complete());
+    EXPECT_GT(engine.unitsRebuilt(), 0);
+}
+
+} // namespace
+} // namespace pddl

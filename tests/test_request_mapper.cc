@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for logical-to-physical access expansion: small / large /
+ * full-stripe writes, degraded reconstruction, and the
+ * post-reconstruction spare redirection (paper sections 4.1-4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "array/request_mapper.hh"
+#include "core/pddl_layout.hh"
+#include "layout/raid5.hh"
+
+namespace pddl {
+namespace {
+
+int
+countOps(const std::vector<PhysOp> &ops, bool write, int phase)
+{
+    int count = 0;
+    for (const PhysOp &op : ops) {
+        if (op.write == write && op.phase == phase)
+            ++count;
+    }
+    return count;
+}
+
+struct MapperFixture : ::testing::Test
+{
+    Raid5Layout raid5{13}; // 12 data units per stripe
+    PddlLayout pddl{boseConstruction(13, 4)};
+};
+
+TEST_F(MapperFixture, FaultFreeReadIsOneOpPerUnit)
+{
+    RequestMapper mapper(raid5);
+    for (int count : {1, 6, 12, 30}) {
+        auto ops = mapper.expand(5, count, AccessType::Read);
+        EXPECT_EQ(static_cast<int>(ops.size()), count);
+        EXPECT_EQ(countOps(ops, false, 0), count);
+        EXPECT_EQ(countOps(ops, true, 1), 0);
+    }
+}
+
+TEST_F(MapperFixture, SmallWriteReadsAndWritesDataPlusParity)
+{
+    // 6 of 12 units (the paper's 48KB case): small write =
+    // read+write the 6 units and the parity.
+    RequestMapper mapper(raid5);
+    auto ops = mapper.expand(0, 6, AccessType::Write);
+    EXPECT_EQ(countOps(ops, false, 0), 7); // 6 data + parity
+    EXPECT_EQ(countOps(ops, true, 1), 7);
+    EXPECT_EQ(ops.size(), 14u);
+}
+
+TEST_F(MapperFixture, LargeWriteReadsTheComplement)
+{
+    // 7 of 12 units modified -> reconstruct write: pre-read the 5
+    // unmodified units, write 7 data + parity.
+    RequestMapper mapper(raid5);
+    auto ops = mapper.expand(0, 7, AccessType::Write);
+    EXPECT_EQ(countOps(ops, false, 0), 5);
+    EXPECT_EQ(countOps(ops, true, 1), 8);
+}
+
+TEST_F(MapperFixture, FullStripeWriteHasNoPreReads)
+{
+    RequestMapper mapper(raid5);
+    auto ops = mapper.expand(0, 12, AccessType::Write);
+    EXPECT_EQ(countOps(ops, false, 0), 0);
+    EXPECT_EQ(countOps(ops, true, 1), 13); // 12 data + parity
+}
+
+TEST_F(MapperFixture, PddlFullStripeIsFourUnits)
+{
+    // PDDL stripe width 4: 3 data + parity; writes of 3 aligned
+    // units are full-stripe writes ("writes to a whole stripe will
+    // occur much more often for the declustered layouts").
+    RequestMapper mapper(pddl);
+    auto ops = mapper.expand(0, 3, AccessType::Write);
+    EXPECT_EQ(countOps(ops, false, 0), 0);
+    EXPECT_EQ(countOps(ops, true, 1), 4);
+}
+
+TEST_F(MapperFixture, WriteSpanningStripesSplitsPerStripe)
+{
+    // Units 2..4 touch stripe 0 (unit 2) and stripe 1 (units 3,4 =
+    // full? no, stripe 1 = units 3,4,5 -> 2 of 3). PDDL: stripe 0
+    // small write (1 of 3), stripe 1 large write (2 of 3).
+    RequestMapper mapper(pddl);
+    auto ops = mapper.expand(2, 3, AccessType::Write);
+    // stripe 0: small write of 1 unit: read {unit2, parity}, write
+    // both -> 2 reads, 2 writes. stripe 1: 2 of 3 units: large ->
+    // read 1, write 3 (2 data + parity).
+    EXPECT_EQ(countOps(ops, false, 0), 3);
+    EXPECT_EQ(countOps(ops, true, 1), 5);
+}
+
+TEST_F(MapperFixture, DegradedReadReconstructsFromSurvivors)
+{
+    // Find a stripe whose data unit 0 lives on disk 3 and read it.
+    RequestMapper mapper(pddl, ArrayMode::Degraded, 3);
+    int64_t du = -1;
+    for (int64_t candidate = 0; candidate < 39; ++candidate) {
+        if (pddl.dataUnitAddress(candidate).disk == 3) {
+            du = candidate;
+            break;
+        }
+    }
+    ASSERT_GE(du, 0);
+    auto ops = mapper.expand(du, 1, AccessType::Read);
+    EXPECT_EQ(ops.size(), 3u); // k-1 surviving units
+    for (const PhysOp &op : ops) {
+        EXPECT_NE(op.addr.disk, 3);
+        EXPECT_FALSE(op.write);
+    }
+}
+
+TEST_F(MapperFixture, DegradedReadOfHealthyUnitIsDirect)
+{
+    RequestMapper mapper(pddl, ArrayMode::Degraded, 3);
+    int64_t du = -1;
+    for (int64_t candidate = 0; candidate < 39; ++candidate) {
+        if (pddl.dataUnitAddress(candidate).disk != 3) {
+            du = candidate;
+            break;
+        }
+    }
+    ASSERT_GE(du, 0);
+    auto ops = mapper.expand(du, 1, AccessType::Read);
+    EXPECT_EQ(ops.size(), 1u);
+}
+
+TEST_F(MapperFixture, DegradedWriteOfFailedModifiedUnitGoesLarge)
+{
+    // RAID-5: find a stripe where the failed disk holds a data unit
+    // inside the written range; small write is impossible.
+    const int failed = 5;
+    RequestMapper mapper(raid5, ArrayMode::Degraded, failed);
+    for (int64_t stripe = 0; stripe < 13; ++stripe) {
+        // Write data units [0, 4) of this stripe.
+        int64_t start = stripe * 12;
+        int failed_pos = -1;
+        for (int pos = 0; pos < 13; ++pos) {
+            if (raid5.unitAddress(stripe, pos).disk == failed)
+                failed_pos = pos;
+        }
+        ASSERT_GE(failed_pos, 0); // RAID-5: every disk in every stripe
+        auto ops = mapper.expand(start, 4, AccessType::Write);
+        if (failed_pos < 4) {
+            // Modified unit lost: large write. Pre-read the 8
+            // unmodified units, write 3 surviving data + parity.
+            EXPECT_EQ(countOps(ops, false, 0), 8) << stripe;
+            EXPECT_EQ(countOps(ops, true, 1), 4) << stripe;
+        } else if (failed_pos < 12) {
+            // Unmodified data unit lost: small write still works.
+            EXPECT_EQ(countOps(ops, false, 0), 5) << stripe;
+            EXPECT_EQ(countOps(ops, true, 1), 5) << stripe;
+        } else {
+            // Parity lost: write data in place, nothing else.
+            EXPECT_EQ(countOps(ops, false, 0), 0) << stripe;
+            EXPECT_EQ(countOps(ops, true, 1), 4) << stripe;
+        }
+        for (const PhysOp &op : ops)
+            EXPECT_NE(op.addr.disk, failed);
+    }
+}
+
+TEST_F(MapperFixture, DegradedFullStripeSkipsFailedDisk)
+{
+    const int failed = 2;
+    RequestMapper mapper(raid5, ArrayMode::Degraded, failed);
+    auto ops = mapper.expand(0, 12, AccessType::Write);
+    EXPECT_EQ(countOps(ops, false, 0), 0);
+    EXPECT_EQ(countOps(ops, true, 1), 12); // 13 minus the failed unit
+    for (const PhysOp &op : ops)
+        EXPECT_NE(op.addr.disk, failed);
+}
+
+TEST_F(MapperFixture, PostReconstructionRedirectsToSpares)
+{
+    const int failed = 4;
+    RequestMapper degraded(pddl, ArrayMode::Degraded, failed);
+    RequestMapper post(pddl, ArrayMode::PostReconstruction, failed);
+    // A read whose unit lived on the failed disk costs 1 op again
+    // (the spare home), not k-1.
+    int64_t du = -1;
+    for (int64_t candidate = 0; candidate < 39; ++candidate) {
+        if (pddl.dataUnitAddress(candidate).disk == failed) {
+            du = candidate;
+            break;
+        }
+    }
+    ASSERT_GE(du, 0);
+    auto degraded_ops = degraded.expand(du, 1, AccessType::Read);
+    auto post_ops = post.expand(du, 1, AccessType::Read);
+    EXPECT_EQ(degraded_ops.size(), 3u);
+    ASSERT_EQ(post_ops.size(), 1u);
+    EXPECT_NE(post_ops[0].addr.disk, failed);
+    PhysAddr original = pddl.dataUnitAddress(du);
+    EXPECT_EQ(post_ops[0].addr,
+              pddl.relocatedAddress(failed, original.unit));
+}
+
+TEST_F(MapperFixture, ExpansionNeverTouchesFailedDisk)
+{
+    for (ArrayMode mode :
+         {ArrayMode::Degraded, ArrayMode::PostReconstruction}) {
+        RequestMapper mapper(pddl, mode, 7);
+        for (int64_t start = 0; start < 36; ++start) {
+            for (int count : {1, 3, 9}) {
+                for (AccessType type :
+                     {AccessType::Read, AccessType::Write}) {
+                    for (const PhysOp &op :
+                         mapper.expand(start, count, type)) {
+                        EXPECT_NE(op.addr.disk, 7);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST_F(MapperFixture, NoDuplicateOps)
+{
+    RequestMapper mapper(pddl, ArrayMode::Degraded, 1);
+    for (int64_t start = 0; start < 30; ++start) {
+        auto ops = mapper.expand(start, 9, AccessType::Read);
+        std::set<std::tuple<int, int64_t, bool, int>> seen;
+        for (const PhysOp &op : ops) {
+            EXPECT_TRUE(seen.emplace(op.addr.disk, op.addr.unit,
+                                     op.write, op.phase)
+                            .second);
+        }
+    }
+}
+
+} // namespace
+} // namespace pddl

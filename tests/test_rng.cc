@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the deterministic RNG used by workloads and searches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hh"
+
+namespace pddl {
+namespace {
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123), b(123), c(124);
+    bool all_equal = true;
+    bool any_differs = false;
+    for (int i = 0; i < 100; ++i) {
+        uint64_t va = a();
+        all_equal = all_equal && (va == b());
+        any_differs = any_differs || (va != c());
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_differs);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ULL, 2ULL, 13ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(99);
+    const int bound = 10;
+    const int draws = 100000;
+    std::vector<int> histogram(bound, 0);
+    for (int i = 0; i < draws; ++i)
+        ++histogram[rng.below(bound)];
+    for (int b = 0; b < bound; ++b) {
+        EXPECT_NEAR(histogram[b], draws / bound, draws / bound / 5)
+            << "bucket " << b;
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const double mean = 4.0;
+    for (int i = 0; i < 50000; ++i)
+        sum += rng.exponential(mean);
+    EXPECT_NEAR(sum / 50000.0, mean, 0.15);
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    Rng rng(3);
+    for (int n : {1, 2, 13, 55}) {
+        std::vector<int> p = rng.permutation(n);
+        std::sort(p.begin(), p.end());
+        for (int i = 0; i < n; ++i)
+            EXPECT_EQ(p[i], i);
+    }
+}
+
+TEST(Rng, ShuffleReachesManyOrders)
+{
+    // 4! = 24 orders; with 2000 shuffles every order should appear.
+    Rng rng(17);
+    std::set<std::vector<int>> seen;
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<int> v{0, 1, 2, 3};
+        rng.shuffle(v);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 24u);
+}
+
+TEST(HashMix64, SpreadsValues)
+{
+    std::set<uint64_t> outputs;
+    for (uint64_t v = 0; v < 1000; ++v)
+        outputs.insert(hashMix64(v, 1));
+    EXPECT_EQ(outputs.size(), 1000u);
+    EXPECT_NE(hashMix64(0, 1), hashMix64(0, 2));
+}
+
+} // namespace
+} // namespace pddl

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the hill-climbing base-permutation search (section 3,
+ * Table 1 and Figure 17 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/search.hh"
+#include "util/modmath.hh"
+
+namespace pddl {
+namespace {
+
+TEST(Search, PrimeShortCircuitsToBose)
+{
+    auto group = findBasePermutations(13, 4);
+    ASSERT_TRUE(group.has_value());
+    EXPECT_EQ(group->size(), 1);
+    EXPECT_TRUE(isSatisfactory(*group));
+    EXPECT_EQ(group->perms[0], boseConstruction(13, 4).perms[0]);
+}
+
+TEST(Search, RejectsImpossibleShape)
+{
+    EXPECT_FALSE(findBasePermutations(12, 5).has_value());
+    EXPECT_FALSE(findBasePermutations(10, 4).has_value());
+}
+
+TEST(Search, FindsSolitaryPermutationForNonPrime)
+{
+    // No solitary permutation exists for (9,4) (exhaustively
+    // checkable), but (9,2) has one.
+    SearchOptions options;
+    options.seed = 1;
+    auto group = searchGroupOfSize(9, 2, 1, options);
+    ASSERT_TRUE(group.has_value());
+    EXPECT_TRUE(isSatisfactory(*group));
+    EXPECT_EQ(group->size(), 1);
+}
+
+TEST(Search, FindsPairForTenDisksWidthThree)
+{
+    // Section 2's n=10, k=3 case needs a pair of base permutations.
+    SearchOptions options;
+    options.seed = 3;
+    auto pair = searchGroupOfSize(10, 3, 2, options);
+    ASSERT_TRUE(pair.has_value());
+    EXPECT_EQ(pair->size(), 2);
+    EXPECT_TRUE(isSatisfactory(*pair));
+}
+
+TEST(Search, GroupSizesProgressUntilSuccess)
+{
+    // findBasePermutations returns the smallest size its budget
+    // finds; for a prime-free config that has a solitary solution it
+    // should not return a pair.
+    SearchOptions options;
+    options.seed = 5;
+    auto group = findBasePermutations(9, 2, options);
+    ASSERT_TRUE(group.has_value());
+    EXPECT_EQ(group->size(), 1);
+}
+
+class SearchTableOneRow
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(SearchTableOneRow, FindsGroupOfPublishedSize)
+{
+    auto [k, g, published] = GetParam();
+    const int n = g * k + 1;
+    SearchOptions options;
+    options.seed = 11;
+    if (isPrime(n)) {
+        auto group = findBasePermutations(n, k, options);
+        ASSERT_TRUE(group.has_value());
+        EXPECT_EQ(group->size(), 1);
+        EXPECT_TRUE(isSatisfactory(*group));
+        return;
+    }
+    // Non-prime: a group no larger than the published size must be
+    // findable with a reasonable budget.
+    options.max_group_size = published;
+    options.restarts = 120;
+    auto group = findBasePermutations(n, k, options);
+    ASSERT_TRUE(group.has_value())
+        << "k=" << k << " g=" << g << " n=" << n;
+    EXPECT_LE(group->size(), published);
+    EXPECT_TRUE(isSatisfactory(*group));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SelectedTableOneEntries, SearchTableOneRow,
+    ::testing::Values(
+        // (k, g, published #permutations) from Table 1; a sample of
+        // fast entries covering primes and searched cases.
+        std::tuple{5, 1, 1}, std::tuple{5, 2, 1}, std::tuple{5, 4, 1},
+        std::tuple{6, 1, 1}, std::tuple{6, 2, 1}, std::tuple{6, 3, 1},
+        std::tuple{7, 2, 2}, std::tuple{8, 1, 1}, std::tuple{8, 2, 2},
+        std::tuple{9, 1, 1}, std::tuple{9, 2, 2},
+        std::tuple{10, 1, 1}, std::tuple{10, 3, 1}));
+
+TEST(Search, DeterministicPerSeed)
+{
+    SearchOptions options;
+    options.seed = 77;
+    auto a = searchGroupOfSize(9, 2, 1, options);
+    auto b = searchGroupOfSize(9, 2, 1, options);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->perms, b->perms);
+}
+
+} // namespace
+} // namespace pddl

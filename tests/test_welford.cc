@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for streaming statistics and the 2%/95% stopping rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/welford.hh"
+#include "util/rng.hh"
+
+namespace pddl {
+namespace {
+
+TEST(Welford, MeanAndVarianceMatchClosedForm)
+{
+    Welford w;
+    const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double v : values)
+        w.add(v);
+    EXPECT_EQ(w.count(), 8);
+    EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+    // Population variance of this classic set is 4; sample variance
+    // is 32/7.
+    EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(w.min(), 2.0);
+    EXPECT_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, SingleSample)
+{
+    Welford w;
+    w.add(3.5);
+    EXPECT_DOUBLE_EQ(w.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(w.confidenceHalfWidth(), 0.0);
+}
+
+TEST(Welford, NumericallyStableForLargeOffsets)
+{
+    Welford w;
+    for (int i = 0; i < 1000; ++i)
+        w.add(1e9 + (i % 2)); // variance ~0.25
+    EXPECT_NEAR(w.variance(), 0.2502, 0.001);
+}
+
+TEST(Welford, ConvergenceRequiresMinSamples)
+{
+    Welford w;
+    for (int i = 0; i < 50; ++i)
+        w.add(10.0);
+    EXPECT_FALSE(w.converged(0.02, 1.96, 200));
+    for (int i = 0; i < 200; ++i)
+        w.add(10.0);
+    EXPECT_TRUE(w.converged(0.02, 1.96, 200));
+}
+
+TEST(Welford, StoppingRuleTracksHalfWidth)
+{
+    // Gaussian-ish samples: half-width shrinks as 1/sqrt(count).
+    Rng rng(1);
+    Welford w;
+    int64_t needed = 0;
+    while (!w.converged(0.02, 1.96, 200) && needed < 2000000) {
+        // Sum of uniforms approximates a normal with mean 6, sd 1.
+        double x = 0.0;
+        for (int i = 0; i < 12; ++i)
+            x += rng.uniform();
+        w.add(x);
+        ++needed;
+    }
+    EXPECT_LT(needed, 2000000);
+    EXPECT_LE(w.confidenceHalfWidth(), 0.02 * w.mean() + 1e-12);
+    EXPECT_NEAR(w.mean(), 6.0, 0.1);
+}
+
+} // namespace
+} // namespace pddl

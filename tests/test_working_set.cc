@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the Figure 3 working-set analyzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "array/working_set.hh"
+#include "core/pddl_layout.hh"
+#include "layout/datum.hh"
+#include "layout/raid5.hh"
+
+namespace pddl {
+namespace {
+
+TEST(WorkingSet, SingleUnitReadTouchesOneDisk)
+{
+    Raid5Layout raid5(13);
+    EXPECT_DOUBLE_EQ(
+        averageWorkingSet(raid5, 1, AccessType::Read), 1.0);
+    PddlLayout pddl(boseConstruction(13, 4));
+    EXPECT_DOUBLE_EQ(
+        averageWorkingSet(pddl, 1, AccessType::Read), 1.0);
+}
+
+TEST(WorkingSet, Raid5ReachesAllDisksAtFullStripe)
+{
+    Raid5Layout raid5(13);
+    // 12 contiguous data units -> 12 disks; 13 units -> 13 disks
+    // (left-symmetric maximal parallelism).
+    EXPECT_DOUBLE_EQ(
+        averageWorkingSet(raid5, 12, AccessType::Read), 12.0);
+    EXPECT_DOUBLE_EQ(
+        averageWorkingSet(raid5, 13, AccessType::Read), 13.0);
+    EXPECT_EQ(maxWorkingSet(raid5, 13, AccessType::Read), 13);
+}
+
+TEST(WorkingSet, SingleUnitWriteIsTwoDisksUnderRmw)
+{
+    // Small write of one unit: the unit and its parity.
+    Raid5Layout raid5(13);
+    EXPECT_DOUBLE_EQ(
+        averageWorkingSet(raid5, 1, AccessType::Write), 2.0);
+}
+
+TEST(WorkingSet, Figure3OrderingFaultFreeReads)
+{
+    // Paper Figure 3, sizes up to 120KB (15 units):
+    // DWS(DATUM) <= DWS(ParityDecl) <= DWS(PDDL) <= DWS(PRIME)
+    //            <= DWS(RAID-5).
+    // We verify the two ends plus PDDL's middle position; the PD
+    // comparison is covered in the Figure 3 bench output.
+    Raid5Layout raid5(13);
+    DatumLayout datum(13, 4);
+    PddlLayout pddl(boseConstruction(13, 4));
+    for (int units : {6, 12, 15}) {
+        double ws_datum =
+            averageWorkingSet(datum, units, AccessType::Read);
+        double ws_pddl =
+            averageWorkingSet(pddl, units, AccessType::Read);
+        double ws_raid5 =
+            averageWorkingSet(raid5, units, AccessType::Read);
+        EXPECT_LE(ws_datum, ws_pddl + 1e-9) << units;
+        EXPECT_LE(ws_pddl, ws_raid5 + 1e-9) << units;
+    }
+}
+
+TEST(WorkingSet, DegradedReadsWidenTheSet)
+{
+    // Small accesses widen under reconstruction; very large ones can
+    // narrow because the failed disk leaves the set entirely.
+    PddlLayout pddl(boseConstruction(13, 4));
+    for (int units : {1, 3}) {
+        double ff = averageWorkingSet(pddl, units, AccessType::Read);
+        double f1 = averageWorkingSet(pddl, units, AccessType::Read,
+                                      ArrayMode::Degraded, 0);
+        EXPECT_GE(f1, ff - 1e-9) << units;
+    }
+}
+
+TEST(WorkingSet, PostReconstructionNarrowerThanDegraded)
+{
+    // Sparing pays off: after rebuild, reads cost one op again.
+    PddlLayout pddl(boseConstruction(13, 4));
+    double degraded = averageWorkingSet(
+        pddl, 1, AccessType::Read, ArrayMode::Degraded, 0);
+    double post = averageWorkingSet(
+        pddl, 1, AccessType::Read, ArrayMode::PostReconstruction, 0);
+    EXPECT_GT(degraded, 1.0);
+    EXPECT_DOUBLE_EQ(post, 1.0);
+}
+
+TEST(WorkingSet, PhysicalOpsMatchHandCounts)
+{
+    Raid5Layout raid5(13);
+    // Fault-free read of c units: c ops.
+    EXPECT_DOUBLE_EQ(
+        averagePhysicalOps(raid5, 6, AccessType::Read), 6.0);
+    // Aligned-to-anywhere write of 6 units spans one or two stripes;
+    // at offset 0 it is a small write of 14 ops.
+    double ops = averagePhysicalOps(raid5, 6, AccessType::Write);
+    EXPECT_GE(ops, 14.0);
+    EXPECT_LE(ops, 18.0);
+}
+
+TEST(WorkingSet, DegradedRaid5ReadsAddReconstructionOps)
+{
+    Raid5Layout raid5(13);
+    double ff = averagePhysicalOps(raid5, 1, AccessType::Read);
+    double f1 = averagePhysicalOps(raid5, 1, AccessType::Read,
+                                   ArrayMode::Degraded, 0);
+    EXPECT_DOUBLE_EQ(ff, 1.0);
+    // 1/13 of units are lost; each costs 12 reads instead of 1.
+    EXPECT_NEAR(f1, (12.0 / 13.0) * 1.0 + (1.0 / 13.0) * 12.0, 1e-9);
+}
+
+} // namespace
+} // namespace pddl

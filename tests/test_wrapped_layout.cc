@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the DATUM-wrapped PDDL layout (paper section 5's
+ * "wrapping" extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/wrapped_layout.hh"
+#include "layout/properties.hh"
+
+namespace pddl {
+namespace {
+
+TEST(WrappedLayout, PaperThirtyDiskExample)
+{
+    // "to create a data layout for 30 disks with stripe width seven,
+    // we first create a DATUM layout with stripe width 29. Then for
+    // each of the 30 rows ... use the PDDL data layout with four
+    // stripes each of width seven plus a spare."
+    WrappedLayout layout = WrappedLayout::make(30, 7);
+    EXPECT_EQ(layout.numDisks(), 30);
+    EXPECT_EQ(layout.stripeWidth(), 7);
+    EXPECT_EQ(layout.inner().numDisks(), 29);
+    EXPECT_EQ(layout.inner().stripesPerRow(), 4);
+    // 30 super-blocks of the inner pattern.
+    EXPECT_EQ(layout.stripesPerPeriod(),
+              30 * layout.inner().stripesPerPeriod());
+}
+
+TEST(WrappedLayout, EachDiskSitsOutOneBlock)
+{
+    WrappedLayout layout = WrappedLayout::make(30, 7);
+    const int64_t inner_stripes = layout.inner().stripesPerPeriod();
+    for (int64_t block = 0; block < 30; ++block) {
+        std::set<int> used;
+        for (int64_t s = 0; s < inner_stripes; ++s) {
+            for (int pos = 0; pos < 7; ++pos) {
+                used.insert(
+                    layout
+                        .unitAddress(block * inner_stripes + s, pos)
+                        .disk);
+            }
+        }
+        EXPECT_EQ(used.size(), 29u) << "block " << block;
+        EXPECT_EQ(used.count(29 - static_cast<int>(block)), 0u);
+    }
+}
+
+struct WrappedFixture : ::testing::Test
+{
+    // A smaller wrapped array keeps the property sweeps fast:
+    // 8 disks, inner PDDL over 7 (the Figure 2 layout).
+    WrappedLayout layout = WrappedLayout::make(8, 3);
+};
+
+TEST_F(WrappedFixture, SatisfiesCoreGoals)
+{
+    EXPECT_TRUE(checkSingleFailureCorrecting(layout));
+    EXPECT_TRUE(checkAddressCollisionFree(layout));
+    EXPECT_TRUE(isBalanced(checkUnitsPerDisk(layout)));
+    EXPECT_TRUE(isBalanced(spareUnitsPerDisk(layout)));
+}
+
+TEST_F(WrappedFixture, ReconstructionExactlyBalanced)
+{
+    for (int failed = 0; failed < 8; ++failed) {
+        ReconstructionTally tally =
+            reconstructionWorkload(layout, failed);
+        EXPECT_TRUE(tally.balancedReads(failed)) << failed;
+        EXPECT_EQ(tally.reads[failed], 0);
+    }
+}
+
+TEST_F(WrappedFixture, RelocationStaysOffFailedDiskAndIsInjective)
+{
+    for (int failed = 0; failed < 8; ++failed) {
+        std::set<PhysAddr> homes;
+        for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
+            for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
+                PhysAddr addr = layout.unitAddress(s, pos);
+                if (addr.disk != failed)
+                    continue;
+                PhysAddr home =
+                    layout.relocatedAddress(failed, addr.unit);
+                EXPECT_NE(home.disk, failed);
+                EXPECT_TRUE(homes.insert(home).second);
+                EXPECT_LT(home.unit,
+                          layout.unitsPerDiskPerPeriod());
+            }
+        }
+    }
+}
+
+TEST_F(WrappedFixture, BlockCompactionIsDense)
+{
+    // Every disk's rows 0 .. rows-1 are used exactly once per
+    // pattern (no holes wasted by the sat-out block).
+    std::set<PhysAddr> seen;
+    for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s)
+        for (int pos = 0; pos < layout.stripeWidth(); ++pos)
+            seen.insert(layout.unitAddress(s, pos));
+    // occupied + spare = all rows.
+    auto spare = spareUnitsPerDisk(layout);
+    int64_t expected =
+        8 * layout.unitsPerDiskPerPeriod() - 8 * spare[0];
+    EXPECT_EQ(static_cast<int64_t>(seen.size()), expected);
+}
+
+TEST(WrappedLayout, RejectsMismatchedInner)
+{
+    EXPECT_DEATH(
+        {
+            WrappedLayout layout(9, PddlLayout::make(7, 3));
+            (void)layout;
+        },
+        "");
+}
+
+} // namespace
+} // namespace pddl
