@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_base_permutation.dir/bench_ablation_base_permutation.cc.o"
+  "CMakeFiles/bench_ablation_base_permutation.dir/bench_ablation_base_permutation.cc.o.d"
+  "bench_ablation_base_permutation"
+  "bench_ablation_base_permutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_base_permutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

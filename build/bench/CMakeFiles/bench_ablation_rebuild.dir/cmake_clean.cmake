@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rebuild.dir/bench_ablation_rebuild.cc.o"
+  "CMakeFiles/bench_ablation_rebuild.dir/bench_ablation_rebuild.cc.o.d"
+  "bench_ablation_rebuild"
+  "bench_ablation_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

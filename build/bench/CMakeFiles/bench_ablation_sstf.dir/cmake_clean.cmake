@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sstf.dir/bench_ablation_sstf.cc.o"
+  "CMakeFiles/bench_ablation_sstf.dir/bench_ablation_sstf.cc.o.d"
+  "bench_ablation_sstf"
+  "bench_ablation_sstf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sstf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_workload_mix.dir/bench_ablation_workload_mix.cc.o"
+  "CMakeFiles/bench_ablation_workload_mix.dir/bench_ablation_workload_mix.cc.o.d"
+  "bench_ablation_workload_mix"
+  "bench_ablation_workload_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_workload_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

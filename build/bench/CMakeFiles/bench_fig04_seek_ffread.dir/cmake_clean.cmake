@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_seek_ffread.dir/bench_fig04_seek_ffread.cc.o"
+  "CMakeFiles/bench_fig04_seek_ffread.dir/bench_fig04_seek_ffread.cc.o.d"
+  "bench_fig04_seek_ffread"
+  "bench_fig04_seek_ffread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_seek_ffread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

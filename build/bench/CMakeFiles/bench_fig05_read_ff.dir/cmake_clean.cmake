@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_read_ff.dir/bench_fig05_read_ff.cc.o"
+  "CMakeFiles/bench_fig05_read_ff.dir/bench_fig05_read_ff.cc.o.d"
+  "bench_fig05_read_ff"
+  "bench_fig05_read_ff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_read_ff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_seek_f1read.dir/bench_fig07_seek_f1read.cc.o"
+  "CMakeFiles/bench_fig07_seek_f1read.dir/bench_fig07_seek_f1read.cc.o.d"
+  "bench_fig07_seek_f1read"
+  "bench_fig07_seek_f1read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_seek_f1read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_write_ff.dir/bench_fig08_write_ff.cc.o"
+  "CMakeFiles/bench_fig08_write_ff.dir/bench_fig08_write_ff.cc.o.d"
+  "bench_fig08_write_ff"
+  "bench_fig08_write_ff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_write_ff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig08_write_ff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_336kb_rt.dir/bench_fig14_336kb_rt.cc.o"
+  "CMakeFiles/bench_fig14_336kb_rt.dir/bench_fig14_336kb_rt.cc.o.d"
+  "bench_fig14_336kb_rt"
+  "bench_fig14_336kb_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_336kb_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

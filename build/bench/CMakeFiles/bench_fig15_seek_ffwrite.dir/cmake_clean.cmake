@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_seek_ffwrite.dir/bench_fig15_seek_ffwrite.cc.o"
+  "CMakeFiles/bench_fig15_seek_ffwrite.dir/bench_fig15_seek_ffwrite.cc.o.d"
+  "bench_fig15_seek_ffwrite"
+  "bench_fig15_seek_ffwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_seek_ffwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_seek_f1write.dir/bench_fig16_seek_f1write.cc.o"
+  "CMakeFiles/bench_fig16_seek_f1write.dir/bench_fig16_seek_f1write.cc.o.d"
+  "bench_fig16_seek_f1write"
+  "bench_fig16_seek_f1write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_seek_f1write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

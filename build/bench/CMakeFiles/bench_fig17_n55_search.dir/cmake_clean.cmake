@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_n55_search.dir/bench_fig17_n55_search.cc.o"
+  "CMakeFiles/bench_fig17_n55_search.dir/bench_fig17_n55_search.cc.o.d"
+  "bench_fig17_n55_search"
+  "bench_fig17_n55_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_n55_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

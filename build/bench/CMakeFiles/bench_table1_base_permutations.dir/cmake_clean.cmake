@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_base_permutations.dir/bench_table1_base_permutations.cc.o"
+  "CMakeFiles/bench_table1_base_permutations.dir/bench_table1_base_permutations.cc.o.d"
+  "bench_table1_base_permutations"
+  "bench_table1_base_permutations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_base_permutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pddl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/pddl_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/pddl_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pddl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pddl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/pddl_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pddl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pddl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

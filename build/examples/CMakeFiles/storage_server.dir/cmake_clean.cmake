@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_server.dir/storage_server.cpp.o"
+  "CMakeFiles/storage_server.dir/storage_server.cpp.o.d"
+  "storage_server"
+  "storage_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/controller.cc" "src/array/CMakeFiles/pddl_array.dir/controller.cc.o" "gcc" "src/array/CMakeFiles/pddl_array.dir/controller.cc.o.d"
+  "/root/repo/src/array/reconstruction.cc" "src/array/CMakeFiles/pddl_array.dir/reconstruction.cc.o" "gcc" "src/array/CMakeFiles/pddl_array.dir/reconstruction.cc.o.d"
+  "/root/repo/src/array/request_mapper.cc" "src/array/CMakeFiles/pddl_array.dir/request_mapper.cc.o" "gcc" "src/array/CMakeFiles/pddl_array.dir/request_mapper.cc.o.d"
+  "/root/repo/src/array/working_set.cc" "src/array/CMakeFiles/pddl_array.dir/working_set.cc.o" "gcc" "src/array/CMakeFiles/pddl_array.dir/working_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/pddl_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/pddl_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pddl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pddl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_array.dir/controller.cc.o"
+  "CMakeFiles/pddl_array.dir/controller.cc.o.d"
+  "CMakeFiles/pddl_array.dir/reconstruction.cc.o"
+  "CMakeFiles/pddl_array.dir/reconstruction.cc.o.d"
+  "CMakeFiles/pddl_array.dir/request_mapper.cc.o"
+  "CMakeFiles/pddl_array.dir/request_mapper.cc.o.d"
+  "CMakeFiles/pddl_array.dir/working_set.cc.o"
+  "CMakeFiles/pddl_array.dir/working_set.cc.o.d"
+  "libpddl_array.a"
+  "libpddl_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

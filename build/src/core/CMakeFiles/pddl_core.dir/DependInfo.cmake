@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/base_permutation.cc" "src/core/CMakeFiles/pddl_core.dir/base_permutation.cc.o" "gcc" "src/core/CMakeFiles/pddl_core.dir/base_permutation.cc.o.d"
+  "/root/repo/src/core/pddl_layout.cc" "src/core/CMakeFiles/pddl_core.dir/pddl_layout.cc.o" "gcc" "src/core/CMakeFiles/pddl_core.dir/pddl_layout.cc.o.d"
+  "/root/repo/src/core/search.cc" "src/core/CMakeFiles/pddl_core.dir/search.cc.o" "gcc" "src/core/CMakeFiles/pddl_core.dir/search.cc.o.d"
+  "/root/repo/src/core/wrapped_layout.cc" "src/core/CMakeFiles/pddl_core.dir/wrapped_layout.cc.o" "gcc" "src/core/CMakeFiles/pddl_core.dir/wrapped_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pddl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/pddl_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

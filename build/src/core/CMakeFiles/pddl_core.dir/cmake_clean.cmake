@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_core.dir/base_permutation.cc.o"
+  "CMakeFiles/pddl_core.dir/base_permutation.cc.o.d"
+  "CMakeFiles/pddl_core.dir/pddl_layout.cc.o"
+  "CMakeFiles/pddl_core.dir/pddl_layout.cc.o.d"
+  "CMakeFiles/pddl_core.dir/search.cc.o"
+  "CMakeFiles/pddl_core.dir/search.cc.o.d"
+  "CMakeFiles/pddl_core.dir/wrapped_layout.cc.o"
+  "CMakeFiles/pddl_core.dir/wrapped_layout.cc.o.d"
+  "libpddl_core.a"
+  "libpddl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

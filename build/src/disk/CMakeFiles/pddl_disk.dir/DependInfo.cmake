@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/disk.cc" "src/disk/CMakeFiles/pddl_disk.dir/disk.cc.o" "gcc" "src/disk/CMakeFiles/pddl_disk.dir/disk.cc.o.d"
+  "/root/repo/src/disk/geometry.cc" "src/disk/CMakeFiles/pddl_disk.dir/geometry.cc.o" "gcc" "src/disk/CMakeFiles/pddl_disk.dir/geometry.cc.o.d"
+  "/root/repo/src/disk/seek_model.cc" "src/disk/CMakeFiles/pddl_disk.dir/seek_model.cc.o" "gcc" "src/disk/CMakeFiles/pddl_disk.dir/seek_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pddl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pddl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_disk.dir/disk.cc.o"
+  "CMakeFiles/pddl_disk.dir/disk.cc.o.d"
+  "CMakeFiles/pddl_disk.dir/geometry.cc.o"
+  "CMakeFiles/pddl_disk.dir/geometry.cc.o.d"
+  "CMakeFiles/pddl_disk.dir/seek_model.cc.o"
+  "CMakeFiles/pddl_disk.dir/seek_model.cc.o.d"
+  "libpddl_disk.a"
+  "libpddl_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/bibd.cc" "src/layout/CMakeFiles/pddl_layout.dir/bibd.cc.o" "gcc" "src/layout/CMakeFiles/pddl_layout.dir/bibd.cc.o.d"
+  "/root/repo/src/layout/datum.cc" "src/layout/CMakeFiles/pddl_layout.dir/datum.cc.o" "gcc" "src/layout/CMakeFiles/pddl_layout.dir/datum.cc.o.d"
+  "/root/repo/src/layout/layout.cc" "src/layout/CMakeFiles/pddl_layout.dir/layout.cc.o" "gcc" "src/layout/CMakeFiles/pddl_layout.dir/layout.cc.o.d"
+  "/root/repo/src/layout/parity_decluster.cc" "src/layout/CMakeFiles/pddl_layout.dir/parity_decluster.cc.o" "gcc" "src/layout/CMakeFiles/pddl_layout.dir/parity_decluster.cc.o.d"
+  "/root/repo/src/layout/prime.cc" "src/layout/CMakeFiles/pddl_layout.dir/prime.cc.o" "gcc" "src/layout/CMakeFiles/pddl_layout.dir/prime.cc.o.d"
+  "/root/repo/src/layout/properties.cc" "src/layout/CMakeFiles/pddl_layout.dir/properties.cc.o" "gcc" "src/layout/CMakeFiles/pddl_layout.dir/properties.cc.o.d"
+  "/root/repo/src/layout/pseudo_random.cc" "src/layout/CMakeFiles/pddl_layout.dir/pseudo_random.cc.o" "gcc" "src/layout/CMakeFiles/pddl_layout.dir/pseudo_random.cc.o.d"
+  "/root/repo/src/layout/raid5.cc" "src/layout/CMakeFiles/pddl_layout.dir/raid5.cc.o" "gcc" "src/layout/CMakeFiles/pddl_layout.dir/raid5.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pddl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

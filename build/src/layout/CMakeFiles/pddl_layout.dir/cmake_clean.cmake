@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_layout.dir/bibd.cc.o"
+  "CMakeFiles/pddl_layout.dir/bibd.cc.o.d"
+  "CMakeFiles/pddl_layout.dir/datum.cc.o"
+  "CMakeFiles/pddl_layout.dir/datum.cc.o.d"
+  "CMakeFiles/pddl_layout.dir/layout.cc.o"
+  "CMakeFiles/pddl_layout.dir/layout.cc.o.d"
+  "CMakeFiles/pddl_layout.dir/parity_decluster.cc.o"
+  "CMakeFiles/pddl_layout.dir/parity_decluster.cc.o.d"
+  "CMakeFiles/pddl_layout.dir/prime.cc.o"
+  "CMakeFiles/pddl_layout.dir/prime.cc.o.d"
+  "CMakeFiles/pddl_layout.dir/properties.cc.o"
+  "CMakeFiles/pddl_layout.dir/properties.cc.o.d"
+  "CMakeFiles/pddl_layout.dir/pseudo_random.cc.o"
+  "CMakeFiles/pddl_layout.dir/pseudo_random.cc.o.d"
+  "CMakeFiles/pddl_layout.dir/raid5.cc.o"
+  "CMakeFiles/pddl_layout.dir/raid5.cc.o.d"
+  "libpddl_layout.a"
+  "libpddl_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pddl_sim.dir/event_queue.cc.o.d"
+  "libpddl_sim.a"
+  "libpddl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

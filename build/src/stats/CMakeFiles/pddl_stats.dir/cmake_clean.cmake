@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_stats.dir/welford.cc.o"
+  "CMakeFiles/pddl_stats.dir/welford.cc.o.d"
+  "libpddl_stats.a"
+  "libpddl_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

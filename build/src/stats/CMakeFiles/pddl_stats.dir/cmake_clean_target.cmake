@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpddl_stats.a"
+)

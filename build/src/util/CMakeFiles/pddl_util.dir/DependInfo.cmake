@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/binomial.cc" "src/util/CMakeFiles/pddl_util.dir/binomial.cc.o" "gcc" "src/util/CMakeFiles/pddl_util.dir/binomial.cc.o.d"
+  "/root/repo/src/util/gf2m.cc" "src/util/CMakeFiles/pddl_util.dir/gf2m.cc.o" "gcc" "src/util/CMakeFiles/pddl_util.dir/gf2m.cc.o.d"
+  "/root/repo/src/util/modmath.cc" "src/util/CMakeFiles/pddl_util.dir/modmath.cc.o" "gcc" "src/util/CMakeFiles/pddl_util.dir/modmath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_util.dir/binomial.cc.o"
+  "CMakeFiles/pddl_util.dir/binomial.cc.o.d"
+  "CMakeFiles/pddl_util.dir/gf2m.cc.o"
+  "CMakeFiles/pddl_util.dir/gf2m.cc.o.d"
+  "CMakeFiles/pddl_util.dir/modmath.cc.o"
+  "CMakeFiles/pddl_util.dir/modmath.cc.o.d"
+  "libpddl_util.a"
+  "libpddl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_workload.dir/closed_loop.cc.o"
+  "CMakeFiles/pddl_workload.dir/closed_loop.cc.o.d"
+  "CMakeFiles/pddl_workload.dir/open_loop.cc.o"
+  "CMakeFiles/pddl_workload.dir/open_loop.cc.o.d"
+  "libpddl_workload.a"
+  "libpddl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_base_permutation.cc" "tests/CMakeFiles/pddl_tests.dir/test_base_permutation.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_base_permutation.cc.o.d"
+  "/root/repo/tests/test_bibd.cc" "tests/CMakeFiles/pddl_tests.dir/test_bibd.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_bibd.cc.o.d"
+  "/root/repo/tests/test_binomial.cc" "tests/CMakeFiles/pddl_tests.dir/test_binomial.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_binomial.cc.o.d"
+  "/root/repo/tests/test_closed_loop.cc" "tests/CMakeFiles/pddl_tests.dir/test_closed_loop.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_closed_loop.cc.o.d"
+  "/root/repo/tests/test_controller.cc" "tests/CMakeFiles/pddl_tests.dir/test_controller.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_controller.cc.o.d"
+  "/root/repo/tests/test_datum.cc" "tests/CMakeFiles/pddl_tests.dir/test_datum.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_datum.cc.o.d"
+  "/root/repo/tests/test_disk.cc" "tests/CMakeFiles/pddl_tests.dir/test_disk.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_disk.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/pddl_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_geometry.cc" "tests/CMakeFiles/pddl_tests.dir/test_geometry.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_geometry.cc.o.d"
+  "/root/repo/tests/test_gf2m.cc" "tests/CMakeFiles/pddl_tests.dir/test_gf2m.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_gf2m.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/pddl_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_layout_properties.cc" "tests/CMakeFiles/pddl_tests.dir/test_layout_properties.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_layout_properties.cc.o.d"
+  "/root/repo/tests/test_mapper_properties.cc" "tests/CMakeFiles/pddl_tests.dir/test_mapper_properties.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_mapper_properties.cc.o.d"
+  "/root/repo/tests/test_modmath.cc" "tests/CMakeFiles/pddl_tests.dir/test_modmath.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_modmath.cc.o.d"
+  "/root/repo/tests/test_multi_spare.cc" "tests/CMakeFiles/pddl_tests.dir/test_multi_spare.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_multi_spare.cc.o.d"
+  "/root/repo/tests/test_open_loop.cc" "tests/CMakeFiles/pddl_tests.dir/test_open_loop.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_open_loop.cc.o.d"
+  "/root/repo/tests/test_parity_decluster.cc" "tests/CMakeFiles/pddl_tests.dir/test_parity_decluster.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_parity_decluster.cc.o.d"
+  "/root/repo/tests/test_pddl_layout.cc" "tests/CMakeFiles/pddl_tests.dir/test_pddl_layout.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_pddl_layout.cc.o.d"
+  "/root/repo/tests/test_prime.cc" "tests/CMakeFiles/pddl_tests.dir/test_prime.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_prime.cc.o.d"
+  "/root/repo/tests/test_pseudo_random.cc" "tests/CMakeFiles/pddl_tests.dir/test_pseudo_random.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_pseudo_random.cc.o.d"
+  "/root/repo/tests/test_raid5.cc" "tests/CMakeFiles/pddl_tests.dir/test_raid5.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_raid5.cc.o.d"
+  "/root/repo/tests/test_reconstruction.cc" "tests/CMakeFiles/pddl_tests.dir/test_reconstruction.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_reconstruction.cc.o.d"
+  "/root/repo/tests/test_request_mapper.cc" "tests/CMakeFiles/pddl_tests.dir/test_request_mapper.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_request_mapper.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/pddl_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_search.cc" "tests/CMakeFiles/pddl_tests.dir/test_search.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_search.cc.o.d"
+  "/root/repo/tests/test_seek_model.cc" "tests/CMakeFiles/pddl_tests.dir/test_seek_model.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_seek_model.cc.o.d"
+  "/root/repo/tests/test_welford.cc" "tests/CMakeFiles/pddl_tests.dir/test_welford.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_welford.cc.o.d"
+  "/root/repo/tests/test_working_set.cc" "tests/CMakeFiles/pddl_tests.dir/test_working_set.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_working_set.cc.o.d"
+  "/root/repo/tests/test_wrapped_layout.cc" "tests/CMakeFiles/pddl_tests.dir/test_wrapped_layout.cc.o" "gcc" "tests/CMakeFiles/pddl_tests.dir/test_wrapped_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pddl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/pddl_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/pddl_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pddl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pddl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/pddl_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pddl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pddl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
