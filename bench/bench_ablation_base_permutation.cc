@@ -10,9 +10,10 @@
 #include "layout/properties.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv);
     DiskModel model = DiskModel::hp2247();
 
     // Satisfactory (Bose) vs identity base permutation, 13 disks.
@@ -37,25 +38,47 @@ main()
                     static_cast<long long>(hi));
     }
 
+    const char *figure = "Ablation base permutation";
+    const char *caption =
+        "base permutation quality, degraded 8 KB reads (n=13, k=4)";
+    const std::vector<int> client_counts = {4, 10, 25};
+    PddlLayout bose_layout(bose);
+    PddlLayout identity_layout(identity, 1,
+                               /*require_satisfactory=*/false);
+    const std::pair<const char *, const PddlLayout *> variants[] = {
+        {"Bose", &bose_layout}, {"identity", &identity_layout}};
+
+    std::vector<harness::Experiment> experiments;
+    for (const auto &[name, layout] : variants) {
+        for (int clients : client_counts) {
+            harness::Experiment experiment;
+            experiment.point = {figure, name, 8, clients,
+                                AccessType::Read, ArrayMode::Degraded};
+            experiment.config = bench::defaultSimConfig();
+            experiment.config.clients = clients;
+            experiment.config.access_units = 1;
+            experiment.config.type = AccessType::Read;
+            experiment.config.mode = ArrayMode::Degraded;
+            experiment.config.failed_disk = 0;
+            experiment.layout = layout;
+            experiment.model = &model;
+            experiments.push_back(std::move(experiment));
+        }
+    }
+    harness::RunSummary summary =
+        bench::runGrid(figure, caption, experiments);
+
     std::printf("\nDegraded 8 KB read response times:\n");
     std::printf("%-12s", "layout");
-    for (int clients : {4, 10, 25})
+    for (int clients : client_counts)
         std::printf("   %2d clients ", clients);
     std::printf("\n");
     bench::printRule(5);
-    for (const auto &[name, group] :
-         {std::pair<const char *, PermutationGroup &>{"Bose", bose},
-          {"identity", identity}}) {
-        PddlLayout layout(group, 1, /*require_satisfactory=*/false);
+    size_t index = 0;
+    for (const auto &[name, layout] : variants) {
         std::printf("%-12s", name);
-        for (int clients : {4, 10, 25}) {
-            SimConfig config = bench::defaultSimConfig();
-            config.clients = clients;
-            config.access_units = 1;
-            config.type = AccessType::Read;
-            config.mode = ArrayMode::Degraded;
-            config.failed_disk = 0;
-            SimResult r = runClosedLoop(layout, model, config);
+        for (size_t c = 0; c < client_counts.size(); ++c) {
+            const SimResult &r = summary.points[index++].result;
             std::printf("  %6.1f@%-4.0f", r.mean_response_ms,
                         r.throughput_per_s);
         }

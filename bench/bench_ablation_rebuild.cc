@@ -26,7 +26,7 @@ struct Outcome
 
 Outcome
 run(const Layout &layout, int clients, int rebuild_parallel,
-    int64_t stripes)
+    int64_t stripes, uint64_t seed)
 {
     EventQueue events;
     ArrayConfig config;
@@ -36,7 +36,7 @@ run(const Layout &layout, int clients, int rebuild_parallel,
 
     ReconstructionEngine engine(events, array, 0, stripes,
                                 rebuild_parallel);
-    Rng rng(99);
+    Rng rng(seed);
     Welford response;
     std::function<void()> client = [&] {
         if (engine.complete())
@@ -60,10 +60,45 @@ run(const Layout &layout, int clients, int rebuild_parallel,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseArgs(argc, argv);
     PddlLayout layout = PddlLayout::make(13, 4);
     const int64_t stripes = bench::fullFidelity() ? 39000 : 3900;
+
+    const char *figure = "Ablation rebuild";
+    const char *caption = "on-line reconstruction (PDDL, 13 disks)";
+    const std::vector<int> client_counts = {0, 4, 10};
+    const std::vector<int> parallelism = {1, 2, 4, 8};
+
+    std::vector<harness::Experiment> experiments;
+    for (int clients : client_counts) {
+        for (int parallel : parallelism) {
+            harness::Experiment experiment;
+            experiment.point = {figure,
+                                "PDDL/parallel=" +
+                                    std::to_string(parallel),
+                                24, clients, AccessType::Read,
+                                ArrayMode::Degraded};
+            experiment.custom = [&layout, clients, parallel, stripes](
+                                    uint64_t seed,
+                                    harness::Extras &extras) {
+                Outcome o =
+                    run(layout, clients, parallel, stripes, seed);
+                extras.emplace_back("rebuild_ms", o.rebuild_ms);
+                extras.emplace_back(
+                    "client_samples",
+                    static_cast<double>(o.client_samples));
+                SimResult result;
+                result.mean_response_ms = o.client_ms;
+                result.samples = o.client_samples;
+                return result;
+            };
+            experiments.push_back(std::move(experiment));
+        }
+    }
+    harness::RunSummary summary =
+        bench::runGrid(figure, caption, experiments);
 
     std::printf("Ablation: on-line reconstruction (PDDL, 13 disks, "
                 "%lld stripes swept, 24 KB foreground reads)\n\n",
@@ -71,12 +106,15 @@ main()
     std::printf("%-10s %-10s %14s %18s\n", "clients", "parallel",
                 "rebuild ms", "client resp ms");
     bench::printRule(6);
-    for (int clients : {0, 4, 10}) {
-        for (int parallel : {1, 2, 4, 8}) {
-            Outcome o = run(layout, clients, parallel, stripes);
+    size_t index = 0;
+    for (int clients : client_counts) {
+        for (int parallel : parallelism) {
+            const harness::PointResult &point =
+                summary.points[index++];
             std::printf("%-10d %-10d %14.0f %18.1f\n", clients,
-                        parallel, o.rebuild_ms,
-                        clients ? o.client_ms : 0.0);
+                        parallel, point.extras[0].second,
+                        clients ? point.result.mean_response_ms
+                                : 0.0);
         }
     }
     std::printf("\nTrade-off: wider rebuild finishes sooner but "

@@ -8,29 +8,55 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv);
     PddlLayout layout = PddlLayout::make(13, 4);
     DiskModel model = DiskModel::hp2247();
 
-    std::printf("Ablation: SSTF scan window (PDDL, 13 disks)\n");
+    const char *figure = "Ablation sstf";
+    const char *caption = "SSTF scan window (PDDL, 13 disks)";
+    const std::vector<int> windows = {1, 2, 5, 10, 20, 40};
+    const std::vector<int> client_counts = {4, 10, 25};
+
+    std::vector<harness::Experiment> experiments;
+    for (int window : windows) {
+        for (int clients : client_counts) {
+            harness::Experiment experiment;
+            // The window is part of the series label so that each
+            // sweep point derives a distinct seed.
+            experiment.point = {figure,
+                                "PDDL/window=" +
+                                    std::to_string(window),
+                                24, clients, AccessType::Read,
+                                ArrayMode::FaultFree};
+            experiment.config = bench::defaultSimConfig();
+            experiment.config.clients = clients;
+            experiment.config.access_units = 3; // 24 KB
+            experiment.config.type = AccessType::Read;
+            experiment.config.sstf_window = window;
+            experiment.layout = &layout;
+            experiment.model = &model;
+            experiments.push_back(std::move(experiment));
+        }
+    }
+    harness::RunSummary summary =
+        bench::runGrid(figure, caption, experiments);
+
+    std::printf("Ablation: %s\n", caption);
     std::printf("(cells = mean response ms @ achieved accesses/sec)"
                 "\n\n");
     std::printf("%-10s", "window");
-    for (int clients : {4, 10, 25})
+    for (int clients : client_counts)
         std::printf("   %2d clients ", clients);
     std::printf("\n");
     bench::printRule(5);
-    for (int window : {1, 2, 5, 10, 20, 40}) {
+    size_t index = 0;
+    for (int window : windows) {
         std::printf("%-10d", window);
-        for (int clients : {4, 10, 25}) {
-            SimConfig config = bench::defaultSimConfig();
-            config.clients = clients;
-            config.access_units = 3; // 24 KB
-            config.type = AccessType::Read;
-            config.sstf_window = window;
-            SimResult r = runClosedLoop(layout, model, config);
+        for (size_t c = 0; c < client_counts.size(); ++c) {
+            const SimResult &r = summary.points[index++].result;
             std::printf("  %6.1f@%-4.0f", r.mean_response_ms,
                         r.throughput_per_s);
         }

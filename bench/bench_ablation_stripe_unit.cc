@@ -8,31 +8,53 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv);
     PddlLayout layout = PddlLayout::make(13, 4);
     DiskModel model = DiskModel::hp2247();
 
-    std::printf("Ablation: stripe unit size (PDDL, 96 KB accesses)\n");
+    const char *figure = "Ablation stripe unit";
+    const char *caption = "stripe unit size (PDDL, 96 KB accesses)";
+    const std::vector<int> unit_kbs = {4, 8, 16, 32, 64};
+    const std::vector<int> client_counts = {1, 8, 25};
+
+    std::vector<harness::Experiment> experiments;
+    for (int unit_kb : unit_kbs) {
+        for (int clients : client_counts) {
+            harness::Experiment experiment;
+            experiment.point = {figure,
+                                "PDDL/unit=" +
+                                    std::to_string(unit_kb) + "KB",
+                                96, clients, AccessType::Read,
+                                ArrayMode::FaultFree};
+            experiment.config = bench::defaultSimConfig();
+            experiment.config.clients = clients;
+            experiment.config.access_units = 96 / unit_kb;
+            experiment.config.unit_sectors = unit_kb * 2; // 512 B
+            experiment.config.type = AccessType::Read;
+            experiment.layout = &layout;
+            experiment.model = &model;
+            experiments.push_back(std::move(experiment));
+        }
+    }
+    harness::RunSummary summary =
+        bench::runGrid(figure, caption, experiments);
+
+    std::printf("Ablation: %s\n", caption);
     std::printf("(cells = mean response ms @ achieved accesses/sec)"
                 "\n\n");
     std::printf("%-12s", "unit KB");
-    for (int clients : {1, 8, 25})
+    for (int clients : client_counts)
         std::printf("   %2d clients ", clients);
     std::printf("\n");
     bench::printRule(5);
-    for (int unit_kb : {4, 8, 16, 32, 64}) {
-        const int unit_sectors = unit_kb * 2; // 512 B sectors
-        const int access_units = 96 / unit_kb;
+    size_t index = 0;
+    for (int unit_kb : unit_kbs) {
         std::printf("%-12d", unit_kb);
-        for (int clients : {1, 8, 25}) {
-            SimConfig config = bench::defaultSimConfig();
-            config.clients = clients;
-            config.access_units = access_units;
-            config.unit_sectors = unit_sectors;
-            config.type = AccessType::Read;
-            SimResult r = runClosedLoop(layout, model, config);
+        for (size_t c = 0; c < client_counts.size(); ++c) {
+            const SimResult &r = summary.points[index++].result;
             std::printf("  %6.1f@%-4.0f", r.mean_response_ms,
                         r.throughput_per_s);
         }

@@ -6,38 +6,70 @@
  *
  * Columns: ffread / ffwrite / f1read / f1write per access size; for
  * PDDL, f1 designates the reconstruction (degraded) mode, matching
- * the figure's caption.
+ * the figure's caption. The per-(layout, size) sweeps are pure
+ * computation but independent, so they run as custom grid points on
+ * the parallel runner like every simulated figure.
  */
 
 #include "array/working_set.hh"
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv);
     auto layouts = bench::evaluatedLayouts();
-    std::printf("Figure 3: Disk working set sizes (averaged over "
-                "every possible offset)\n\n");
+
+    const char *figure = "Figure 3";
+    const char *caption =
+        "Disk working set sizes (averaged over every possible offset)";
+    const std::vector<int> sizes = {8, 48, 96, 144, 192, 240};
+
+    std::vector<harness::Experiment> experiments;
+    for (const auto &layout : layouts) {
+        for (int kb : sizes) {
+            harness::Experiment experiment;
+            experiment.point = {figure, layout->name(), kb, 0,
+                                AccessType::Read,
+                                ArrayMode::FaultFree};
+            const Layout *l = layout.get();
+            const int units = bench::unitsForKb(kb);
+            experiment.custom = [l, units](uint64_t,
+                                           harness::Extras &extras) {
+                extras.emplace_back(
+                    "ffread", averageWorkingSet(*l, units,
+                                                AccessType::Read));
+                extras.emplace_back(
+                    "ffwrite", averageWorkingSet(*l, units,
+                                                 AccessType::Write));
+                extras.emplace_back(
+                    "f1read",
+                    averageWorkingSet(*l, units, AccessType::Read,
+                                      ArrayMode::Degraded, 0));
+                extras.emplace_back(
+                    "f1write",
+                    averageWorkingSet(*l, units, AccessType::Write,
+                                      ArrayMode::Degraded, 0));
+                return SimResult{};
+            };
+            experiments.push_back(std::move(experiment));
+        }
+    }
+    harness::RunSummary summary =
+        bench::runGrid(figure, caption, experiments);
+
+    std::printf("%s: %s\n\n", figure, caption);
     std::printf("%-20s %8s %8s %8s %8s %8s\n", "layout", "size KB",
                 "ffread", "ffwrite", "f1read", "f1write");
     bench::printRule(7);
+    size_t index = 0;
     for (const auto &layout : layouts) {
-        for (int kb : {8, 48, 96, 144, 192, 240}) {
-            int units = bench::unitsForKb(kb);
-            double ffr = averageWorkingSet(*layout, units,
-                                           AccessType::Read);
-            double ffw = averageWorkingSet(*layout, units,
-                                           AccessType::Write);
-            double f1r =
-                averageWorkingSet(*layout, units, AccessType::Read,
-                                  ArrayMode::Degraded, 0);
-            double f1w =
-                averageWorkingSet(*layout, units, AccessType::Write,
-                                  ArrayMode::Degraded, 0);
+        for (int kb : sizes) {
+            const harness::Extras &e = summary.points[index++].extras;
             std::printf("%-20s %8d %8.2f %8.2f %8.2f %8.2f\n",
-                        layout->name().c_str(), kb, ffr, ffw, f1r,
-                        f1w);
+                        layout->name().c_str(), kb, e[0].second,
+                        e[1].second, e[2].second, e[3].second);
         }
         std::printf("\n");
     }

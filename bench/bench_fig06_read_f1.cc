@@ -7,9 +7,10 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv);
     bench::runResponseTimeFigure(
         "Figure 6", "Read response times, single failure mode",
         {8, 48, 96, 144, 192, 240}, AccessType::Read,

@@ -7,9 +7,10 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv);
     bench::runResponseTimeFigure(
         "Figure 8", "Write response times, failure-free mode",
         {8, 48, 96, 144, 192, 240}, AccessType::Write,

@@ -8,9 +8,10 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv);
     const std::vector<int> sizes = {24, 72, 120, 168, 216, 288};
     bench::runResponseTimeFigure(
         "Figure 10", "Read response times, failure-free mode", sizes,

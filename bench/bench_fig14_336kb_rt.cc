@@ -7,9 +7,10 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv);
     bench::runResponseTimeFigure("Figure 14 (top left)",
                                  "336 KB reads, fault free", {336},
                                  AccessType::Read, ArrayMode::FaultFree);

@@ -7,9 +7,10 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv);
     bench::runSeekCountFigure("Figure 15",
                               "Fault free write; seek and no-switch "
                               "counts",

@@ -7,9 +7,10 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv);
     bench::runSeekCountFigure("Figure 16",
                               "Degraded write; seek and no-switch "
                               "counts",

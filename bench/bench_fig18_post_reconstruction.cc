@@ -8,16 +8,16 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv);
     PddlLayout layout = PddlLayout::make(13, 4);
     DiskModel model = DiskModel::hp2247();
 
-    std::printf("Figure 18: PDDL read response times: fault free, "
-                "reconstruction, and post-reconstruction\n");
-    std::printf("(cells = mean response ms @ achieved accesses/sec)"
-                "\n");
+    const char *figure = "Figure 18";
+    const char *caption = "PDDL read response times: fault free, "
+                          "reconstruction, and post-reconstruction";
     struct Mode
     {
         const char *name;
@@ -28,7 +28,35 @@ main()
         {"PDDL reconstruction", ArrayMode::Degraded},
         {"PDDL post-reconstruction", ArrayMode::PostReconstruction},
     };
-    for (int kb : {8, 24, 48, 72}) {
+    const std::vector<int> sizes = {8, 24, 48, 72};
+
+    std::vector<harness::Experiment> experiments;
+    for (int kb : sizes) {
+        for (const Mode &mode : modes) {
+            for (int clients : bench::kClientCounts) {
+                harness::Experiment experiment;
+                experiment.point = {figure, mode.name, kb, clients,
+                                    AccessType::Read, mode.mode};
+                experiment.config = bench::defaultSimConfig();
+                experiment.config.clients = clients;
+                experiment.config.access_units = bench::unitsForKb(kb);
+                experiment.config.type = AccessType::Read;
+                experiment.config.mode = mode.mode;
+                experiment.config.failed_disk = 0;
+                experiment.layout = &layout;
+                experiment.model = &model;
+                experiments.push_back(std::move(experiment));
+            }
+        }
+    }
+    harness::RunSummary summary =
+        bench::runGrid(figure, caption, experiments);
+
+    std::printf("%s: %s\n", figure, caption);
+    std::printf("(cells = mean response ms @ achieved accesses/sec)"
+                "\n");
+    size_t index = 0;
+    for (int kb : sizes) {
         std::printf("\n-- %d KB reads --\n", kb);
         std::printf("%-26s", "mode \\ clients");
         for (int clients : bench::kClientCounts)
@@ -38,14 +66,8 @@ main()
                                  bench::kClientCounts.size()));
         for (const Mode &mode : modes) {
             std::printf("%-26s", mode.name);
-            for (int clients : bench::kClientCounts) {
-                SimConfig config = bench::defaultSimConfig();
-                config.clients = clients;
-                config.access_units = bench::unitsForKb(kb);
-                config.type = AccessType::Read;
-                config.mode = mode.mode;
-                config.failed_disk = 0;
-                SimResult r = runClosedLoop(layout, model, config);
+            for (size_t c = 0; c < bench::kClientCounts.size(); ++c) {
+                const SimResult &r = summary.points[index++].result;
                 std::printf("  %6.1f@%-4.0f", r.mean_response_ms,
                             r.throughput_per_s);
             }

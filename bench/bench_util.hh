@@ -1,13 +1,21 @@
 /**
  * @file
  * Shared helpers for the reproduction benchmarks: the paper's
- * evaluated array (Table 2), layout construction, and table
- * formatting.
+ * evaluated array (Table 2), layout construction, table formatting,
+ * and the parallel experiment harness plumbing.
  *
  * Each bench binary regenerates one table or figure of the paper.
  * By default the simulations use a relaxed stopping rule so the whole
  * suite finishes in minutes; set PDDL_BENCH_FULL=1 for the paper's
  * 2%-at-95%-confidence rule.
+ *
+ * Grid execution is parallel: every (size, layout, clients) point is
+ * an independent simulation, dispatched onto the work-stealing
+ * runner of src/harness. PDDL_BENCH_THREADS (or --threads) picks the
+ * worker count; results are bit-identical for every thread count
+ * because each point's RNG seed is derived from its identity, never
+ * from scheduling. --json <dir> additionally emits one machine-
+ * readable BENCH_<figure>.json per figure.
  */
 
 #ifndef PDDL_BENCH_BENCH_UTIL_HH
@@ -16,11 +24,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/pddl_layout.hh"
+#include "harness/runner.hh"
 #include "layout/datum.hh"
 #include "layout/parity_decluster.hh"
 #include "layout/prime.hh"
@@ -96,10 +106,105 @@ printRule(int width)
     std::fputs("\n", stdout);
 }
 
+/** Command-line options shared by every bench binary. */
+struct BenchOptions
+{
+    /** Directory for BENCH_<figure>.json files; empty disables. */
+    std::string json_dir;
+    /** Worker override; 0 = PDDL_BENCH_THREADS / hardware. */
+    int threads = 0;
+};
+
+inline BenchOptions &
+options()
+{
+    static BenchOptions instance;
+    return instance;
+}
+
+/**
+ * Parse --json <dir> and --threads <n>. Call first in every bench
+ * main(); unknown arguments abort with a usage message.
+ */
+inline void
+parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            options().json_dir = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            options().threads = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json <dir>] [--threads <n>]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+}
+
+/**
+ * Whole-binary aggregates, merged across every figure the binary
+ * runs (fig10-13 style binaries run several) and reported once at
+ * exit.
+ */
+struct SuiteTotals
+{
+    Tally counts;
+    Welford point_wall_ms;
+
+    ~SuiteTotals()
+    {
+        if (counts.empty())
+            return;
+        std::fprintf(stderr,
+                     "[suite] %lld grid points, %lld samples, mean "
+                     "point wall %.1f ms (max %.1f)\n",
+                     static_cast<long long>(counts.get("points")),
+                     static_cast<long long>(counts.get("samples")),
+                     point_wall_ms.mean(), point_wall_ms.max());
+    }
+};
+
+inline SuiteTotals &
+suiteTotals()
+{
+    static SuiteTotals instance;
+    return instance;
+}
+
+/**
+ * Run one figure's experiment grid on the parallel runner, print the
+ * one-line run summary, and emit BENCH_<figure>.json when --json was
+ * given.
+ */
+inline harness::RunSummary
+runGrid(const char *figure, const char *caption,
+        const std::vector<harness::Experiment> &experiments)
+{
+    harness::ExperimentRunner runner(options().threads);
+    harness::RunSummary summary = runner.run(experiments);
+    suiteTotals().counts.merge(summary.totals);
+    suiteTotals().point_wall_ms.merge(summary.point_wall_ms);
+    if (!options().json_dir.empty()) {
+        std::filesystem::create_directories(options().json_dir);
+        std::string path = harness::writeFigureJson(
+            options().json_dir, figure, caption, summary);
+        std::fprintf(stderr, "[%s] wrote %s\n", figure, path.c_str());
+    }
+    std::fprintf(stderr,
+                 "[%s] %zu grid points on %d thread(s) in %.2f s\n",
+                 figure, summary.points.size(), summary.threads,
+                 summary.wall_s);
+    return summary;
+}
+
 /**
  * Regenerate one response-time figure: for each access size, a panel
  * of mean response time (ms) and achieved throughput (accesses/sec)
- * per layout per client count -- the series the paper plots.
+ * per layout per client count -- the series the paper plots. All
+ * grid points run concurrently before the tables print.
  */
 inline void
 runResponseTimeFigure(const char *figure, const char *caption,
@@ -108,9 +213,39 @@ runResponseTimeFigure(const char *figure, const char *caption,
 {
     auto layouts = evaluatedLayouts();
     DiskModel model = DiskModel::hp2247();
+
+    auto skip = [&](const Layout &layout) {
+        return mode == ArrayMode::PostReconstruction &&
+               !layout.hasSparing();
+    };
+
+    std::vector<harness::Experiment> experiments;
+    for (int kb : sizes_kb) {
+        for (const auto &layout : layouts) {
+            if (skip(*layout))
+                continue;
+            for (int clients : kClientCounts) {
+                harness::Experiment experiment;
+                experiment.point = {figure, layout->name(), kb,
+                                    clients, type, mode};
+                experiment.config = defaultSimConfig();
+                experiment.config.clients = clients;
+                experiment.config.access_units = unitsForKb(kb);
+                experiment.config.type = type;
+                experiment.config.mode = mode;
+                experiment.config.failed_disk = 0;
+                experiment.layout = layout.get();
+                experiment.model = &model;
+                experiments.push_back(std::move(experiment));
+            }
+        }
+    }
+    harness::RunSummary summary = runGrid(figure, caption, experiments);
+
     std::printf("%s: %s\n", figure, caption);
     std::printf("(workload = achieved accesses/sec, cells = mean "
                 "response ms)\n");
+    size_t index = 0;
     for (int kb : sizes_kb) {
         std::printf("\n-- %d KB %s, %s --\n", kb,
                     type == AccessType::Read ? "reads" : "writes",
@@ -124,19 +259,11 @@ runResponseTimeFigure(const char *figure, const char *caption,
         std::printf("\n");
         printRule(2 + static_cast<int>(kClientCounts.size()));
         for (const auto &layout : layouts) {
-            if (mode == ArrayMode::PostReconstruction &&
-                !layout->hasSparing()) {
+            if (skip(*layout))
                 continue;
-            }
             std::printf("%-20s", layout->name().c_str());
-            for (int clients : kClientCounts) {
-                SimConfig config = defaultSimConfig();
-                config.clients = clients;
-                config.access_units = unitsForKb(kb);
-                config.type = type;
-                config.mode = mode;
-                config.failed_disk = 0;
-                SimResult r = runClosedLoop(*layout, model, config);
+            for (size_t c = 0; c < kClientCounts.size(); ++c) {
+                const SimResult &r = summary.points[index++].result;
                 std::printf("  %6.1f@%-4.0f", r.mean_response_ms,
                             r.throughput_per_s);
             }
@@ -157,23 +284,38 @@ runSeekCountFigure(const char *figure, const char *caption,
 {
     auto layouts = evaluatedLayouts();
     DiskModel model = DiskModel::hp2247();
+
+    std::vector<harness::Experiment> experiments;
+    for (const auto &layout : layouts) {
+        for (int kb : kAccessSizesKb) {
+            harness::Experiment experiment;
+            // Section 4: counts are almost workload independent; a
+            // moderate concurrency keeps queues busy.
+            experiment.point = {figure, layout->name(), kb, 8, type,
+                                mode};
+            experiment.config = defaultSimConfig();
+            experiment.config.clients = 8;
+            experiment.config.access_units = unitsForKb(kb);
+            experiment.config.type = type;
+            experiment.config.mode = mode;
+            experiment.config.failed_disk = 0;
+            experiment.layout = layout.get();
+            experiment.model = &model;
+            experiments.push_back(std::move(experiment));
+        }
+    }
+    harness::RunSummary summary = runGrid(figure, caption, experiments);
+
     std::printf("%s: %s\n", figure, caption);
     std::printf("(per logical access: non-local / cylinder switch / "
                 "track switch / no-switch)\n");
+    size_t index = 0;
     for (const auto &layout : layouts) {
         std::printf("\n-- %s --\n", layout->name().c_str());
         std::printf("%8s  %9s  %9s  %9s  %9s  %9s\n", "size KB",
                     "non-local", "cyl-sw", "trk-sw", "no-sw", "total");
         for (int kb : kAccessSizesKb) {
-            SimConfig config = defaultSimConfig();
-            // Section 4: counts are almost workload independent; a
-            // moderate concurrency keeps queues busy.
-            config.clients = 8;
-            config.access_units = unitsForKb(kb);
-            config.type = type;
-            config.mode = mode;
-            config.failed_disk = 0;
-            SimResult r = runClosedLoop(*layout, model, config);
+            const SimResult &r = summary.points[index++].result;
             double total = r.non_local_seeks + r.cylinder_switches +
                            r.track_switches + r.no_switches;
             std::printf("%8d  %9.1f  %9.1f  %9.1f  %9.1f  %9.1f\n", kb,

@@ -1,0 +1,156 @@
+#include "harness/json.hh"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace pddl {
+namespace harness {
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+Json &
+Json::push(Json value)
+{
+    assert(kind_ == Kind::Array);
+    items_.push_back(std::move(value));
+    return *this;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    assert(kind_ == Kind::Object);
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+void
+Json::escape(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+Json::write(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<size_t>(indent * d), ' ');
+    };
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Integer: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(integer_));
+        out += buf;
+        break;
+      }
+      case Kind::Number: {
+        if (!std::isfinite(number_)) {
+            out += "null"; // JSON has no inf/nan
+            break;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+        out += buf;
+        break;
+      }
+      case Kind::String:
+        escape(out, string_);
+        break;
+      case Kind::Array:
+        if (items_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            newline(depth + 1);
+            items_[i].write(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (size_t i = 0; i < members_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            newline(depth + 1);
+            escape(out, members_[i].first);
+            out += indent > 0 ? ": " : ":";
+            members_[i].second.write(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+} // namespace harness
+} // namespace pddl

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Parallel experiment runner for simulation grids.
+ *
+ * Every figure of the paper's evaluation is a grid of independent
+ * closed-loop simulations (access size x client count x layout). The
+ * runner executes grid points concurrently on a work-stealing pool
+ * and guarantees that the aggregated results are bit-identical to a
+ * serial run:
+ *
+ *  - each point's RNG seed is derived from a stable hash of its
+ *    identity {figure, layout, size, clients, access, mode}, never
+ *    from execution order or wall-clock;
+ *  - results are written into a pre-sized vector at the point's grid
+ *    index, so output order is the submission order regardless of
+ *    which worker finished first;
+ *  - simulations share nothing but immutable inputs (Layout and
+ *    DiskModel are const and thread-safe).
+ *
+ * The thread count comes from PDDL_BENCH_THREADS (default: hardware
+ * concurrency); PDDL_BENCH_THREADS=1 is the serial reference.
+ */
+
+#ifndef PDDL_HARNESS_RUNNER_HH
+#define PDDL_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/json.hh"
+#include "stats/tally.hh"
+#include "stats/welford.hh"
+#include "workload/closed_loop.hh"
+
+namespace pddl {
+namespace harness {
+
+/** Identity of one grid point; the RNG seed is derived from it. */
+struct GridPoint
+{
+    std::string figure; ///< e.g. "Figure 5"
+    std::string layout; ///< layout or series label
+    int size_kb = 0;
+    int clients = 0;
+    AccessType type = AccessType::Read;
+    ArrayMode mode = ArrayMode::FaultFree;
+};
+
+/** Short lowercase name used in hashing and JSON. */
+const char *accessTypeName(AccessType type);
+const char *arrayModeName(ArrayMode mode);
+
+/**
+ * Deterministic per-point seed: FNV-1a over the point's canonical
+ * string rendering, finished with a SplitMix64 mix. Stable across
+ * platforms, runs and thread counts.
+ */
+uint64_t deriveSeed(const GridPoint &point);
+
+/** Named extra metrics a custom experiment can report. */
+using Extras = std::vector<std::pair<std::string, double>>;
+
+/** One schedulable grid point. */
+struct Experiment
+{
+    GridPoint point;
+    /** Simulation parameters; `seed` is overwritten by the runner. */
+    SimConfig config;
+    /** Inputs of the default runClosedLoop execution. */
+    const Layout *layout = nullptr;
+    const DiskModel *model = nullptr;
+    /**
+     * Optional replacement for runClosedLoop (open-loop workloads,
+     * rebuild experiments, analytic sweeps). Receives the derived
+     * seed; may publish additional metrics through `extras`.
+     */
+    std::function<SimResult(uint64_t seed, Extras &extras)> custom;
+};
+
+/** Outcome of one grid point. */
+struct PointResult
+{
+    GridPoint point;
+    uint64_t seed = 0;
+    SimResult result;
+    Extras extras;
+    double wall_ms = 0.0; ///< host time, informational only
+};
+
+/** Outcome of one grid run. */
+struct RunSummary
+{
+    /** One result per experiment, in submission order. */
+    std::vector<PointResult> points;
+    double wall_s = 0.0;
+    int threads = 1;
+    /** Merged counters: grid points and samples. */
+    Tally totals;
+    /** Distribution of per-point host wall times (informational). */
+    Welford point_wall_ms;
+};
+
+/** Executes experiment batches on a work-stealing pool. */
+class ExperimentRunner
+{
+  public:
+    /** @param threads worker count; < 1 selects defaultThreads() */
+    explicit ExperimentRunner(int threads = 0);
+
+    int threads() const { return threads_; }
+
+    /** Run all experiments; blocks until the grid is complete. */
+    RunSummary run(const std::vector<Experiment> &experiments) const;
+
+  private:
+    int threads_;
+};
+
+/** "Figure 5" -> "fig_5" style slug for BENCH_<figure>.json names. */
+std::string figureSlug(const std::string &figure);
+
+/** Build the BENCH_<figure>.json document for one finished grid. */
+Json figureJson(const std::string &figure, const std::string &caption,
+                const RunSummary &summary);
+
+/**
+ * Write BENCH_<slug>.json into `dir` (created by the caller).
+ * @return the path written
+ */
+std::string writeFigureJson(const std::string &dir,
+                            const std::string &figure,
+                            const std::string &caption,
+                            const RunSummary &summary);
+
+} // namespace harness
+} // namespace pddl
+
+#endif // PDDL_HARNESS_RUNNER_HH

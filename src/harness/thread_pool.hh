@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Work-stealing thread pool for independent experiment grid points.
+ *
+ * Tasks are indices into a batch; submission deals them round-robin
+ * onto per-worker deques and an idle worker steals from the back of
+ * its neighbours' deques. Grid points are closed-loop simulations
+ * running for milliseconds to seconds each, so scheduling uses one
+ * pool-wide mutex -- contention is negligible at that granularity
+ * and the single lock keeps the stealing protocol trivially correct.
+ *
+ * The pool only schedules; determinism of results is the runner's
+ * business (every task must depend exclusively on its own index).
+ */
+
+#ifndef PDDL_HARNESS_THREAD_POOL_HH
+#define PDDL_HARNESS_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pddl {
+namespace harness {
+
+/**
+ * Worker count to use: PDDL_BENCH_THREADS when set (clamped to at
+ * least 1), otherwise the hardware concurrency.
+ */
+int defaultThreads();
+
+/** Fixed-size pool executing index batches with work stealing. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; < 1 selects defaultThreads() */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threads() const { return static_cast<int>(queues_.size()); }
+
+    /**
+     * Run fn(0) .. fn(count-1) across the pool and block until all
+     * complete. With one worker the batch runs inline on the calling
+     * thread in index order (the serial reference schedule). The
+     * first exception thrown by a task is rethrown here after the
+     * batch drains.
+     */
+    void parallelFor(size_t count,
+                     const std::function<void(size_t)> &fn);
+
+  private:
+    void workerLoop(size_t self);
+    bool takeTask(size_t self, size_t &index);
+
+    std::vector<std::thread> workers_;
+    std::vector<std::deque<size_t>> queues_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(size_t)> *job_ = nullptr;
+    size_t unfinished_ = 0;
+    std::exception_ptr error_;
+    bool stop_ = false;
+};
+
+} // namespace harness
+} // namespace pddl
+
+#endif // PDDL_HARNESS_THREAD_POOL_HH

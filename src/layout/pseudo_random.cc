@@ -92,6 +92,7 @@ PseudoRandomLayout::unitAddress(int64_t stripe, int pos) const
     const int k = stripeWidth();
     int64_t r = stripe / n;
     int j = static_cast<int>(stripe % n);
+    std::lock_guard<std::mutex> lock(mutex_);
     const Round &rd = round(r);
 
     // Parity rotates through the slots with the stripe index.

@@ -18,6 +18,7 @@
 #define PDDL_LAYOUT_PSEUDO_RANDOM_HH
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "layout/layout.hh"
@@ -59,10 +60,16 @@ class PseudoRandomLayout : public Layout
         std::vector<std::vector<int>> offset;
     };
 
-    /** Build (or fetch the cached) round r. */
+    /**
+     * Build (or fetch the cached) round r. Callers must hold
+     * `mutex_` for the whole use of the returned reference: the
+     * harness shares one layout across worker threads, and a cache
+     * refill would otherwise race with a concurrent reader.
+     */
     const Round &round(int64_t r) const;
 
     uint64_t seed_;
+    mutable std::mutex mutex_;
     mutable Round cached_;
 };
 

@@ -1,0 +1,33 @@
+#include "stats/tally.hh"
+
+namespace pddl {
+
+void
+Tally::add(const std::string &key, int64_t delta)
+{
+    for (auto &entry : entries_) {
+        if (entry.first == key) {
+            entry.second += delta;
+            return;
+        }
+    }
+    entries_.emplace_back(key, delta);
+}
+
+int64_t
+Tally::get(const std::string &key) const
+{
+    for (const auto &entry : entries_)
+        if (entry.first == key)
+            return entry.second;
+    return 0;
+}
+
+void
+Tally::merge(const Tally &other)
+{
+    for (const auto &entry : other.entries_)
+        add(entry.first, entry.second);
+}
+
+} // namespace pddl

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Mergeable named counters.
+ *
+ * The experiment harness aggregates integer event counts (grid
+ * points run, samples collected, per-class seek totals) across
+ * worker threads; each worker fills a private Tally and the runner
+ * merges them after the join. Entries keep insertion order so that
+ * reports and JSON output are stable run to run.
+ */
+
+#ifndef PDDL_STATS_TALLY_HH
+#define PDDL_STATS_TALLY_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pddl {
+
+/** Ordered string-keyed 64-bit counters with merge. */
+class Tally
+{
+  public:
+    /** Add `delta` to counter `key`, creating it at zero. */
+    void add(const std::string &key, int64_t delta = 1);
+
+    /** Current value of `key` (0 when never added). */
+    int64_t get(const std::string &key) const;
+
+    /**
+     * Fold another tally into this one. Keys unknown here are
+     * appended in the other tally's order, so merging per-thread
+     * tallies in thread-index order yields a stable entry order.
+     */
+    void merge(const Tally &other);
+
+    /** All counters in insertion order. */
+    const std::vector<std::pair<std::string, int64_t>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+    bool empty() const { return entries_.empty(); }
+
+  private:
+    std::vector<std::pair<std::string, int64_t>> entries_;
+};
+
+} // namespace pddl
+
+#endif // PDDL_STATS_TALLY_HH

@@ -22,6 +22,30 @@ Welford::add(double x)
     m2_ += delta * (x - mean_);
 }
 
+void
+Welford::merge(const Welford &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    int64_t total = count_ + other.count_;
+    mean_ += delta * static_cast<double>(other.count_) /
+             static_cast<double>(total);
+    m2_ += other.m2_ + delta * delta *
+                           static_cast<double>(count_) *
+                           static_cast<double>(other.count_) /
+                           static_cast<double>(total);
+    count_ = total;
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+}
+
 double
 Welford::variance() const
 {

@@ -49,6 +49,13 @@ class Welford
     bool converged(double relative_tolerance, double z = 1.96,
                    int64_t min_samples = 200) const;
 
+    /**
+     * Fold another accumulator into this one (Chan et al.'s parallel
+     * combination), as if every sample of `other` had been add()ed
+     * here. Lets per-thread accumulators merge after a parallel run.
+     */
+    void merge(const Welford &other);
+
   private:
     int64_t count_ = 0;
     double mean_ = 0.0;

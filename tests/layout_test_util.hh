@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/pddl_layout.hh"
+#include "core/search.hh"
 #include "core/wrapped_layout.hh"
 #include "layout/datum.hh"
 #include "layout/parity_decluster.hh"
@@ -24,15 +25,20 @@ namespace pddl {
 /** Identifier + configuration of a layout under test. */
 struct LayoutSpec
 {
-    std::string kind; ///< raid5 | pd | prime | datum | pseudo | pddl
+    /** raid5 | pd | prime | datum | pseudo | pddl | wrapped | pddl_ms */
+    std::string kind;
     int disks;
     int width;
+    /** Distributed spare columns (pddl_ms only). */
+    int spares = 1;
 
     friend std::ostream &
     operator<<(std::ostream &os, const LayoutSpec &spec)
     {
-        return os << spec.kind << "_n" << spec.disks << "_k"
-                  << spec.width;
+        os << spec.kind << "_n" << spec.disks << "_k" << spec.width;
+        if (spec.spares != 1)
+            os << "_s" << spec.spares;
+        return os;
     }
 };
 
@@ -60,6 +66,20 @@ makeLayout(const LayoutSpec &spec)
     if (spec.kind == "wrapped") {
         return std::make_unique<WrappedLayout>(
             WrappedLayout::make(spec.disks, spec.width));
+    }
+    if (spec.kind == "pddl_ms") {
+        // Multi-spare PDDL (section 5): found by the bounded search;
+        // the fixed seed keeps the suite deterministic.
+        SearchOptions options;
+        options.seed = 21;
+        options.restarts = 120;
+        auto group = searchGroupOfSize(spec.disks, spec.width, 2,
+                                       options, spec.spares);
+        if (!group) {
+            throw std::runtime_error(
+                "no multi-spare group for this shape");
+        }
+        return std::make_unique<PddlLayout>(*group);
     }
     throw std::invalid_argument("unknown layout kind " + spec.kind);
 }

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "sim/event_queue.hh"
 
 namespace pddl {
@@ -31,6 +34,63 @@ TEST(EventQueue, TiesBreakByInsertionOrder)
     q.runUntilEmpty();
     for (int i = 0; i < 10; ++i)
         EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, TiesBreakByInsertionAcrossInterleavedTimes)
+{
+    // Equal-timestamp events must fire in insertion order even when
+    // their insertions are interleaved with other timestamps -- the
+    // pattern a parallel-looking simulation produces.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(2.0, [&] { order.push_back(0); });
+    q.schedule(1.0, [&] { order.push_back(10); });
+    q.schedule(2.0, [&] { order.push_back(1); });
+    q.schedule(3.0, [&] { order.push_back(20); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    q.runUntilEmpty();
+    EXPECT_EQ(order, (std::vector<int>{10, 0, 1, 2, 20}));
+}
+
+TEST(EventQueue, TiesIncludeEventsScheduledWhileRunning)
+{
+    // An event scheduling another event at the *same* timestamp: the
+    // new event runs after every previously inserted tie, never
+    // before (insertion sequence keeps growing monotonically).
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] {
+        order.push_back(0);
+        q.scheduleAfter(0.0, [&] { order.push_back(3); });
+    });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(1.0, [&] { order.push_back(2); });
+    q.runUntilEmpty();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueue, ManyTiesStaySorted)
+{
+    // Larger tie groups at several timestamps; each group must drain
+    // in insertion order (a heap without a sequence number would
+    // permute these).
+    EventQueue q;
+    std::vector<std::pair<double, int>> order;
+    for (int i = 0; i < 50; ++i) {
+        double t = static_cast<double>(i % 5);
+        q.schedule(t, [&order, t, i] { order.emplace_back(t, i); });
+    }
+    q.runUntilEmpty();
+    ASSERT_EQ(order.size(), 50u);
+    for (size_t i = 1; i < order.size(); ++i) {
+        if (order[i - 1].first == order[i].first) {
+            EXPECT_LT(order[i - 1].second, order[i].second)
+                << "tie at t=" << order[i].first << " reordered";
+        } else {
+            EXPECT_LT(order[i - 1].first, order[i].first);
+        }
+    }
 }
 
 TEST(EventQueue, EventsCanScheduleEvents)

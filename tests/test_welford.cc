@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "stats/tally.hh"
 #include "stats/welford.hh"
 #include "util/rng.hh"
 
@@ -35,6 +36,74 @@ TEST(Welford, SingleSample)
     EXPECT_DOUBLE_EQ(w.mean(), 3.5);
     EXPECT_DOUBLE_EQ(w.variance(), 0.0);
     EXPECT_DOUBLE_EQ(w.confidenceHalfWidth(), 0.0);
+}
+
+TEST(Welford, MergeMatchesSequentialAccumulation)
+{
+    // Splitting a stream across accumulators and merging must agree
+    // with a single accumulator over the whole stream -- this is what
+    // the parallel harness relies on.
+    Rng rng(7);
+    Welford whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform() * 100.0 - 25.0;
+        whole.add(x);
+        (i % 3 == 0 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Welford, MergeWithEmptySides)
+{
+    Welford filled;
+    filled.add(1.0);
+    filled.add(3.0);
+
+    Welford empty;
+    Welford target = filled;
+    target.merge(empty); // no-op
+    EXPECT_EQ(target.count(), 2);
+    EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+
+    Welford fresh;
+    fresh.merge(filled); // adopt
+    EXPECT_EQ(fresh.count(), 2);
+    EXPECT_DOUBLE_EQ(fresh.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(fresh.min(), 1.0);
+    EXPECT_DOUBLE_EQ(fresh.max(), 3.0);
+}
+
+TEST(Tally, CountsAndKeepsInsertionOrder)
+{
+    Tally tally;
+    EXPECT_TRUE(tally.empty());
+    tally.add("reads");
+    tally.add("writes", 5);
+    tally.add("reads", 2);
+    EXPECT_EQ(tally.get("reads"), 3);
+    EXPECT_EQ(tally.get("writes"), 5);
+    EXPECT_EQ(tally.get("absent"), 0);
+    ASSERT_EQ(tally.entries().size(), 2u);
+    EXPECT_EQ(tally.entries()[0].first, "reads");
+    EXPECT_EQ(tally.entries()[1].first, "writes");
+}
+
+TEST(Tally, MergeAddsCountsAndAppendsNewKeys)
+{
+    Tally a, b;
+    a.add("points", 2);
+    b.add("points", 3);
+    b.add("samples", 100);
+    a.merge(b);
+    EXPECT_EQ(a.get("points"), 5);
+    EXPECT_EQ(a.get("samples"), 100);
+    ASSERT_EQ(a.entries().size(), 2u);
+    EXPECT_EQ(a.entries()[1].first, "samples");
 }
 
 TEST(Welford, NumericallyStableForLargeOffsets)
