@@ -13,7 +13,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pddl;
-    bench::parseArgs(argc, argv);
+    bench::parseArgs(argc, argv,
+                     "Ablation: satisfactory vs unsatisfactory base permutation");
     DiskModel model = DiskModel::hp2247();
 
     // Satisfactory (Bose) vs identity base permutation, 13 disks.

@@ -62,7 +62,8 @@ run(const Layout &layout, int clients, int rebuild_parallel,
 int
 main(int argc, char **argv)
 {
-    bench::parseArgs(argc, argv);
+    bench::parseArgs(argc, argv,
+                     "Ablation: rebuild parallelism vs duration and client response time");
     PddlLayout layout = PddlLayout::make(13, 4);
     const int64_t stripes = bench::fullFidelity() ? 39000 : 3900;
 

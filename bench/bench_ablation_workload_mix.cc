@@ -15,7 +15,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pddl;
-    bench::parseArgs(argc, argv);
+    bench::parseArgs(argc, argv,
+                     "Extension: open-loop OLTP-ish workload mix across offered loads");
     auto layouts = bench::evaluatedLayouts();
     DiskModel model = DiskModel::hp2247();
     const bool full = bench::fullFidelity();

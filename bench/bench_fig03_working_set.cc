@@ -18,7 +18,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pddl;
-    bench::parseArgs(argc, argv);
+    bench::parseArgs(argc, argv,
+                     "Figure 3: analytic disk working-set sizes per access size and mode");
     auto layouts = bench::evaluatedLayouts();
 
     const char *figure = "Figure 3";

@@ -10,7 +10,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pddl;
-    bench::parseArgs(argc, argv);
+    bench::parseArgs(argc, argv,
+                     "Figure 4: fault-free read seek/no-switch counts per access");
     bench::runSeekCountFigure("Figure 4",
                               "Fault free read; seek and no-switch "
                               "counts",

@@ -10,7 +10,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pddl;
-    bench::parseArgs(argc, argv);
+    bench::parseArgs(argc, argv,
+                     "Figure 5: fault-free read response times, 8-240 KB");
     bench::runResponseTimeFigure(
         "Figure 5", "Read response times, failure-free mode",
         {8, 48, 96, 144, 192, 240}, AccessType::Read,

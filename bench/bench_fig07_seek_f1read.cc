@@ -10,7 +10,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pddl;
-    bench::parseArgs(argc, argv);
+    bench::parseArgs(argc, argv,
+                     "Figure 7: degraded read seek/no-switch counts per access");
     bench::runSeekCountFigure("Figure 7",
                               "Degraded read; seek and no-switch "
                               "counts",

@@ -10,7 +10,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pddl;
-    bench::parseArgs(argc, argv);
+    bench::parseArgs(argc, argv,
+                     "Figure 9: degraded write response times, 8-240 KB");
     bench::runResponseTimeFigure(
         "Figure 9", "Write response times, single failure mode",
         {8, 48, 96, 144, 192, 240}, AccessType::Write,

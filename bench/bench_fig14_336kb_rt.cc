@@ -10,7 +10,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pddl;
-    bench::parseArgs(argc, argv);
+    bench::parseArgs(argc, argv,
+                     "Figure 14: 336 KB response times, reads and writes, both modes");
     bench::runResponseTimeFigure("Figure 14 (top left)",
                                  "336 KB reads, fault free", {336},
                                  AccessType::Read, ArrayMode::FaultFree);

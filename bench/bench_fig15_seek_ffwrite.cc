@@ -10,7 +10,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pddl;
-    bench::parseArgs(argc, argv);
+    bench::parseArgs(argc, argv,
+                     "Figure 15: fault-free write seek/no-switch counts per access");
     bench::runSeekCountFigure("Figure 15",
                               "Fault free write; seek and no-switch "
                               "counts",

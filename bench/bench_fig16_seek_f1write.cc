@@ -10,7 +10,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pddl;
-    bench::parseArgs(argc, argv);
+    bench::parseArgs(argc, argv,
+                     "Figure 16: degraded write seek/no-switch counts per access");
     bench::runSeekCountFigure("Figure 16",
                               "Degraded write; seek and no-switch "
                               "counts",

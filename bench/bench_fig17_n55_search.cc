@@ -11,12 +11,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_util.hh"
 #include "core/search.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv,
+                     "Figure 17: satisfactory base permutations for 55 disks, width 6");
 
     PermutationGroup pair = paperFigure17Pair();
     std::printf("Figure 17: base permutation pair for n=55, k=6, "

@@ -11,7 +11,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pddl;
-    bench::parseArgs(argc, argv);
+    bench::parseArgs(argc, argv,
+                     "Figure 18: PDDL reads in fault-free, reconstruction and post-reconstruction modes");
     PddlLayout layout = PddlLayout::make(13, 4);
     DiskModel model = DiskModel::hp2247();
 

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Extension: Monte-Carlo reliability sweep.
+ *
+ * The paper evaluates degraded and reconstruction performance as
+ * separate frozen modes; this bench runs the full live lifecycle
+ * instead -- fault-free service, injected failures, degraded
+ * operation, distributed-spare rebuild, restored service, and
+ * (sometimes) data loss -- as one continuous mission per trial, the
+ * reliability lens of the parity-declustering literature (Dau et
+ * al.; Thomasian). Sweeps disk failure rate x rebuild aggressiveness
+ * x layout family, N independent missions per cell, and reports the
+ * data-loss fraction, rebuild durations, and the response time
+ * clients saw inside the degraded window.
+ *
+ * Timescales are accelerated (MTTF comparable to rebuild duration)
+ * so loss events occur at measurable rates; loss fractions compare
+ * configurations, they are not absolute MTTDL predictions. Seeds
+ * derive from each cell's identity, so --json output is bit-identical
+ * for every --threads value.
+ */
+
+#include "bench_util.hh"
+#include "core/wrapped_layout.hh"
+#include "fault/reliability.hh"
+
+using namespace pddl;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv,
+                     "Reliability: Monte-Carlo sweep of failure rate "
+                     "x rebuild aggressiveness x layout");
+    const bool full = bench::fullFidelity();
+    DiskModel model = DiskModel::hp2247();
+
+    PddlLayout pddl = PddlLayout::make(13, 4);
+    WrappedLayout wrapped = WrappedLayout::make(14, 4);
+    const std::vector<const Layout *> layouts = {&pddl, &wrapped};
+
+    ReliabilityGridConfig grid;
+    grid.figure = "Reliability";
+    grid.trials = full ? 25 : 5;
+    grid.base.mission_ms = full ? 60000.0 : 30000.0;
+    grid.base.clients = 4;
+    grid.base.access_units = 3; // 24 KB reads
+    grid.base.rebuild_stripes = full ? 3900 : 1300;
+    grid.base.latent_mtbe_ms = 2500.0;
+    grid.base.scrub_interval_ms = 20.0;
+
+    // Per-disk MTTFs spanning "a failure is near-certain" to "two
+    // failures in one mission are rare": with 13-14 disks and 30 s
+    // missions, the expected failure count per mission runs ~2.6
+    // down to ~0.3 across this sweep.
+    const std::vector<double> mttfs_ms = {150000.0, 450000.0,
+                                          1350000.0};
+    const std::vector<int> parallelism = {1, 4, 8};
+    for (const Layout *layout : layouts) {
+        for (double mttf : mttfs_ms) {
+            for (int parallel : parallelism)
+                grid.cells.push_back({layout, mttf, parallel});
+        }
+    }
+
+    const char *caption = "Monte-Carlo failure lifecycle sweep "
+                          "(accelerated timescale)";
+    auto experiments = buildReliabilityExperiments(grid, model);
+    harness::RunSummary summary =
+        bench::runGrid(grid.figure.c_str(), caption, experiments);
+
+    std::printf("Reliability: %s\n", caption);
+    std::printf("(%d trials/cell, %.0f s missions, %d clients of "
+                "24 KB reads, %lld-stripe rebuilds)\n\n",
+                grid.trials, grid.base.mission_ms / 1000.0,
+                grid.base.clients,
+                static_cast<long long>(grid.base.rebuild_stripes));
+    std::printf("%-14s %8s %9s %10s %11s %11s %11s %10s\n", "layout",
+                "mttf s", "parallel", "loss frac", "rebuilds",
+                "rebuild ms", "degr ms/acc", "ff ms/acc");
+    bench::printRule(9);
+    size_t index = 0;
+    for (const Layout *layout : layouts) {
+        for (double mttf : mttfs_ms) {
+            for (int parallel : parallelism) {
+                const harness::PointResult &point =
+                    summary.points[index++];
+                auto extra = [&](const char *key) {
+                    for (const auto &entry : point.extras) {
+                        if (entry.first == key)
+                            return entry.second;
+                    }
+                    return 0.0;
+                };
+                std::printf("%-14s %8.0f %9d %10.2f %11.0f %11.0f "
+                            "%11.1f %10.1f\n",
+                            layout->name().c_str(), mttf / 1000.0,
+                            parallel, extra("data_loss_fraction"),
+                            extra("rebuilds_completed"),
+                            extra("rebuild_ms_mean"),
+                            extra("degraded_response_ms"),
+                            point.result.mean_response_ms);
+            }
+        }
+    }
+    std::printf(
+        "\nReading the table: a wider rebuild shortens the window a "
+        "second failure\ncan land in (lower loss fraction) but "
+        "inflates the response time degraded\nclients see -- the "
+        "trade-off distributed sparing tunes. Scrubbing and\nlatent-"
+        "error counters are in the --json extras.\n");
+    return 0;
+}

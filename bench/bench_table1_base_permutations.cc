@@ -16,13 +16,16 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench_util.hh"
 #include "core/search.hh"
 #include "util/modmath.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pddl;
+    bench::parseArgs(argc, argv,
+                     "Table 1: satisfactory base permutation counts per (g, k)");
     const bool full = std::getenv("PDDL_BENCH_FULL") != nullptr;
 
     std::printf("Table 1: Satisfactory PDDL base permutations\n");

@@ -122,23 +122,71 @@ options()
     return instance;
 }
 
+/** Print the shared usage/help text for one bench binary. */
+inline void
+printUsage(std::FILE *out, const char *program,
+           const char *description)
+{
+    std::fprintf(out, "usage: %s [--json <dir>] [--threads <n>] "
+                      "[--help]\n",
+                 program);
+    if (description != nullptr && *description != '\0')
+        std::fprintf(out, "\n  %s\n", description);
+    std::fprintf(
+        out,
+        "\noptions:\n"
+        "  --json <dir>   also write machine-readable "
+        "BENCH_<figure>.json files into <dir>\n"
+        "  --threads <n>  worker threads for the experiment grid\n"
+        "                 (default: PDDL_BENCH_THREADS or hardware "
+        "concurrency;\n"
+        "                 results are bit-identical for any value)\n"
+        "  --help         show this message and exit\n"
+        "\nenvironment:\n"
+        "  PDDL_BENCH_FULL=1     paper-fidelity stopping rule "
+        "(slower)\n"
+        "  PDDL_BENCH_THREADS=n  default worker count\n");
+}
+
 /**
- * Parse --json <dir> and --threads <n>. Call first in every bench
- * main(); unknown arguments abort with a usage message.
+ * Parse --json <dir>, --threads <n> and --help. Call first in every
+ * bench main(); `description` is the binary's one-line help blurb.
+ * Unknown options and missing values are rejected with a clear error
+ * and exit code 2.
  */
 inline void
-parseArgs(int argc, char **argv)
+parseArgs(int argc, char **argv, const char *description = "")
 {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--json" && i + 1 < argc) {
-            options().json_dir = argv[++i];
-        } else if (arg == "--threads" && i + 1 < argc) {
-            options().threads = std::atoi(argv[++i]);
+        if (arg == "--help" || arg == "-h") {
+            printUsage(stdout, argv[0], description);
+            std::exit(0);
+        } else if (arg == "--json" || arg == "--threads") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s: error: option '%s' requires a "
+                             "value\n",
+                             argv[0], arg.c_str());
+                printUsage(stderr, argv[0], description);
+                std::exit(2);
+            }
+            if (arg == "--json") {
+                options().json_dir = argv[++i];
+            } else {
+                options().threads = std::atoi(argv[++i]);
+                if (options().threads < 1) {
+                    std::fprintf(stderr,
+                                 "%s: error: '--threads %s' is not "
+                                 "a positive integer\n",
+                                 argv[0], argv[i]);
+                    std::exit(2);
+                }
+            }
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--json <dir>] [--threads <n>]\n",
-                         argv[0]);
+            std::fprintf(stderr, "%s: error: unknown option '%s'\n",
+                         argv[0], arg.c_str());
+            printUsage(stderr, argv[0], description);
             std::exit(2);
         }
     }

@@ -43,10 +43,15 @@ ArrayController::access(int64_t start_unit, int count, AccessType type,
         else
             pending->phase1.push_back(op);
     }
-    if (phase0.empty())
-        issueOps(pending->phase1, pending);
-    else
+    if (phase0.empty()) {
+        // No pre-reads: issue the overwrites directly. Move them out
+        // first, or phaseComplete would re-issue the batch.
+        std::vector<PhysOp> writes = std::move(pending->phase1);
+        pending->phase1.clear();
+        issueOps(writes, pending);
+    } else {
         issueOps(phase0, pending);
+    }
 }
 
 void
@@ -96,6 +101,54 @@ ArrayController::submitUnit(int disk, int64_t unit, bool write,
     request.access_id = next_access_id_++;
     request.done = std::move(done);
     disks_[disk]->submit(std::move(request));
+}
+
+void
+ArrayController::failDisk(int disk)
+{
+    assert(disk >= 0 && disk < layout_.numDisks());
+    assert(mapper_.mode() == ArrayMode::FaultFree &&
+           "one failure at a time; a second is data loss");
+    mapper_.setMode(ArrayMode::Degraded, disk);
+}
+
+void
+ArrayController::spareComplete(int disk)
+{
+    assert(mapper_.mode() == ArrayMode::Degraded &&
+           mapper_.failedDisk() == disk);
+    assert(layout_.hasSparing());
+    mapper_.setMode(ArrayMode::PostReconstruction, disk);
+}
+
+void
+ArrayController::restore(int disk)
+{
+    assert(mapper_.failedDisk() == disk);
+    (void)disk;
+    mapper_.setMode(ArrayMode::FaultFree);
+}
+
+void
+ArrayController::injectLatentError(int disk, int64_t unit)
+{
+    assert(disk >= 0 && disk < layout_.numDisks());
+    disks_[disk]->injectLatentError(
+        unit * static_cast<int64_t>(config_.unit_sectors));
+}
+
+void
+ArrayController::setMediumErrorHook(
+    std::function<void(int disk, int64_t lba)> hook)
+{
+    for (int d = 0; d < static_cast<int>(disks_.size()); ++d) {
+        if (!hook) {
+            disks_[d]->setMediumErrorHook({});
+            continue;
+        }
+        disks_[d]->setMediumErrorHook(
+            [hook, d](int64_t lba) { hook(d, lba); });
+    }
 }
 
 SeekTally

@@ -68,6 +68,39 @@ class ArrayController
     void submitUnit(int disk, int64_t unit, bool write,
                     std::function<void()> done);
 
+    /**
+     * Live failure of one disk: flips the mapper into degraded mode
+     * without reconstructing the controller. Accesses expanded before
+     * the call keep their old mapping (their in-flight operations
+     * complete as issued); everything expanded afterwards avoids the
+     * failed disk. Requires fault-free mode -- a second concurrent
+     * failure is a data-loss event the fault layer must detect, not a
+     * state this controller can serve.
+     */
+    void failDisk(int disk);
+
+    /**
+     * The failed disk's contents are rebuilt into distributed spare
+     * space: enter post-reconstruction service (sparing layouts).
+     */
+    void spareComplete(int disk);
+
+    /**
+     * The failed disk was replaced (and, conceptually, copied back):
+     * return to fault-free service.
+     */
+    void restore(int disk);
+
+    ArrayMode mode() const { return mapper_.mode(); }
+    int failedDisk() const { return mapper_.failedDisk(); }
+
+    /** Plant a latent medium error under one stripe unit of a disk. */
+    void injectLatentError(int disk, int64_t unit);
+
+    /** Hook invoked whenever a read surfaces a latent error. */
+    void setMediumErrorHook(
+        std::function<void(int disk, int64_t lba)> hook);
+
     /** Sum of all disks' seek tallies. */
     SeekTally aggregateTally() const;
 

@@ -35,8 +35,16 @@ ReconstructionEngine::start(std::function<void()> done)
 }
 
 void
+ReconstructionEngine::cancel()
+{
+    cancelled_ = true;
+}
+
+void
 ReconstructionEngine::pump()
 {
+    if (cancelled_)
+        return;
     while (in_flight_ < max_parallel_ && next_stripe_ < stripes_)
         rebuildStripe(next_stripe_++);
     if (in_flight_ == 0 && next_stripe_ >= stripes_ && !complete_) {

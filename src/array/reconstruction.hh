@@ -50,6 +50,15 @@ class ReconstructionEngine
      */
     void start(std::function<void()> done);
 
+    /**
+     * Abandon the sweep (second failure, trial cut short): no new
+     * stripes launch, in-flight operations drain without effect, and
+     * `done` never fires.
+     */
+    void cancel();
+
+    bool cancelled() const { return cancelled_; }
+
     /** Units rebuilt (spare writes completed) so far. */
     int64_t unitsRebuilt() const { return units_rebuilt_; }
 
@@ -80,6 +89,7 @@ class ReconstructionEngine
     int64_t units_rebuilt_ = 0;
     int64_t reads_issued_ = 0;
     bool complete_ = false;
+    bool cancelled_ = false;
     SimTime start_time_ = 0.0;
     SimTime finish_time_ = 0.0;
     std::function<void()> done_;

@@ -10,8 +10,16 @@ namespace pddl {
 
 RequestMapper::RequestMapper(const Layout &layout, ArrayMode mode,
                              int failed_disk)
-    : layout_(layout), mode_(mode), failed_disk_(failed_disk)
+    : layout_(layout)
 {
+    setMode(mode, failed_disk);
+}
+
+void
+RequestMapper::setMode(ArrayMode mode, int failed_disk)
+{
+    mode_ = mode;
+    failed_disk_ = failed_disk;
     if (mode_ == ArrayMode::FaultFree) {
         failed_disk_ = -1;
     } else {

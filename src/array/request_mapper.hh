@@ -92,6 +92,15 @@ class RequestMapper
     std::vector<PhysOp> expand(int64_t start_unit, int count,
                                AccessType type) const;
 
+    /**
+     * Switch operating mode at runtime (live failure lifecycle).
+     * Accesses expanded before the switch keep their old mapping;
+     * the transition is atomic at expansion time.
+     *
+     * @param failed_disk required (>= 0) unless mode is FaultFree
+     */
+    void setMode(ArrayMode mode, int failed_disk = -1);
+
     const Layout &layout() const { return layout_; }
     ArrayMode mode() const { return mode_; }
     int failedDisk() const { return failed_disk_; }

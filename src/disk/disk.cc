@@ -27,6 +27,40 @@ Disk::submit(DiskRequest request)
 }
 
 void
+Disk::injectLatentError(int64_t lba)
+{
+    assert(lba >= 0 && lba < model_.geometry.totalSectors());
+    latent_lbas_.insert(lba);
+}
+
+bool
+Disk::hasLatentErrorIn(int64_t lba, int sectors) const
+{
+    auto it = latent_lbas_.lower_bound(lba);
+    return it != latent_lbas_.end() && *it < lba + sectors;
+}
+
+void
+Disk::touchLatentErrors(int64_t lba, int sectors, bool write)
+{
+    auto it = latent_lbas_.lower_bound(lba);
+    while (it != latent_lbas_.end() && *it < lba + sectors) {
+        if (write) {
+            // Overwriting a latent sector remaps it: healed.
+            ++errors_repaired_;
+            it = latent_lbas_.erase(it);
+        } else {
+            // A read surfaces the error; the sector stays bad until
+            // something rewrites it.
+            ++errors_detected_;
+            if (medium_error_hook_)
+                medium_error_hook_(*it);
+            ++it;
+        }
+    }
+}
+
+void
 Disk::startNext()
 {
     assert(!busy_ && !queue_.empty());
@@ -73,6 +107,7 @@ Disk::startNext()
     busy_ms_ += service;
     events_.scheduleAfter(service, [this, request = std::move(request)] {
         busy_ = false;
+        touchLatentErrors(request.lba, request.sectors, request.write);
         if (request.done)
             request.done();
         // The completion callback may have enqueued more work.

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <set>
 
 #include "disk/geometry.hh"
 #include "disk/seek_model.hh"
@@ -118,6 +119,39 @@ class Disk
     /** Enqueue a request; service begins as the arm frees up. */
     void submit(DiskRequest request);
 
+    /**
+     * Mark one sector as a latent (undetected) medium error. The
+     * error surfaces when a read next touches the sector -- counted
+     * and reported through the medium-error hook -- and heals when a
+     * write next covers it (the drive remaps the sector).
+     */
+    void injectLatentError(int64_t lba);
+
+    /** Latent errors currently present on the media. */
+    int64_t latentErrors() const
+    {
+        return static_cast<int64_t>(latent_lbas_.size());
+    }
+
+    /** True when [lba, lba+sectors) covers a latent error. */
+    bool hasLatentErrorIn(int64_t lba, int sectors) const;
+
+    /** Latent-error sectors surfaced by reads so far. */
+    int64_t mediumErrorsDetected() const { return errors_detected_; }
+
+    /** Latent-error sectors healed by overwrites so far. */
+    int64_t mediumErrorsRepaired() const { return errors_repaired_; }
+
+    /**
+     * Called at service completion for every latent sector a read
+     * touches (fault layer uses it for data-loss accounting).
+     */
+    void
+    setMediumErrorHook(std::function<void(int64_t lba)> hook)
+    {
+        medium_error_hook_ = std::move(hook);
+    }
+
     /** Seek classification tallies since construction. */
     const SeekTally &tally() const { return tally_; }
 
@@ -138,6 +172,9 @@ class Disk
     /** Compute service time and update arm/head position. */
     SimTime serviceTime(const DiskRequest &request);
 
+    /** Surface (reads) or heal (writes) latent errors under a span. */
+    void touchLatentErrors(int64_t lba, int sectors, bool write);
+
     EventQueue &events_;
     DiskModel model_;
     int window_;
@@ -152,6 +189,11 @@ class Disk
 
     SeekTally tally_;
     SimTime busy_ms_ = 0.0;
+
+    std::set<int64_t> latent_lbas_;
+    int64_t errors_detected_ = 0;
+    int64_t errors_repaired_ = 0;
+    std::function<void(int64_t)> medium_error_hook_;
 };
 
 } // namespace pddl

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Monte-Carlo reliability trials.
+ *
+ * One trial is a continuous mission: a closed-loop client population
+ * offers load to a healthy array while a FaultScheduler plays a
+ * seeded random fault timeline against it -- failures trigger live
+ * degradation and distributed-spare rebuild, latent sector errors
+ * accumulate, a background scrubber repairs them. The trial records
+ * the lens reliability work evaluates declustered layouts through
+ * (Dau et al.; Thomasian): whether data was lost, how long rebuilds
+ * took, and what response time users saw inside the degraded window.
+ *
+ * Timescales are accelerated: disk MTTFs are chosen comparable to
+ * rebuild durations (seconds of simulated time, not a real drive's
+ * 10^5 hours) so that the interesting interactions -- second failure
+ * racing a rebuild, spare exhaustion, latent errors under load --
+ * occur at measurable rates with few trials. Data-loss fractions are
+ * therefore comparative across configurations, not absolute MTTDLs.
+ *
+ * The grid builder maps a (layout family x failure rate x rebuild
+ * aggressiveness) sweep onto the PR-1 parallel harness: every grid
+ * point derives its seed from its identity and each trial within a
+ * point re-derives from that, so results are bit-identical for every
+ * worker thread count.
+ */
+
+#ifndef PDDL_FAULT_RELIABILITY_HH
+#define PDDL_FAULT_RELIABILITY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_scheduler.hh"
+#include "harness/runner.hh"
+#include "stats/welford.hh"
+
+namespace pddl {
+
+/** Parameters of one reliability trial (one mission). */
+struct ReliabilityTrialConfig
+{
+    /** Mission length in simulated ms. */
+    SimTime mission_ms = 30000.0;
+    int clients = 4;
+    /** Access size in stripe units. */
+    int access_units = 3;
+    AccessType type = AccessType::Read;
+    /** Per-disk exponential MTTF in simulated ms; <= 0 = none. */
+    double disk_mttf_ms = 0.0;
+    /** Per-disk mean time between latent errors; <= 0 = none. */
+    double latent_mtbe_ms = 0.0;
+    int rebuild_parallel = 4;
+    /** Stripes each rebuild sweeps; 0 = all client stripes. */
+    int64_t rebuild_stripes = 0;
+    /** Scrub pacing; <= 0 disables scrubbing. */
+    SimTime scrub_interval_ms = 0.0;
+    int unit_sectors = 16;
+    int sstf_window = 20;
+    uint64_t seed = 1;
+};
+
+/** Everything one mission produced. */
+struct ReliabilityTrialResult
+{
+    bool data_loss = false;
+    SimTime data_loss_ms = 0.0;
+    std::string data_loss_cause;
+    /** Final lifecycle state at mission end. */
+    FaultState final_state = FaultState::FaultFree;
+    int failures_applied = 0;
+    int rebuilds_completed = 0;
+    Welford rebuild_ms;
+    /** Total simulated time spent in degraded service. */
+    SimTime degraded_ms = 0.0;
+    /** Response times over the whole mission. */
+    Welford response_ms;
+    /** Response times of accesses issued while degraded. */
+    Welford degraded_response_ms;
+    int latent_injected = 0;
+    int64_t latent_detected = 0;
+    int64_t scrub_repairs = 0;
+    int64_t scrub_units_scanned = 0;
+    /** Simulated time actually covered (mission, or cut at loss). */
+    SimTime simulated_ms = 0.0;
+};
+
+/**
+ * Run one mission. Deterministic: identical (layout, model, config)
+ * always produces the identical result.
+ */
+ReliabilityTrialResult runReliabilityTrial(
+    const Layout &layout, const DiskModel &model,
+    const ReliabilityTrialConfig &config);
+
+/** One cell of the Monte-Carlo sweep. */
+struct ReliabilityCell
+{
+    const Layout *layout = nullptr;
+    double disk_mttf_ms = 0.0;
+    int rebuild_parallel = 1;
+};
+
+/** The full sweep: cells x trials on the parallel harness. */
+struct ReliabilityGridConfig
+{
+    std::string figure = "Reliability";
+    std::vector<ReliabilityCell> cells;
+    /** Independent missions per cell (per-trial derived seeds). */
+    int trials = 4;
+    /** Shared per-trial parameters (mttf/parallel overridden). */
+    ReliabilityTrialConfig base;
+};
+
+/**
+ * Build one harness experiment per cell. Each experiment runs its
+ * `trials` missions sequentially with seeds derived from the cell
+ * identity and reports merged statistics plus a data_loss_fraction
+ * extra, so a grid run is bit-identical across thread counts.
+ *
+ * `layouts` in the grid config (and `model`) must outlive the run.
+ */
+std::vector<harness::Experiment> buildReliabilityExperiments(
+    const ReliabilityGridConfig &grid, const DiskModel &model);
+
+} // namespace pddl
+
+#endif // PDDL_FAULT_RELIABILITY_HH

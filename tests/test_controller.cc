@@ -114,6 +114,122 @@ TEST_F(ControllerFixture, PostReconstructionUsesSpareHomes)
     EXPECT_EQ(array.aggregateTally().total(), 60);
 }
 
+TEST_F(ControllerFixture, RuntimeFailureForcesLargeWriteOfLostDataUnit)
+{
+    // A write whose modified data unit sits on the failed disk must
+    // become a reconstruct-write: pre-read the surviving unmodified
+    // data, then overwrite the checks -- phase-1 never touches the
+    // failed disk.
+    PddlLayout pddl(boseConstruction(13, 4));
+    ArrayController array(events, pddl, model, ArrayConfig{});
+    const int64_t stripe = 7;
+    const int failed = pddl.unitAddress(stripe, 0).disk;
+    array.failDisk(failed);
+    EXPECT_EQ(array.mode(), ArrayMode::Degraded);
+
+    RequestMapper expect(pddl, ArrayMode::Degraded, failed);
+    auto ops = expect.expand(stripe * 3, 1, AccessType::Write);
+    // Large write: read 2 surviving data units, write the check.
+    ASSERT_EQ(ops.size(), 3u);
+    int64_t before = array.aggregateTally().total();
+    int completions = 0;
+    array.access(stripe * 3, 1, AccessType::Write,
+                 [&] { ++completions; });
+    events.runUntilEmpty();
+    EXPECT_EQ(completions, 1);
+    EXPECT_EQ(array.aggregateTally().total() - before,
+              static_cast<int64_t>(ops.size()));
+    EXPECT_EQ(array.disk(failed).tally().total(), 0);
+}
+
+TEST_F(ControllerFixture, RuntimeFailureForcesSmallWriteOfLostUnmodifiedUnit)
+{
+    // When the failed disk holds an *unmodified* data unit of the
+    // stripe, the mapper must fall back to read-modify-write even
+    // where fault-free policy would reconstruct-write.
+    PddlLayout pddl(boseConstruction(13, 4));
+    ArrayController array(events, pddl, model, ArrayConfig{});
+    const int64_t stripe = 11;
+    const int failed = pddl.unitAddress(stripe, 2).disk;
+    array.failDisk(failed);
+
+    RequestMapper expect(pddl, ArrayMode::Degraded, failed);
+    // Modify 2 of 3 data units: fault-free policy would large-write,
+    // but the unmodified unit's disk is gone.
+    auto ops = expect.expand(stripe * 3, 2, AccessType::Write);
+    // Small write: pre-read 2 modified data + check, overwrite them.
+    ASSERT_EQ(ops.size(), 6u);
+    for (const PhysOp &op : ops)
+        EXPECT_NE(op.addr.disk, failed);
+    int64_t before = array.aggregateTally().total();
+    int completions = 0;
+    array.access(stripe * 3, 2, AccessType::Write,
+                 [&] { ++completions; });
+    events.runUntilEmpty();
+    EXPECT_EQ(completions, 1);
+    EXPECT_EQ(array.aggregateTally().total() - before,
+              static_cast<int64_t>(ops.size()));
+    EXPECT_EQ(array.disk(failed).tally().total(), 0);
+}
+
+TEST_F(ControllerFixture, RuntimeFailureOfCheckUnitDropsParityMaintenance)
+{
+    // Failed check unit: nothing protects the stripe, so a write is
+    // a bare overwrite of the modified data.
+    PddlLayout pddl(boseConstruction(13, 4));
+    ArrayController array(events, pddl, model, ArrayConfig{});
+    const int64_t stripe = 5;
+    const int failed = pddl.unitAddress(stripe, 3).disk;
+    array.failDisk(failed);
+
+    RequestMapper expect(pddl, ArrayMode::Degraded, failed);
+    auto ops = expect.expand(stripe * 3, 1, AccessType::Write);
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_TRUE(ops[0].write);
+    int64_t before = array.aggregateTally().total();
+    int completions = 0;
+    array.access(stripe * 3, 1, AccessType::Write,
+                 [&] { ++completions; });
+    events.runUntilEmpty();
+    EXPECT_EQ(completions, 1);
+    EXPECT_EQ(array.aggregateTally().total() - before, 1);
+    EXPECT_EQ(array.disk(failed).tally().total(), 0);
+}
+
+TEST_F(ControllerFixture, RuntimeFailRestoreCycleOnOneController)
+{
+    // The live lifecycle APIs flip one controller through fault-free
+    // -> degraded -> post-reconstruction -> fault-free in place.
+    PddlLayout pddl(boseConstruction(13, 4));
+    ArrayController array(events, pddl, model, ArrayConfig{});
+    EXPECT_EQ(array.mode(), ArrayMode::FaultFree);
+    EXPECT_EQ(array.failedDisk(), -1);
+
+    array.failDisk(4);
+    EXPECT_EQ(array.mode(), ArrayMode::Degraded);
+    EXPECT_EQ(array.failedDisk(), 4);
+    int completions = 0;
+    for (int i = 0; i < 20; ++i)
+        array.access(i * 53, 2, AccessType::Read,
+                     [&] { ++completions; });
+    events.runUntilEmpty();
+    EXPECT_EQ(completions, 20);
+    EXPECT_EQ(array.disk(4).tally().total(), 0);
+
+    array.spareComplete(4);
+    EXPECT_EQ(array.mode(), ArrayMode::PostReconstruction);
+    array.restore(4);
+    EXPECT_EQ(array.mode(), ArrayMode::FaultFree);
+    EXPECT_EQ(array.failedDisk(), -1);
+    // Back in service: the repaired disk carries load again.
+    for (int i = 0; i < 200; ++i)
+        array.access(i * 3, 3, AccessType::Read,
+                     [&] { ++completions; });
+    events.runUntilEmpty();
+    EXPECT_EQ(completions, 220);
+    EXPECT_GT(array.disk(4).tally().total(), 0);
+}
+
 TEST_F(ControllerFixture, DeterministicReplay)
 {
     auto run = [&] {

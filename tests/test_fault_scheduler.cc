@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: the live failure
+ * lifecycle (fault-free -> degraded -> rebuilding -> restored on one
+ * controller), data-loss detection, latent-error scrubbing, and the
+ * thread-count invariance of the Monte-Carlo reliability sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pddl_layout.hh"
+#include "fault/fault_scheduler.hh"
+#include "fault/reliability.hh"
+#include "harness/runner.hh"
+
+namespace pddl {
+namespace {
+
+struct FaultFixture : ::testing::Test
+{
+    EventQueue events;
+    PddlLayout layout{boseConstruction(13, 4)};
+    DiskModel model = DiskModel::hp2247();
+
+    FaultSchedule
+    scripted(std::vector<FaultEvent> timeline)
+    {
+        FaultSchedule schedule;
+        schedule.events = std::move(timeline);
+        return schedule;
+    }
+};
+
+TEST_F(FaultFixture, LiveLifecycleRunsToRestoredOnOneController)
+{
+    ArrayController array(events, layout, model, ArrayConfig{});
+    EXPECT_EQ(array.mode(), ArrayMode::FaultFree);
+
+    FaultScheduler::Options options;
+    options.rebuild_stripes = 130;
+    options.rebuild_parallel = 4;
+    std::vector<FaultState> transitions;
+    options.on_state_change = [&](FaultState state) {
+        transitions.push_back(state);
+    };
+    FaultScheduler scheduler(
+        events, array,
+        scripted({{100.0, FaultEvent::Kind::DiskFailure, 3, 0}}),
+        options);
+    scheduler.start();
+    events.runUntilEmpty();
+
+    // One continuous run: failure applied live, rebuild swept into
+    // spare space, full service restored -- no controller rebuild.
+    EXPECT_EQ(scheduler.state(), FaultState::Restored);
+    EXPECT_EQ(array.mode(), ArrayMode::PostReconstruction);
+    EXPECT_EQ(array.failedDisk(), 3);
+    EXPECT_EQ(scheduler.stats().failures_applied, 1);
+    EXPECT_EQ(scheduler.stats().rebuilds_completed, 1);
+    EXPECT_EQ(scheduler.stats().rebuild_ms.count(), 1);
+    EXPECT_GT(scheduler.stats().rebuild_ms.mean(), 0.0);
+    EXPECT_GT(scheduler.degradedMs(), 0.0);
+    EXPECT_FALSE(scheduler.stats().data_loss);
+    ASSERT_EQ(transitions.size(), 2u);
+    EXPECT_EQ(transitions[0], FaultState::Rebuilding);
+    EXPECT_EQ(transitions[1], FaultState::Restored);
+    // The failed disk was never touched.
+    EXPECT_EQ(array.disk(3).tally().total(), 0);
+
+    // Restored service: reads of relocated units are single ops that
+    // avoid the dead disk.
+    int64_t before = array.aggregateTally().total();
+    int completions = 0;
+    for (int i = 0; i < 30; ++i)
+        array.access(i * 7, 1, AccessType::Read, [&] { ++completions; });
+    events.runUntilEmpty();
+    EXPECT_EQ(completions, 30);
+    EXPECT_EQ(array.aggregateTally().total() - before, 30);
+    EXPECT_EQ(array.disk(3).tally().total(), 0);
+}
+
+TEST_F(FaultFixture, SecondFailureBeforeRebuildCompleteIsDataLoss)
+{
+    ArrayController array(events, layout, model, ArrayConfig{});
+    FaultScheduler::Options options;
+    options.rebuild_stripes = 390;
+    FaultScheduler scheduler(
+        events, array,
+        scripted({{10.0, FaultEvent::Kind::DiskFailure, 0, 0},
+                  {12.0, FaultEvent::Kind::DiskFailure, 5, 0}}),
+        options);
+    scheduler.start();
+    events.runUntilEmpty();
+
+    EXPECT_EQ(scheduler.state(), FaultState::DataLoss);
+    EXPECT_TRUE(scheduler.stats().data_loss);
+    EXPECT_EQ(scheduler.stats().data_loss_cause,
+              "second_failure_before_rebuild_complete");
+    EXPECT_DOUBLE_EQ(scheduler.stats().data_loss_ms, 12.0);
+    EXPECT_EQ(scheduler.stats().rebuilds_completed, 0);
+    // The cancelled rebuild never flips the array to restored.
+    EXPECT_EQ(array.mode(), ArrayMode::Degraded);
+    EXPECT_GT(scheduler.degradedMs(), 0.0);
+}
+
+TEST_F(FaultFixture, FailureAfterSpareConsumedIsDataLoss)
+{
+    ArrayController array(events, layout, model, ArrayConfig{});
+    FaultScheduler::Options options;
+    options.rebuild_stripes = 13;
+    options.rebuild_parallel = 8;
+    FaultScheduler scheduler(
+        events, array,
+        scripted({{10.0, FaultEvent::Kind::DiskFailure, 0, 0},
+                  {20000.0, FaultEvent::Kind::DiskFailure, 7, 0}}),
+        options);
+    scheduler.start();
+    events.runUntilEmpty();
+
+    // The first failure rebuilt fine; the second found no spare.
+    EXPECT_EQ(scheduler.stats().rebuilds_completed, 1);
+    EXPECT_EQ(scheduler.state(), FaultState::DataLoss);
+    EXPECT_EQ(scheduler.stats().data_loss_cause, "spare_exhausted");
+    EXPECT_DOUBLE_EQ(scheduler.stats().data_loss_ms, 20000.0);
+}
+
+TEST_F(FaultFixture, RepeatFailureOfTheDownDiskIsIgnored)
+{
+    ArrayController array(events, layout, model, ArrayConfig{});
+    FaultScheduler::Options options;
+    options.rebuild_stripes = 13;
+    FaultScheduler scheduler(
+        events, array,
+        scripted({{10.0, FaultEvent::Kind::DiskFailure, 2, 0},
+                  {11.0, FaultEvent::Kind::DiskFailure, 2, 0}}),
+        options);
+    scheduler.start();
+    events.runUntilEmpty();
+    EXPECT_FALSE(scheduler.stats().data_loss);
+    EXPECT_EQ(scheduler.stats().failures_applied, 1);
+    EXPECT_EQ(scheduler.state(), FaultState::Restored);
+}
+
+TEST_F(FaultFixture, ScrubFindsAndRepairsInjectedLatentErrors)
+{
+    ArrayController array(events, layout, model, ArrayConfig{});
+
+    // Plant latent errors on disk 2 under stripes the scrub sweep
+    // reaches shortly after injection (1 stripe per ms from t=0).
+    std::vector<FaultEvent> timeline;
+    for (int64_t stripe = 50; stripe < 200 && timeline.size() < 3;
+         ++stripe) {
+        for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
+            PhysAddr addr = layout.unitAddress(stripe, pos);
+            if (addr.disk == 2) {
+                timeline.push_back({5.0 + timeline.size(),
+                                    FaultEvent::Kind::LatentError, 2,
+                                    addr.unit});
+                break;
+            }
+        }
+    }
+    ASSERT_EQ(timeline.size(), 3u);
+
+    FaultScheduler::Options options;
+    options.scrub_interval_ms = 1.0;
+    FaultScheduler scheduler(events, array, scripted(timeline),
+                             options);
+    scheduler.start();
+    events.runUntil(2000.0);
+
+    EXPECT_EQ(scheduler.stats().latent_injected, 3);
+    EXPECT_GE(scheduler.stats().latent_detected, 3);
+    ASSERT_NE(scheduler.scrubber(), nullptr);
+    EXPECT_EQ(scheduler.scrubber()->errorsRepaired(), 3);
+    EXPECT_GT(scheduler.scrubber()->unitsScanned(), 0);
+    // The media is clean again.
+    EXPECT_EQ(array.disk(2).latentErrors(), 0);
+    EXPECT_EQ(array.disk(2).mediumErrorsRepaired(), 3);
+}
+
+TEST_F(FaultFixture, DrawnSchedulesAreDeterministicAndSorted)
+{
+    FaultDrawParams params;
+    params.horizon_ms = 50000.0;
+    params.disks = 13;
+    params.disk_mttf_ms = 20000.0;
+    params.latent_mtbe_ms = 5000.0;
+    params.units_per_disk = 1000;
+
+    FaultSchedule a = FaultSchedule::draw(42, params);
+    FaultSchedule b = FaultSchedule::draw(42, params);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    EXPECT_GT(a.events.size(), 0u);
+    bool any_failure = false, any_latent = false;
+    for (size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.events[i].when, b.events[i].when);
+        EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+        EXPECT_EQ(a.events[i].disk, b.events[i].disk);
+        EXPECT_EQ(a.events[i].unit, b.events[i].unit);
+        EXPECT_LT(a.events[i].when, params.horizon_ms);
+        EXPECT_GE(a.events[i].when, 0.0);
+        if (i > 0) {
+            EXPECT_GE(a.events[i].when, a.events[i - 1].when);
+        }
+        any_failure |= a.events[i].kind ==
+                       FaultEvent::Kind::DiskFailure;
+        any_latent |= a.events[i].kind ==
+                      FaultEvent::Kind::LatentError;
+    }
+    EXPECT_TRUE(any_failure);
+    EXPECT_TRUE(any_latent);
+    // Another seed draws another timeline.
+    FaultSchedule c = FaultSchedule::draw(43, params);
+    bool differs = c.events.size() != a.events.size();
+    for (size_t i = 0; !differs && i < a.events.size(); ++i)
+        differs = a.events[i].when != c.events[i].when;
+    EXPECT_TRUE(differs);
+}
+
+TEST_F(FaultFixture, ReliabilityTrialIsDeterministic)
+{
+    ReliabilityTrialConfig config;
+    config.mission_ms = 5000.0;
+    config.clients = 2;
+    config.disk_mttf_ms = 4000.0;
+    config.latent_mtbe_ms = 800.0;
+    config.rebuild_stripes = 130;
+    config.scrub_interval_ms = 10.0;
+    config.seed = 99;
+
+    ReliabilityTrialResult a =
+        runReliabilityTrial(layout, model, config);
+    ReliabilityTrialResult b =
+        runReliabilityTrial(layout, model, config);
+    EXPECT_EQ(a.data_loss, b.data_loss);
+    EXPECT_DOUBLE_EQ(a.data_loss_ms, b.data_loss_ms);
+    EXPECT_EQ(a.failures_applied, b.failures_applied);
+    EXPECT_EQ(a.response_ms.count(), b.response_ms.count());
+    EXPECT_DOUBLE_EQ(a.response_ms.mean(), b.response_ms.mean());
+    EXPECT_DOUBLE_EQ(a.degraded_ms, b.degraded_ms);
+    EXPECT_EQ(a.scrub_repairs, b.scrub_repairs);
+    EXPECT_GT(a.response_ms.count(), 0);
+}
+
+TEST_F(FaultFixture, ReliabilitySweepIsThreadCountInvariant)
+{
+    // The bench_reliability grid in miniature: identical simulation
+    // results (and so identical BENCH_reliability.json rows) for
+    // every worker thread count.
+    ReliabilityGridConfig grid;
+    grid.trials = 2;
+    grid.base.mission_ms = 4000.0;
+    grid.base.clients = 2;
+    grid.base.access_units = 2;
+    grid.base.rebuild_stripes = 130;
+    grid.base.latent_mtbe_ms = 600.0;
+    grid.base.scrub_interval_ms = 10.0;
+    for (int parallel : {1, 4})
+        grid.cells.push_back({&layout, 3000.0, parallel});
+
+    auto experiments = buildReliabilityExperiments(grid, model);
+    harness::RunSummary serial =
+        harness::ExperimentRunner(1).run(experiments);
+    harness::RunSummary parallel =
+        harness::ExperimentRunner(3).run(experiments);
+
+    ASSERT_EQ(serial.points.size(), experiments.size());
+    ASSERT_EQ(parallel.points.size(), experiments.size());
+    for (size_t i = 0; i < experiments.size(); ++i) {
+        const harness::PointResult &a = serial.points[i];
+        const harness::PointResult &b = parallel.points[i];
+        EXPECT_EQ(a.seed, b.seed);
+        EXPECT_EQ(a.result.mean_response_ms, b.result.mean_response_ms);
+        EXPECT_EQ(a.result.throughput_per_s, b.result.throughput_per_s);
+        EXPECT_EQ(a.result.samples, b.result.samples);
+        ASSERT_EQ(a.extras.size(), b.extras.size());
+        for (size_t e = 0; e < a.extras.size(); ++e) {
+            EXPECT_EQ(a.extras[e].first, b.extras[e].first);
+            EXPECT_EQ(a.extras[e].second, b.extras[e].second)
+                << "extra " << a.extras[e].first << " of row " << i;
+        }
+    }
+    // Loss statistics are meaningful: with a 3 s per-disk MTTF and
+    // 13 disks, every 4 s mission sees failures.
+    double failures = 0.0;
+    for (const auto &entry : serial.points[0].extras) {
+        if (entry.first == "failures_applied")
+            failures = entry.second;
+    }
+    EXPECT_GT(failures, 0.0);
+}
+
+} // namespace
+} // namespace pddl
