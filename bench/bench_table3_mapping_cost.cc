@@ -33,7 +33,7 @@ translateLoop(benchmark::State &state, MakeLayout make)
     int64_t du = 0;
     const int64_t span = layout.dataUnitsPerPeriod() * 4;
     for (auto _ : state) {
-        PhysAddr addr = layout.dataUnitAddress(du);
+        PhysAddr addr = layout.map(layout.virtualOf(du));
         benchmark::DoNotOptimize(addr);
         du = (du + 7) % span;
     }

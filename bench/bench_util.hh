@@ -25,16 +25,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/pddl_layout.hh"
+#include "harness/arg_parser.hh"
 #include "harness/runner.hh"
 #include "layout/datum.hh"
 #include "layout/parity_decluster.hh"
 #include "layout/prime.hh"
 #include "layout/raid5.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "workload/closed_loop.hh"
 
 namespace pddl {
@@ -113,6 +117,12 @@ struct BenchOptions
     std::string json_dir;
     /** Worker override; 0 = PDDL_BENCH_THREADS / hardware. */
     int threads = 0;
+    /** Merged metrics JSON file; empty disables metrics. */
+    std::string metrics_path;
+    /** Chrome trace JSON file; empty disables tracing. */
+    std::string trace_path;
+    /** The tracer observes only the first figure's first point. */
+    bool trace_attached = false;
 };
 
 inline BenchOptions &
@@ -122,74 +132,67 @@ options()
     return instance;
 }
 
-/** Print the shared usage/help text for one bench binary. */
-inline void
-printUsage(std::FILE *out, const char *program,
-           const char *description)
+/** The shared flight recorder behind --trace. */
+inline obs::Tracer &
+benchTracer()
 {
-    std::fprintf(out, "usage: %s [--json <dir>] [--threads <n>] "
-                      "[--help]\n",
-                 program);
-    if (description != nullptr && *description != '\0')
-        std::fprintf(out, "\n  %s\n", description);
-    std::fprintf(
-        out,
-        "\noptions:\n"
-        "  --json <dir>   also write machine-readable "
-        "BENCH_<figure>.json files into <dir>\n"
-        "  --threads <n>  worker threads for the experiment grid\n"
-        "                 (default: PDDL_BENCH_THREADS or hardware "
-        "concurrency;\n"
-        "                 results are bit-identical for any value)\n"
-        "  --help         show this message and exit\n"
-        "\nenvironment:\n"
-        "  PDDL_BENCH_FULL=1     paper-fidelity stopping rule "
-        "(slower)\n"
-        "  PDDL_BENCH_THREADS=n  default worker count\n");
+    static obs::Tracer instance(1 << 16);
+    return instance;
+}
+
+/** Metrics merged across every figure the binary runs. */
+inline obs::MetricsSnapshot &
+suiteMetrics()
+{
+    static obs::MetricsSnapshot instance;
+    return instance;
 }
 
 /**
- * Parse --json <dir>, --threads <n> and --help. Call first in every
- * bench main(); `description` is the binary's one-line help blurb.
- * Unknown options and missing values are rejected with a clear error
- * and exit code 2.
+ * Parse the shared bench flags (--json, --threads, --metrics,
+ * --trace, --help). Call first in every bench main(); `description`
+ * is the binary's one-line help blurb. Unknown options and missing
+ * values are rejected with a clear error and exit code 2. This is
+ * the single registration point for bench-wide flags: a flag added
+ * here reaches all bench binaries at once.
  */
 inline void
 parseArgs(int argc, char **argv, const char *description = "")
 {
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--help" || arg == "-h") {
-            printUsage(stdout, argv[0], description);
-            std::exit(0);
-        } else if (arg == "--json" || arg == "--threads") {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr,
-                             "%s: error: option '%s' requires a "
-                             "value\n",
-                             argv[0], arg.c_str());
-                printUsage(stderr, argv[0], description);
-                std::exit(2);
-            }
-            if (arg == "--json") {
-                options().json_dir = argv[++i];
-            } else {
-                options().threads = std::atoi(argv[++i]);
-                if (options().threads < 1) {
-                    std::fprintf(stderr,
-                                 "%s: error: '--threads %s' is not "
-                                 "a positive integer\n",
-                                 argv[0], argv[i]);
-                    std::exit(2);
-                }
-            }
-        } else {
-            std::fprintf(stderr, "%s: error: unknown option '%s'\n",
-                         argv[0], arg.c_str());
-            printUsage(stderr, argv[0], description);
-            std::exit(2);
-        }
+    harness::ArgParser parser(argv[0], description);
+    parser.addString("json", "dir",
+                     "also write machine-readable "
+                     "BENCH_<figure>.json files into <dir>");
+    parser.addInt("threads", "n",
+                  "worker threads for the experiment grid (default: "
+                  "PDDL_BENCH_THREADS or hardware concurrency; "
+                  "results are bit-identical for any value)",
+                  1);
+    parser.addString("metrics", "file",
+                     "write the merged metrics snapshot as JSON and "
+                     "embed per-point metrics in BENCH rows");
+    parser.addString("trace", "file",
+                     "record the first grid point as Chrome "
+                     "trace_event JSON (load in Perfetto or "
+                     "chrome://tracing)");
+    parser.setEpilog(
+        "environment:\n"
+        "  PDDL_BENCH_FULL=1     paper-fidelity stopping rule "
+        "(slower)\n"
+        "  PDDL_BENCH_THREADS=n  default worker count\n");
+    if (!parser.parse(argc, argv)) {
+        std::fprintf(stderr, "%s\n%s", parser.error().c_str(),
+                     parser.usage().c_str());
+        std::exit(2);
     }
+    if (parser.helpRequested()) {
+        std::fputs(parser.usage().c_str(), stdout);
+        std::exit(0);
+    }
+    options().json_dir = parser.getString("json");
+    options().threads = static_cast<int>(parser.getInt("threads", 0));
+    options().metrics_path = parser.getString("metrics");
+    options().trace_path = parser.getString("trace");
 }
 
 /**
@@ -232,6 +235,14 @@ runGrid(const char *figure, const char *caption,
         const std::vector<harness::Experiment> &experiments)
 {
     harness::ExperimentRunner runner(options().threads);
+    const bool metrics_on = !options().metrics_path.empty();
+    runner.enableMetrics(metrics_on);
+    if (!options().trace_path.empty() && !options().trace_attached) {
+        // Trace exactly one simulation (the first figure's first
+        // point): one run, one coherent timeline.
+        runner.setTracer(&benchTracer());
+        options().trace_attached = true;
+    }
     harness::RunSummary summary = runner.run(experiments);
     suiteTotals().counts.merge(summary.totals);
     suiteTotals().point_wall_ms.merge(summary.point_wall_ms);
@@ -240,6 +251,34 @@ runGrid(const char *figure, const char *caption,
         std::string path = harness::writeFigureJson(
             options().json_dir, figure, caption, summary);
         std::fprintf(stderr, "[%s] wrote %s\n", figure, path.c_str());
+    }
+    if (metrics_on) {
+        // Merge in submission order and rewrite cumulatively: the
+        // file is complete whenever the binary stops, and identical
+        // for every thread count.
+        for (const harness::PointResult &point : summary.points)
+            suiteMetrics().merge(point.metrics);
+        Json doc = Json::object();
+        doc.set("schema", "pddl-metrics-v1")
+            .set("metrics", suiteMetrics().toJson());
+        std::ofstream out(options().metrics_path, std::ios::trunc);
+        if (out) {
+            out << doc.dump();
+            std::fprintf(stderr, "[%s] wrote %s\n", figure,
+                         options().metrics_path.c_str());
+        } else {
+            std::fprintf(stderr, "[%s] cannot write %s\n", figure,
+                         options().metrics_path.c_str());
+        }
+    }
+    if (!options().trace_path.empty()) {
+        if (benchTracer().writeChromeJson(options().trace_path)) {
+            std::fprintf(stderr, "[%s] wrote %s\n", figure,
+                         options().trace_path.c_str());
+        } else {
+            std::fprintf(stderr, "[%s] cannot write %s\n", figure,
+                         options().trace_path.c_str());
+        }
     }
     std::fprintf(stderr,
                  "[%s] %zu grid points on %d thread(s) in %.2f s\n",

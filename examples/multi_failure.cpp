@@ -75,7 +75,7 @@ main()
     for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
         int surviving = 0;
         for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
-            int disk = layout.unitAddress(s, pos).disk;
+            int disk = layout.map({s, pos}).disk;
             if (disk != lost_a && disk != lost_b)
                 ++surviving;
         }

@@ -29,7 +29,7 @@ printPhysicalArray(const PddlLayout &layout)
     for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
         char letter = letters[s % 26];
         for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
-            PhysAddr a = layout.unitAddress(s, pos);
+            PhysAddr a = layout.map({s, pos});
             if (pos < layout.dataUnitsPerStripe()) {
                 grid[a.unit][a.disk] =
                     std::string(1, letter) + std::to_string(pos);

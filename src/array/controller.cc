@@ -2,9 +2,25 @@
 
 #include <cstddef>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace pddl {
+
+const char *
+arrayStateName(ArrayState state)
+{
+    switch (state) {
+      case ArrayState::FaultFree:
+        return "fault_free";
+      case ArrayState::Degraded:
+        return "degraded";
+      case ArrayState::PostReconstruction:
+        return "post_reconstruction";
+    }
+    return "unknown";
+}
 
 ArrayController::ArrayController(EventQueue &events,
                                  const Layout &layout,
@@ -15,8 +31,11 @@ ArrayController::ArrayController(EventQueue &events,
 {
     for (int d = 0; d < layout_.numDisks(); ++d) {
         disks_.push_back(std::make_unique<Disk>(events_, disk_model,
-                                                config_.sstf_window));
+                                                config_.sstf_window,
+                                                d, config_.probe));
     }
+    mapper_.setProbe(config_.probe);
+    config_.probe.lane(obs::kLaneArray, "array");
     // Usable client space: whole layout patterns that fit the media.
     int64_t rows = disk_model.geometry.totalSectors() /
                    config_.unit_sectors;
@@ -32,10 +51,18 @@ ArrayController::access(int64_t start_unit, int count, AccessType type,
     assert(start_unit >= 0 && start_unit + count <= data_units_);
     auto pending = std::make_shared<Pending>();
     pending->id = next_access_id_++;
+    pending->start_ms = events_.now();
     pending->done = std::move(done);
+
+    const obs::Probe &probe = config_.probe;
+    probe.count(type == AccessType::Read ? "array.reads"
+                                         : "array.writes");
+    probe.asyncBegin("access", "array", obs::kLaneArray, pending->id,
+                     pending->start_ms);
 
     std::vector<PhysOp> ops = mapper_.expand(start_unit, count, type);
     assert(!ops.empty());
+    probe.count("array.phys_ops", static_cast<double>(ops.size()));
     std::vector<PhysOp> phase0;
     for (PhysOp &op : ops) {
         if (op.phase == 0)
@@ -85,6 +112,11 @@ ArrayController::phaseComplete(const std::shared_ptr<Pending> &pending)
         issueOps(writes, pending);
         return;
     }
+    const obs::Probe &probe = config_.probe;
+    const double now = events_.now();
+    probe.observe("array.access_ms", now - pending->start_ms);
+    probe.asyncEnd("access", "array", obs::kLaneArray, pending->id,
+                   now);
     if (pending->done)
         pending->done();
 }
@@ -94,6 +126,7 @@ ArrayController::submitUnit(int disk, int64_t unit, bool write,
                             std::function<void()> done)
 {
     assert(disk >= 0 && disk < layout_.numDisks());
+    config_.probe.count("array.unit_ops");
     DiskRequest request;
     request.lba = unit * static_cast<int64_t>(config_.unit_sectors);
     request.sectors = config_.unit_sectors;
@@ -104,29 +137,47 @@ ArrayController::submitUnit(int disk, int64_t unit, bool write,
 }
 
 void
-ArrayController::failDisk(int disk)
+ArrayController::transition(ArrayState next, int disk)
 {
-    assert(disk >= 0 && disk < layout_.numDisks());
-    assert(mapper_.mode() == ArrayMode::FaultFree &&
-           "one failure at a time; a second is data loss");
-    mapper_.setMode(ArrayMode::Degraded, disk);
-}
+    const ArrayState from = mapper_.mode();
+    auto illegal = [&](const char *why) {
+        throw std::logic_error(
+            std::string("illegal array transition ") +
+            arrayStateName(from) + " -> " + arrayStateName(next) +
+            " (disk " + std::to_string(disk) + "): " + why);
+    };
 
-void
-ArrayController::spareComplete(int disk)
-{
-    assert(mapper_.mode() == ArrayMode::Degraded &&
-           mapper_.failedDisk() == disk);
-    assert(layout_.hasSparing());
-    mapper_.setMode(ArrayMode::PostReconstruction, disk);
-}
+    switch (next) {
+      case ArrayState::Degraded:
+        if (from != ArrayState::FaultFree)
+            illegal("one failure at a time; a second is data loss");
+        if (disk < 0 || disk >= layout_.numDisks())
+            illegal("failing disk id out of range");
+        mapper_.setMode(ArrayState::Degraded, disk);
+        break;
+      case ArrayState::PostReconstruction:
+        if (from != ArrayState::Degraded)
+            illegal("only a degraded array finishes sparing");
+        if (disk != mapper_.failedDisk())
+            illegal("spared disk is not the failed disk");
+        if (!layout_.hasSparing())
+            illegal("layout has no spare space");
+        mapper_.setMode(ArrayState::PostReconstruction, disk);
+        break;
+      case ArrayState::FaultFree:
+        if (from == ArrayState::FaultFree)
+            illegal("array is already fault-free");
+        mapper_.setMode(ArrayState::FaultFree);
+        break;
+    }
 
-void
-ArrayController::restore(int disk)
-{
-    assert(mapper_.failedDisk() == disk);
-    (void)disk;
-    mapper_.setMode(ArrayMode::FaultFree);
+    const obs::Probe &probe = config_.probe;
+    probe.count("array.transitions");
+    probe.instant("array.transition", "state", obs::kLaneArray,
+                  events_.now(),
+                  {{"from", arrayStateName(from)},
+                   {"to", arrayStateName(next)},
+                   {"disk", static_cast<double>(disk)}});
 }
 
 void

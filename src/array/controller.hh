@@ -20,9 +20,24 @@
 #include "array/request_mapper.hh"
 #include "disk/disk.hh"
 #include "layout/layout.hh"
+#include "obs/probe.hh"
 #include "sim/event_queue.hh"
 
 namespace pddl {
+
+/**
+ * Failure-lifecycle state of the array. The legal transitions form
+ * the lifecycle graph ArrayController::transition() enforces:
+ *
+ *   FaultFree -> Degraded            (disk failure)
+ *   Degraded -> PostReconstruction   (rebuilt into spare space)
+ *   Degraded -> FaultFree            (replaced without sparing)
+ *   PostReconstruction -> FaultFree  (replaced and copied back)
+ */
+using ArrayState = ArrayMode;
+
+/** Stable lowercase name of a state ("fault_free", ...). */
+const char *arrayStateName(ArrayState state);
 
 /** Controller configuration (paper Table 2 defaults). */
 struct ArrayConfig
@@ -33,6 +48,8 @@ struct ArrayConfig
     int failed_disk = -1;
     /** SSTF scan window per disk. */
     int sstf_window = 20;
+    /** Instrumentation sinks shared by controller and disks. */
+    obs::Probe probe;
 };
 
 /** The simulated array: disks + mapper + RMW sequencing. */
@@ -69,27 +86,51 @@ class ArrayController
                     std::function<void()> done);
 
     /**
-     * Live failure of one disk: flips the mapper into degraded mode
-     * without reconstructing the controller. Accesses expanded before
-     * the call keep their old mapping (their in-flight operations
-     * complete as issued); everything expanded afterwards avoids the
-     * failed disk. Requires fault-free mode -- a second concurrent
-     * failure is a data-loss event the fault layer must detect, not a
-     * state this controller can serve.
+     * Drive the failure lifecycle one legal edge (see ArrayState).
+     * Accesses expanded before the call keep their old mapping (their
+     * in-flight operations complete as issued); everything expanded
+     * afterwards sees the new state. A second concurrent failure is a
+     * data-loss event the fault layer must detect, not a state this
+     * controller can serve.
+     *
+     * @param next the state to enter
+     * @param disk the disk the edge concerns: the failing disk when
+     *        entering Degraded, the rebuilt/replaced disk otherwise
+     *        (ignored when returning to FaultFree)
+     * @throws std::logic_error on an illegal edge (self-transition,
+     *         failure while degraded, sparing without spare space, a
+     *         disk id out of range or naming the wrong disk)
      */
-    void failDisk(int disk);
+    void transition(ArrayState next, int disk = -1);
+
+    /** Current failure-lifecycle state. */
+    ArrayState state() const { return mapper_.mode(); }
+
+    /** @deprecated use transition(ArrayState::Degraded, disk). */
+    [[deprecated("use transition(ArrayState::Degraded, disk)")]] void
+    failDisk(int disk)
+    {
+        transition(ArrayState::Degraded, disk);
+    }
 
     /**
-     * The failed disk's contents are rebuilt into distributed spare
-     * space: enter post-reconstruction service (sparing layouts).
+     * @deprecated use transition(ArrayState::PostReconstruction,
+     * disk).
      */
-    void spareComplete(int disk);
+    [[deprecated(
+        "use transition(ArrayState::PostReconstruction, disk)")]] void
+    spareComplete(int disk)
+    {
+        transition(ArrayState::PostReconstruction, disk);
+    }
 
-    /**
-     * The failed disk was replaced (and, conceptually, copied back):
-     * return to fault-free service.
-     */
-    void restore(int disk);
+    /** @deprecated use transition(ArrayState::FaultFree). */
+    [[deprecated("use transition(ArrayState::FaultFree)")]] void
+    restore(int disk)
+    {
+        (void)disk;
+        transition(ArrayState::FaultFree);
+    }
 
     ArrayMode mode() const { return mapper_.mode(); }
     int failedDisk() const { return mapper_.failedDisk(); }
@@ -118,6 +159,7 @@ class ArrayController
         int outstanding = 0;
         std::vector<PhysOp> phase1;
         uint64_t id = 0;
+        double start_ms = 0.0;
         std::function<void()> done;
     };
 

@@ -12,8 +12,8 @@ ReconstructionEngine::ReconstructionEngine(EventQueue &events,
                                            int64_t stripes,
                                            int max_parallel)
     : events_(events), array_(array), layout_(array.layout()),
-      failed_disk_(failed_disk), stripes_(stripes),
-      max_parallel_(max_parallel)
+      probe_(array.config().probe), failed_disk_(failed_disk),
+      stripes_(stripes), max_parallel_(max_parallel)
 {
     assert(layout_.hasSparing() &&
            "reconstruction targets distributed spare space");
@@ -31,6 +31,10 @@ ReconstructionEngine::start(std::function<void()> done)
     assert(!done_ && "engine can only run once");
     done_ = std::move(done);
     start_time_ = events_.now();
+    probe_.lane(obs::kLaneRebuild, "rebuild");
+    probe_.asyncBegin("rebuild", "rebuild", obs::kLaneRebuild,
+                      static_cast<uint64_t>(failed_disk_),
+                      start_time_);
     pump();
 }
 
@@ -50,6 +54,10 @@ ReconstructionEngine::pump()
     if (in_flight_ == 0 && next_stripe_ >= stripes_ && !complete_) {
         complete_ = true;
         finish_time_ = events_.now();
+        probe_.asyncEnd("rebuild", "rebuild", obs::kLaneRebuild,
+                        static_cast<uint64_t>(failed_disk_),
+                        finish_time_);
+        probe_.observe("rebuild.duration_ms", durationMs());
         if (done_)
             done_();
     }
@@ -64,7 +72,7 @@ ReconstructionEngine::rebuildStripe(int64_t stripe)
     // skipped without I/O (the sweep just advances).
     int failed_pos = -1;
     for (int pos = 0; pos < width; ++pos) {
-        if (layout_.unitAddress(stripe, pos).disk == failed_disk_) {
+        if (layout_.map({stripe, pos}).disk == failed_disk_) {
             failed_pos = pos;
             break;
         }
@@ -72,18 +80,21 @@ ReconstructionEngine::rebuildStripe(int64_t stripe)
     if (failed_pos < 0)
         return;
 
-    PhysAddr lost = layout_.unitAddress(stripe, failed_pos);
+    PhysAddr lost = layout_.map({stripe, failed_pos});
     PhysAddr home = layout_.relocatedAddress(failed_disk_, lost.unit);
 
     ++in_flight_;
+    const double launch_ms = events_.now();
     auto outstanding = std::make_shared<int>(width - 1);
     for (int pos = 0; pos < width; ++pos) {
         if (pos == failed_pos)
             continue;
-        PhysAddr addr = layout_.unitAddress(stripe, pos);
+        PhysAddr addr = layout_.map({stripe, pos});
         ++reads_issued_;
+        probe_.count("rebuild.reads");
         array_.submitUnit(addr.disk, addr.unit, false,
-                          [this, outstanding, home] {
+                          [this, outstanding, home, stripe,
+                           launch_ms] {
                               if (--*outstanding > 0)
                                   return;
                               // All survivors read: XOR is free,
@@ -91,9 +102,19 @@ ReconstructionEngine::rebuildStripe(int64_t stripe)
                               // home.
                               array_.submitUnit(
                                   home.disk, home.unit, true,
-                                  [this] {
+                                  [this, stripe, launch_ms] {
                                       ++units_rebuilt_;
                                       --in_flight_;
+                                      probe_.count(
+                                          "rebuild.units_rebuilt");
+                                      probe_.complete(
+                                          "stripe", "rebuild",
+                                          obs::kLaneRebuild,
+                                          launch_ms,
+                                          events_.now() - launch_ms,
+                                          {{"stripe",
+                                            static_cast<double>(
+                                                stripe)}});
                                       pump();
                                   });
                           });

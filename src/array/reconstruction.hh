@@ -80,6 +80,7 @@ class ReconstructionEngine
     EventQueue &events_;
     ArrayController &array_;
     const Layout &layout_;
+    obs::Probe probe_;
     int failed_disk_;
     int64_t stripes_;
     int max_parallel_;

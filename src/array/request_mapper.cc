@@ -83,7 +83,7 @@ RequestMapper::expandStripeRead(int64_t stripe, int lo, int hi,
     const int width = layout_.stripeWidth();
     bool reconstruct = false;
     for (int pos = lo; pos < hi; ++pos) {
-        PhysAddr addr = layout_.unitAddress(stripe, pos);
+        PhysAddr addr = layout_.map({stripe, pos});
         if (mode_ == ArrayMode::Degraded && addr.disk == failed_disk_) {
             reconstruct = true;
             continue;
@@ -93,11 +93,14 @@ RequestMapper::expandStripeRead(int64_t stripe, int lo, int hi,
     if (reconstruct) {
         // Rebuild the lost unit on the fly: read every surviving unit
         // of the stripe (single failure; the check unit suffices).
+        probe_.count("mapper.degraded_reads");
         for (int pos = 0; pos < width; ++pos) {
-            PhysAddr addr = layout_.unitAddress(stripe, pos);
+            PhysAddr addr = layout_.map({stripe, pos});
             if (addr.disk != failed_disk_)
                 ops.push_back(PhysOp{addr, false, 0});
         }
+    } else {
+        probe_.count("mapper.direct_reads");
     }
 }
 
@@ -113,7 +116,7 @@ RequestMapper::expandStripeWrite(int64_t stripe, int lo, int hi,
     int failed_pos = -1;
     if (degraded) {
         for (int pos = 0; pos < width; ++pos) {
-            if (layout_.unitAddress(stripe, pos).disk == failed_disk_) {
+            if (layout_.map({stripe, pos}).disk == failed_disk_) {
                 failed_pos = pos;
                 break;
             }
@@ -124,7 +127,7 @@ RequestMapper::expandStripeWrite(int64_t stripe, int lo, int hi,
         if (pos == failed_pos)
             return;
         ops.push_back(
-            PhysOp{resolve(layout_.unitAddress(stripe, pos)), write,
+            PhysOp{resolve(layout_.map({stripe, pos})), write,
                    phase});
     };
     auto pushChecks = [&](bool write, int phase) {
@@ -136,6 +139,7 @@ RequestMapper::expandStripeWrite(int64_t stripe, int lo, int hi,
 
     if (lo == 0 && hi == data_units) {
         // Full-stripe write: no pre-reads, overwrite data + checks.
+        probe_.count("mapper.full_stripe_writes");
         for (int pos = 0; pos < data_units; ++pos)
             push(pos, true, 1);
         pushChecks(true, 1);
@@ -145,6 +149,7 @@ RequestMapper::expandStripeWrite(int64_t stripe, int lo, int hi,
     if (degraded && failed_pos >= data_units && !check_alive) {
         // The only check unit is lost: no parity to maintain, just
         // overwrite the data in place.
+        probe_.count("mapper.parityless_writes");
         for (int pos = lo; pos < hi; ++pos)
             push(pos, true, 1);
         return;
@@ -161,10 +166,12 @@ RequestMapper::expandStripeWrite(int64_t stripe, int lo, int hi,
     }
 
     if (small) {
+        probe_.count("mapper.small_writes");
         for (int pos = lo; pos < hi; ++pos)
             push(pos, false, 0);
         pushChecks(false, 0);
     } else {
+        probe_.count("mapper.large_writes");
         for (int pos = 0; pos < data_units; ++pos) {
             if (pos < lo || pos >= hi)
                 push(pos, false, 0);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "layout/layout.hh"
+#include "obs/probe.hh"
 
 namespace pddl {
 
@@ -105,6 +106,9 @@ class RequestMapper
     ArrayMode mode() const { return mode_; }
     int failedDisk() const { return failed_disk_; }
 
+    /** Attach instrumentation (mapping-decision counters). */
+    void setProbe(obs::Probe probe) { probe_ = probe; }
+
   private:
     /** Apply the post-reconstruction spare redirection. */
     PhysAddr resolve(PhysAddr addr) const;
@@ -117,6 +121,7 @@ class RequestMapper
     const Layout &layout_;
     ArrayMode mode_;
     int failed_disk_;
+    obs::Probe probe_;
 };
 
 } // namespace pddl

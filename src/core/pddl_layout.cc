@@ -9,14 +9,14 @@
 
 namespace pddl {
 
-VirtualAddress
+Raid4Address
 virtualDiskAddress(int64_t stripe_unit, int g, int k)
 {
     // Appendix listing: data columns are 1.. skipping every stripe's
     // check column (the k-th column of each group).
     assert(stripe_unit >= 0);
     const int64_t data_per_row = static_cast<int64_t>(g) * (k - 1);
-    VirtualAddress va;
+    Raid4Address va;
     va.offset = stripe_unit / data_per_row;
     int64_t d = stripe_unit % data_per_row;
     va.disk = static_cast<int>(1 + d + d / (k - 1));
@@ -62,7 +62,7 @@ PddlLayout::make(int disks, int width)
 }
 
 PhysAddr
-PddlLayout::unitAddress(int64_t stripe, int pos) const
+PddlLayout::mapUnit(int64_t stripe, int pos) const
 {
     assert(pos >= 0 && pos < stripeWidth());
     const int n = numDisks();

@@ -30,7 +30,7 @@
 namespace pddl {
 
 /** Virtual RAID-4 coordinates used by the appendix's linear API. */
-struct VirtualAddress
+struct Raid4Address
 {
     int disk;       ///< virtual column (data columns only)
     int64_t offset; ///< virtual row
@@ -41,7 +41,7 @@ struct VirtualAddress
  * appendix's virtualDisk() front end. Data columns skip the spare
  * (column 0) and each stripe's check column.
  */
-VirtualAddress virtualDiskAddress(int64_t stripe_unit, int g, int k);
+Raid4Address virtualDiskAddress(int64_t stripe_unit, int g, int k);
 
 /** PDDL: permutation-developed declustering with a distributed spare. */
 class PddlLayout : public Layout
@@ -83,7 +83,9 @@ class PddlLayout : public Layout
         return static_cast<int64_t>(group_.size()) * numDisks();
     }
 
-    PhysAddr unitAddress(int64_t stripe, int pos) const override;
+    const char *family() const override { return "pddl"; }
+
+    PhysAddr mapUnit(int64_t stripe, int pos) const override;
 
     bool hasSparing() const override { return true; }
 
@@ -118,6 +120,9 @@ class PddlLayout : public Layout
         return group_.develop(group_.perms[r / numDisks()][disk],
                               r % numDisks());
     }
+
+  protected:
+    int groupCount() const override { return group_.g; }
 
   private:
     PermutationGroup group_;

@@ -22,13 +22,13 @@ WrappedLayout::make(int outer_disks, int width)
 }
 
 PhysAddr
-WrappedLayout::unitAddress(int64_t stripe, int pos) const
+WrappedLayout::mapUnit(int64_t stripe, int pos) const
 {
     const int64_t inner_stripes = inner_.stripesPerPeriod();
     int64_t block = stripe / inner_stripes;
     int64_t inner_stripe = stripe % inner_stripes;
 
-    PhysAddr inner_addr = inner_.unitAddress(inner_stripe, pos);
+    PhysAddr inner_addr = inner_.map({inner_stripe, pos});
     int excluded = excludedDisk(block);
     int disk = toPhysical(inner_addr.disk, excluded);
     return PhysAddr{disk, rowBase(disk, block) + inner_addr.unit};

@@ -8,10 +8,14 @@
 
 namespace pddl {
 
-Disk::Disk(EventQueue &events, const DiskModel &model, int sstf_window)
-    : events_(events), model_(model), window_(sstf_window)
+Disk::Disk(EventQueue &events, const DiskModel &model, int sstf_window,
+           int id, obs::Probe probe)
+    : events_(events), model_(model), window_(sstf_window), id_(id),
+      probe_(probe), lane_(obs::kLaneDisk0 + id)
 {
     assert(window_ >= 1);
+    if (probe_.tracing())
+        probe_.lane(lane_, "disk " + std::to_string(id_));
 }
 
 void
@@ -21,7 +25,10 @@ Disk::submit(DiskRequest request)
     assert(request.lba >= 0 &&
            request.lba + request.sectors <=
                model_.geometry.totalSectors());
+    request.submit_ms = events_.now();
     queue_.push_back(std::move(request));
+    probe_.counterSample("queue depth", lane_, events_.now(), "depth",
+                         static_cast<double>(queue_.size()));
     if (!busy_)
         startNext();
 }
@@ -48,11 +55,16 @@ Disk::touchLatentErrors(int64_t lba, int sectors, bool write)
         if (write) {
             // Overwriting a latent sector remaps it: healed.
             ++errors_repaired_;
+            probe_.count("disk.medium_errors_repaired");
             it = latent_lbas_.erase(it);
         } else {
             // A read surfaces the error; the sector stays bad until
             // something rewrites it.
             ++errors_detected_;
+            probe_.count("disk.medium_errors_detected");
+            probe_.instant("medium error", "fault", lane_,
+                           events_.now(),
+                           {{"lba", static_cast<double>(*it)}});
             if (medium_error_hook_)
                 medium_error_hook_(*it);
             ++it;
@@ -103,10 +115,38 @@ Disk::startNext()
     last_access_id_ = request.access_id;
     has_last_ = true;
 
+    const double dispatch_ms = events_.now();
+    if (probe_.on()) {
+        static const char *const kSeekCounter[] = {
+            "disk.seek.non_local", "disk.seek.cylinder_switch",
+            "disk.seek.track_switch", "disk.seek.no_switch"};
+        probe_.count(kSeekCounter[static_cast<int>(cls)]);
+        probe_.count(request.write ? "disk.writes" : "disk.reads");
+        probe_.observe("disk.queue_wait_ms",
+                       dispatch_ms - request.submit_ms);
+    }
+
     SimTime service = serviceTime(request);
     busy_ms_ += service;
+    if (probe_.on()) {
+        probe_.observe("disk.service_ms", service);
+        probe_.complete(request.write ? "write" : "read", "disk",
+                        lane_, dispatch_ms, service,
+                        {{"lba", static_cast<double>(request.lba)},
+                         {"access",
+                          static_cast<double>(request.access_id)}});
+        probe_.counterSample("disk busy", lane_, dispatch_ms, "busy",
+                             1.0);
+    }
     events_.scheduleAfter(service, [this, request = std::move(request)] {
         busy_ = false;
+        if (probe_.tracing()) {
+            probe_.counterSample("disk busy", lane_, events_.now(),
+                                 "busy", 0.0);
+            probe_.counterSample("queue depth", lane_, events_.now(),
+                                 "depth",
+                                 static_cast<double>(queue_.size()));
+        }
         touchLatentErrors(request.lba, request.sectors, request.write);
         if (request.done)
             request.done();

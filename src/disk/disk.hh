@@ -22,6 +22,7 @@
 
 #include "disk/geometry.hh"
 #include "disk/seek_model.hh"
+#include "obs/probe.hh"
 #include "sim/event_queue.hh"
 
 namespace pddl {
@@ -99,6 +100,8 @@ struct DiskRequest
     uint64_t access_id = 0;
     /** Completion callback, fired at service completion time. */
     std::function<void()> done;
+    /** Arrival time, stamped by Disk::submit (queue-wait metric). */
+    double submit_ms = 0.0;
 };
 
 /**
@@ -113,8 +116,11 @@ class Disk
      * @param model drive mechanics
      * @param sstf_window how many queued requests SSTF considers
      *        (1 degenerates to FCFS; the paper uses 20)
+     * @param id array slot of this drive (selects its trace lane)
+     * @param probe instrumentation sinks (default: none)
      */
-    Disk(EventQueue &events, const DiskModel &model, int sstf_window = 20);
+    Disk(EventQueue &events, const DiskModel &model,
+         int sstf_window = 20, int id = 0, obs::Probe probe = {});
 
     /** Enqueue a request; service begins as the arm frees up. */
     void submit(DiskRequest request);
@@ -178,6 +184,9 @@ class Disk
     EventQueue &events_;
     DiskModel model_;
     int window_;
+    int id_;
+    obs::Probe probe_;
+    int lane_;
 
     std::deque<DiskRequest> queue_;
     bool busy_ = false;

@@ -124,7 +124,13 @@ FaultScheduler::onFailure(const FaultEvent &event)
     }
 
     ++stats_.failures_applied;
-    array_.failDisk(event.disk);
+    const obs::Probe &probe = array_.config().probe;
+    probe.lane(obs::kLaneFault, "faults");
+    probe.count("fault.disk_failures");
+    probe.instant("disk failure", "fault", obs::kLaneFault,
+                  events_.now(),
+                  {{"disk", static_cast<double>(event.disk)}});
+    array_.transition(ArrayState::Degraded, event.disk);
     degraded_since_ = events_.now();
     setState(FaultState::Rebuilding);
 
@@ -143,7 +149,7 @@ FaultScheduler::onFailure(const FaultEvent &event)
         stats_.rebuild_ms.add(engine_->durationMs());
         ++stats_.rebuilds_completed;
         degraded_total_ += events_.now() - degraded_since_;
-        array_.spareComplete(disk);
+        array_.transition(ArrayState::PostReconstruction, disk);
         setState(FaultState::Restored);
     });
 }
@@ -157,6 +163,7 @@ FaultScheduler::onLatent(const FaultEvent &event)
         return;
     }
     ++stats_.latent_injected;
+    array_.config().probe.count("fault.latent_injected");
     array_.injectLatentError(event.disk, event.unit);
 }
 
@@ -170,6 +177,10 @@ FaultScheduler::declareDataLoss(const char *cause)
     stats_.data_loss = true;
     stats_.data_loss_ms = events_.now();
     stats_.data_loss_cause = cause;
+    const obs::Probe &probe = array_.config().probe;
+    probe.count("fault.data_loss");
+    probe.instant("data loss", "fault", obs::kLaneFault,
+                  events_.now(), {{"cause", cause}});
     if (engine_)
         engine_->cancel();
     if (scrubber_)

@@ -46,6 +46,9 @@ Scrubber::scheduleNext()
         if (next_stripe_ >= config_.stripes) {
             next_stripe_ = 0;
             ++sweeps_completed_;
+            array_.config().probe.instant("scrub sweep complete",
+                                          "scrub", obs::kLaneScrub,
+                                          events_.now());
         }
         scrubStripe(stripe);
     });
@@ -63,7 +66,7 @@ Scrubber::scrubStripe(int64_t stripe)
     std::vector<PhysAddr> targets;
     targets.reserve(width);
     for (int pos = 0; pos < width; ++pos) {
-        PhysAddr addr = layout.unitAddress(stripe, pos);
+        PhysAddr addr = layout.map({stripe, pos});
         if (addr.disk == failed) {
             if (array_.mode() != ArrayMode::PostReconstruction)
                 continue;
@@ -76,10 +79,13 @@ Scrubber::scrubStripe(int64_t stripe)
         return;
     }
 
+    const obs::Probe &probe = array_.config().probe;
+    probe.lane(obs::kLaneScrub, "scrub");
     auto outstanding =
         std::make_shared<int>(static_cast<int>(targets.size()));
     for (const PhysAddr &addr : targets) {
         ++units_scanned_;
+        probe.count("scrub.units_scanned");
         array_.submitUnit(addr.disk, addr.unit, false,
                           [this, addr, outstanding] {
                               // The read surfaced (and counted) any
@@ -96,6 +102,8 @@ Scrubber::scrubStripe(int64_t stripe)
                                       .hasLatentErrorIn(lba, sectors);
                               if (bad && running_) {
                                   ++errors_repaired_;
+                                  array_.config().probe.count(
+                                      "scrub.errors_repaired");
                                   array_.submitUnit(
                                       addr.disk, addr.unit, true,
                                       [this, outstanding] {

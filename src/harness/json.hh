@@ -1,71 +1,20 @@
 /**
  * @file
- * Minimal JSON document builder for machine-readable bench results.
- *
- * The harness only needs to *emit* JSON (BENCH_<figure>.json files),
- * so this is a write-only value tree: objects keep their insertion
- * order, numbers print with enough digits to round-trip doubles, and
- * strings are escaped per RFC 8259. No parsing, no dependencies.
+ * Compatibility shim: the JSON builder moved to util/json.hh so the
+ * observability layer (src/obs) can emit JSON without depending on
+ * the harness. `pddl::harness::Json` remains an alias of the moved
+ * class for existing includes.
  */
 
 #ifndef PDDL_HARNESS_JSON_HH
 #define PDDL_HARNESS_JSON_HH
 
-#include <cstdint>
-#include <memory>
-#include <string>
-#include <utility>
-#include <vector>
+#include "util/json.hh"
 
 namespace pddl {
 namespace harness {
 
-/** One JSON value: null, bool, number, string, array or object. */
-class Json
-{
-  public:
-    Json() : kind_(Kind::Null) {}
-    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
-    Json(double d) : kind_(Kind::Number), number_(d) {}
-    Json(int v) : kind_(Kind::Integer), integer_(v) {}
-    Json(int64_t v) : kind_(Kind::Integer), integer_(v) {}
-    Json(uint64_t v)
-        : kind_(Kind::Integer), integer_(static_cast<int64_t>(v))
-    {
-        // Seeds are emitted as their signed-64 bit pattern; the
-        // schema documents the reinterpretation.
-    }
-    Json(const char *s) : kind_(Kind::String), string_(s) {}
-    Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
-
-    /** Empty array. */
-    static Json array();
-    /** Empty object. */
-    static Json object();
-
-    /** Append to an array (the value must be an array). */
-    Json &push(Json value);
-
-    /** Set object key (the value must be an object). Returns *this. */
-    Json &set(const std::string &key, Json value);
-
-    /** Serialize; `indent` > 0 pretty-prints. */
-    std::string dump(int indent = 2) const;
-
-  private:
-    enum class Kind { Null, Bool, Number, Integer, String, Array, Object };
-
-    void write(std::string &out, int indent, int depth) const;
-    static void escape(std::string &out, const std::string &s);
-
-    Kind kind_;
-    bool bool_ = false;
-    double number_ = 0.0;
-    int64_t integer_ = 0;
-    std::string string_;
-    std::vector<Json> items_;
-    std::vector<std::pair<std::string, Json>> members_;
-};
+using Json = pddl::Json;
 
 } // namespace harness
 } // namespace pddl

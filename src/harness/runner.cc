@@ -86,8 +86,20 @@ ExperimentRunner::run(const std::vector<Experiment> &experiments) const
                    "experiment needs a layout/model or a custom fn");
             SimConfig config = experiment.config;
             config.seed = out.seed;
+            // One registry per point, written by exactly one worker:
+            // a single shard whose snapshot cannot depend on thread
+            // interleaving. The tracer (if any) observes only point
+            // 0 so the trace is one deterministic simulation.
+            obs::MetricsRegistry registry;
+            if (metrics_enabled_ || (tracer_ != nullptr && i == 0)) {
+                config.probe = obs::Probe(
+                    metrics_enabled_ ? &registry : nullptr,
+                    i == 0 ? tracer_ : nullptr);
+            }
             out.result = runClosedLoop(*experiment.layout,
                                        *experiment.model, config);
+            if (metrics_enabled_)
+                out.metrics = registry.snapshot();
         }
         out.wall_ms =
             std::chrono::duration<double, std::milli>(Clock::now() -
@@ -161,6 +173,8 @@ figureJson(const std::string &figure, const std::string &caption,
                 extras.set(extra.first, extra.second);
             row.set("extras", std::move(extras));
         }
+        if (!point.metrics.empty())
+            row.set("metrics", point.metrics.toJson());
         rows.push(std::move(row));
     }
 

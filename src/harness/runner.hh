@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "harness/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/tally.hh"
 #include "stats/welford.hh"
 #include "workload/closed_loop.hh"
@@ -88,6 +90,8 @@ struct PointResult
     SimResult result;
     Extras extras;
     double wall_ms = 0.0; ///< host time, informational only
+    /** Metrics snapshot (empty unless the runner enables metrics). */
+    obs::MetricsSnapshot metrics;
 };
 
 /** Outcome of one grid run. */
@@ -112,11 +116,28 @@ class ExperimentRunner
 
     int threads() const { return threads_; }
 
+    /**
+     * Collect a per-point metrics snapshot on the default
+     * runClosedLoop path. Each point writes its own registry (one
+     * writer, one shard) and snapshots are merged in submission
+     * order, so the output stays bit-identical across thread counts.
+     */
+    void enableMetrics(bool on) { metrics_enabled_ = on; }
+
+    /**
+     * Trace the first grid point into `tracer` (nullptr disables).
+     * Only point 0 records -- a single deterministic simulation --
+     * regardless of which worker executes it.
+     */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
     /** Run all experiments; blocks until the grid is complete. */
     RunSummary run(const std::vector<Experiment> &experiments) const;
 
   private:
     int threads_;
+    bool metrics_enabled_ = false;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 /** "Figure 5" -> "fig_5" style slug for BENCH_<figure>.json names. */

@@ -15,7 +15,7 @@ DatumLayout::DatumLayout(int disks, int width, int check_units)
 }
 
 PhysAddr
-DatumLayout::unitAddress(int64_t stripe, int pos) const
+DatumLayout::mapUnit(int64_t stripe, int pos) const
 {
     assert(pos >= 0 && pos < stripeWidth());
     const int n = numDisks();

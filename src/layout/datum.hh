@@ -44,7 +44,9 @@ class DatumLayout : public Layout
         return rows_;
     }
 
-    PhysAddr unitAddress(int64_t stripe, int pos) const override;
+    const char *family() const override { return "datum"; }
+
+    PhysAddr mapUnit(int64_t stripe, int pos) const override;
 
   private:
     int64_t stripes_; ///< C(n, k)

@@ -8,6 +8,13 @@
  * satisfies the paper's large-write optimization (goal #4), i.e.
  * stripe `s` holds client data units
  * [s * dataUnits, (s+1) * dataUnits) plus its check unit(s).
+ *
+ * The mapping API is uniform across all layout families:
+ * map(VirtualAddress) resolves one virtual stripe unit to its
+ * physical home, and describe() reports the family's shape
+ * (LayoutInfo) for benches, JSON output and tests. The historical
+ * per-family entry points (unitAddress, dataUnitAddress,
+ * stripeOfDataUnit) survive this PR as [[deprecated]] shims.
  */
 
 #ifndef PDDL_LAYOUT_LAYOUT_HH
@@ -39,14 +46,49 @@ struct PhysAddr
     }
 };
 
+/** Canonical spelling of PhysAddr in the unified mapping API. */
+using PhysicalAddress = PhysAddr;
+
+/**
+ * Virtual (layout-independent) address of one stripe unit: the
+ * stripe index plus the position within the stripe. Positions
+ * 0 .. dataUnits-1 address the client data units in client order;
+ * dataUnits .. k-1 address the check (parity) units.
+ */
+struct VirtualAddress
+{
+    int64_t stripe;
+    int pos;
+
+    bool
+    operator==(const VirtualAddress &o) const
+    {
+        return stripe == o.stripe && pos == o.pos;
+    }
+};
+
+/** Shape of a layout as reported by Layout::describe(). */
+struct LayoutInfo
+{
+    std::string name;   ///< human-readable scheme name
+    std::string family; ///< stable lowercase family id
+    int disks = 0;      ///< n
+    int width = 0;      ///< stripe width k (data + check)
+    int check_units = 0;
+    /** Declustered stripe groups per row (PDDL's g; 0 = n/a). */
+    int group = 0;
+    bool sparing = false;
+    int64_t stripes_per_period = 0;
+    int64_t units_per_disk_per_period = 0;
+};
+
 /**
  * Base class of all data layouts.
  *
  * A layout is periodic: addresses repeat (shifted by the per-disk row
- * count) every stripesPerPeriod() stripes. Positions within a stripe
- * are logical: 0 .. dataUnitsPerStripe()-1 address the client data
- * units in client order and the remaining checkUnitsPerStripe()
- * positions address the check (parity) units.
+ * count) every stripesPerPeriod() stripes. Subclasses implement one
+ * hook -- mapUnit() -- plus the period getters; everything else
+ * derives from those.
  */
 class Layout
 {
@@ -63,6 +105,9 @@ class Layout
     virtual ~Layout() = default;
 
     const std::string &name() const { return name_; }
+
+    /** Stable lowercase family id ("raid5", "pddl", ...). */
+    virtual const char *family() const = 0;
 
     /** Number of disks in the array (n). */
     int numDisks() const { return disks_; }
@@ -83,14 +128,42 @@ class Layout
     virtual int64_t unitsPerDiskPerPeriod() const = 0;
 
     /**
-     * Physical address of one unit of a stripe.
-     *
-     * @param stripe global stripe index (any non-negative value; the
-     *        pattern repeats every stripesPerPeriod() stripes)
-     * @param pos 0..dataUnits-1 for data units in client order,
-     *        dataUnits..k-1 for check units
+     * The one mapping entry point: physical home of the virtual
+     * stripe unit `va`. The stripe index may be any non-negative
+     * value (the pattern repeats every stripesPerPeriod() stripes).
      */
-    virtual PhysAddr unitAddress(int64_t stripe, int pos) const = 0;
+    PhysicalAddress
+    map(VirtualAddress va) const
+    {
+        assert(va.stripe >= 0);
+        assert(va.pos >= 0 && va.pos < width_);
+        return mapUnit(va.stripe, va.pos);
+    }
+
+    /** Shape summary used by benches, JSON output and tests. */
+    LayoutInfo
+    describe() const
+    {
+        LayoutInfo info;
+        info.name = name_;
+        info.family = family();
+        info.disks = disks_;
+        info.width = width_;
+        info.check_units = check_units_;
+        info.group = groupCount();
+        info.sparing = hasSparing();
+        info.stripes_per_period = stripesPerPeriod();
+        info.units_per_disk_per_period = unitsPerDiskPerPeriod();
+        return info;
+    }
+
+    /** Virtual address holding client data unit `data_unit`. */
+    VirtualAddress
+    virtualOf(int64_t data_unit) const
+    {
+        return {data_unit / dataUnitsPerStripe(),
+                static_cast<int>(data_unit % dataUnitsPerStripe())};
+    }
 
     /** True when the layout embeds distributed spare space. */
     virtual bool hasSparing() const { return false; }
@@ -110,19 +183,25 @@ class Layout
         return PhysAddr{-1, -1};
     }
 
-    /** Stripe index holding client data unit du. */
-    int64_t
+    /** @deprecated shim for one PR: use map({stripe, pos}). */
+    [[deprecated("use map(VirtualAddress)")]] PhysAddr
+    unitAddress(int64_t stripe, int pos) const
+    {
+        return map({stripe, pos});
+    }
+
+    /** @deprecated shim for one PR: use map(virtualOf(du)). */
+    [[deprecated("use map(virtualOf(data_unit))")]] PhysAddr
+    dataUnitAddress(int64_t du) const
+    {
+        return map(virtualOf(du));
+    }
+
+    /** @deprecated shim for one PR: use virtualOf(du).stripe. */
+    [[deprecated("use virtualOf(data_unit).stripe")]] int64_t
     stripeOfDataUnit(int64_t du) const
     {
         return du / dataUnitsPerStripe();
-    }
-
-    /** Physical address of client data unit du. */
-    PhysAddr
-    dataUnitAddress(int64_t du) const
-    {
-        return unitAddress(du / dataUnitsPerStripe(),
-                           static_cast<int>(du % dataUnitsPerStripe()));
     }
 
     /** Client data units in one layout pattern. */
@@ -131,6 +210,16 @@ class Layout
     {
         return stripesPerPeriod() * dataUnitsPerStripe();
     }
+
+  protected:
+    /**
+     * Subclass mapping hook behind map(): physical address of
+     * position `pos` of stripe `stripe`. Arguments arrive validated.
+     */
+    virtual PhysAddr mapUnit(int64_t stripe, int pos) const = 0;
+
+    /** Declustered stripe groups per row (describe().group). */
+    virtual int groupCount() const { return 0; }
 
   private:
     std::string name_;

@@ -38,7 +38,7 @@ ParityDeclusterLayout::make(int disks, int width)
 }
 
 PhysAddr
-ParityDeclusterLayout::unitAddress(int64_t stripe, int pos) const
+ParityDeclusterLayout::mapUnit(int64_t stripe, int pos) const
 {
     assert(pos >= 0 && pos < stripeWidth());
     const int k = stripeWidth();

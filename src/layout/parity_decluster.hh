@@ -47,7 +47,9 @@ class ParityDeclusterLayout : public Layout
                stripeWidth();
     }
 
-    PhysAddr unitAddress(int64_t stripe, int pos) const override;
+    const char *family() const override { return "parity_decluster"; }
+
+    PhysAddr mapUnit(int64_t stripe, int pos) const override;
 
     const Bibd &design() const { return design_; }
 

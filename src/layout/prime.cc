@@ -13,7 +13,7 @@ PrimeLayout::PrimeLayout(int disks, int width)
 }
 
 PhysAddr
-PrimeLayout::unitAddress(int64_t stripe, int pos) const
+PrimeLayout::mapUnit(int64_t stripe, int pos) const
 {
     assert(pos >= 0 && pos < stripeWidth());
     const int n = numDisks();

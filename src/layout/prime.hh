@@ -51,7 +51,9 @@ class PrimeLayout : public Layout
         return static_cast<int64_t>(stripeWidth()) * (numDisks() - 1);
     }
 
-    PhysAddr unitAddress(int64_t stripe, int pos) const override;
+    const char *family() const override { return "prime"; }
+
+    PhysAddr mapUnit(int64_t stripe, int pos) const override;
 };
 
 } // namespace pddl

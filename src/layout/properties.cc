@@ -13,7 +13,7 @@ checkSingleFailureCorrecting(const Layout &layout)
     for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
         std::set<int> disks;
         for (int pos = 0; pos < k; ++pos)
-            disks.insert(layout.unitAddress(s, pos).disk);
+            disks.insert(layout.map({s, pos}).disk);
         if (static_cast<int>(disks.size()) != k)
             return false;
     }
@@ -27,7 +27,7 @@ checkAddressCollisionFree(const Layout &layout)
     std::set<PhysAddr> seen;
     for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
         for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
-            PhysAddr a = layout.unitAddress(s, pos);
+            PhysAddr a = layout.map({s, pos});
             if (a.disk < 0 || a.disk >= layout.numDisks())
                 return false;
             if (a.unit < 0 || a.unit >= rows)
@@ -46,7 +46,7 @@ checkUnitsPerDisk(const Layout &layout)
     for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
         for (int pos = layout.dataUnitsPerStripe();
              pos < layout.stripeWidth(); ++pos) {
-            ++tally[layout.unitAddress(s, pos).disk];
+            ++tally[layout.map({s, pos}).disk];
         }
     }
     return tally;
@@ -58,7 +58,7 @@ occupiedUnitsPerDisk(const Layout &layout)
     std::vector<int64_t> tally(layout.numDisks(), 0);
     for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
         for (int pos = 0; pos < layout.stripeWidth(); ++pos)
-            ++tally[layout.unitAddress(s, pos).disk];
+            ++tally[layout.map({s, pos}).disk];
     }
     return tally;
 }
@@ -120,7 +120,7 @@ reconstructionWorkload(const Layout &layout, int failed_disk)
     const int k = layout.stripeWidth();
     for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
         for (int pos = 0; pos < k; ++pos) {
-            PhysAddr a = layout.unitAddress(s, pos);
+            PhysAddr a = layout.map({s, pos});
             if (a.disk != failed_disk)
                 continue;
             // Reconstruct this unit: read every surviving unit of the
@@ -129,7 +129,7 @@ reconstructionWorkload(const Layout &layout, int failed_disk)
             for (int other = 0; other < k; ++other) {
                 if (other == pos)
                     continue;
-                ++tally.reads[layout.unitAddress(s, other).disk];
+                ++tally.reads[layout.map({s, other}).disk];
             }
             if (layout.hasSparing()) {
                 PhysAddr home =
@@ -149,7 +149,7 @@ averageReadParallelism(const Layout &layout, int count)
     for (int64_t start = 0; start < total; ++start) {
         std::set<int> disks;
         for (int i = 0; i < count; ++i)
-            disks.insert(layout.dataUnitAddress(start + i).disk);
+            disks.insert(layout.map(layout.virtualOf(start + i)).disk);
         sum += static_cast<double>(disks.size());
     }
     return sum / static_cast<double>(total);
@@ -163,7 +163,7 @@ minReadParallelism(const Layout &layout, int count)
     for (int64_t start = 0; start < total; ++start) {
         std::set<int> disks;
         for (int i = 0; i < count; ++i)
-            disks.insert(layout.dataUnitAddress(start + i).disk);
+            disks.insert(layout.map(layout.virtualOf(start + i)).disk);
         best = std::min(best, static_cast<int>(disks.size()));
     }
     return best;

@@ -85,7 +85,7 @@ PseudoRandomLayout::round(int64_t r) const
 }
 
 PhysAddr
-PseudoRandomLayout::unitAddress(int64_t stripe, int pos) const
+PseudoRandomLayout::mapUnit(int64_t stripe, int pos) const
 {
     assert(pos >= 0 && pos < stripeWidth());
     const int n = numDisks();

@@ -48,7 +48,9 @@ class PseudoRandomLayout : public Layout
         return stripeWidth();
     }
 
-    PhysAddr unitAddress(int64_t stripe, int pos) const override;
+    const char *family() const override { return "pseudo_random"; }
+
+    PhysAddr mapUnit(int64_t stripe, int pos) const override;
 
   private:
     struct Round

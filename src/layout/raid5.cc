@@ -9,7 +9,7 @@ Raid5Layout::Raid5Layout(int disks)
 }
 
 PhysAddr
-Raid5Layout::unitAddress(int64_t stripe, int pos) const
+Raid5Layout::mapUnit(int64_t stripe, int pos) const
 {
     assert(pos >= 0 && pos < stripeWidth());
     const int n = numDisks();

@@ -27,7 +27,9 @@ class Raid5Layout : public Layout
 
     int64_t unitsPerDiskPerPeriod() const override { return numDisks(); }
 
-    PhysAddr unitAddress(int64_t stripe, int pos) const override;
+    const char *family() const override { return "raid5"; }
+
+    PhysAddr mapUnit(int64_t stripe, int pos) const override;
 };
 
 } // namespace pddl

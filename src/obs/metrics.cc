@@ -1,0 +1,247 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace pddl {
+namespace obs {
+
+const std::vector<double> &
+defaultLatencyBoundsMs()
+{
+    // Log-spaced 1-2-5 decades covering queue waits through whole
+    // rebuild-scale latencies; the last slot of counts[] catches
+    // everything above 2 s.
+    static const std::vector<double> bounds = {
+        0.25, 0.5, 1.0,   2.0,   5.0,   10.0,  20.0,
+        50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0};
+    return bounds;
+}
+
+void
+HistogramData::merge(const HistogramData &other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        *this = other;
+        return;
+    }
+    assert(bounds == other.bounds && "histograms share fixed buckets");
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    count += other.count;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+}
+
+Json
+HistogramData::toJson() const
+{
+    Json buckets = Json::array();
+    for (int64_t c : counts)
+        buckets.push(c);
+    Json le = Json::array();
+    for (double b : bounds)
+        le.push(b);
+    Json j = Json::object();
+    j.set("count", count)
+        .set("sum", sum)
+        .set("min", min)
+        .set("max", max)
+        .set("le", std::move(le))
+        .set("buckets", std::move(buckets));
+    return j;
+}
+
+namespace {
+
+template <typename T>
+const T *
+find(const std::vector<std::pair<std::string, T>> &entries,
+     const std::string &name)
+{
+    for (const auto &entry : entries) {
+        if (entry.first == name)
+            return &entry.second;
+    }
+    return nullptr;
+}
+
+template <typename T>
+void
+mergeSorted(std::vector<std::pair<std::string, T>> &into,
+            const std::vector<std::pair<std::string, T>> &from,
+            void (*fold)(T &, const T &))
+{
+    std::map<std::string, T> merged(into.begin(), into.end());
+    for (const auto &entry : from) {
+        auto [it, inserted] = merged.emplace(entry.first, entry.second);
+        if (!inserted)
+            fold(it->second, entry.second);
+    }
+    into.assign(merged.begin(), merged.end());
+}
+
+} // namespace
+
+double
+MetricsSnapshot::counter(const std::string &name) const
+{
+    const double *value = find(counters, name);
+    return value != nullptr ? *value : 0.0;
+}
+
+double
+MetricsSnapshot::gauge(const std::string &name) const
+{
+    const double *value = find(gauges, name);
+    return value != nullptr ? *value : 0.0;
+}
+
+const HistogramData *
+MetricsSnapshot::histogram(const std::string &name) const
+{
+    return find(histograms, name);
+}
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    mergeSorted<double>(counters, other.counters,
+                        [](double &a, const double &b) { a += b; });
+    mergeSorted<double>(gauges, other.gauges,
+                        [](double &a, const double &b) {
+                            a = std::max(a, b);
+                        });
+    mergeSorted<HistogramData>(histograms, other.histograms,
+                               [](HistogramData &a,
+                                  const HistogramData &b) {
+                                   a.merge(b);
+                               });
+}
+
+Json
+MetricsSnapshot::toJson() const
+{
+    Json counter_obj = Json::object();
+    for (const auto &entry : counters)
+        counter_obj.set(entry.first, entry.second);
+    Json gauge_obj = Json::object();
+    for (const auto &entry : gauges)
+        gauge_obj.set(entry.first, entry.second);
+    Json histogram_obj = Json::object();
+    for (const auto &entry : histograms)
+        histogram_obj.set(entry.first, entry.second.toJson());
+    Json j = Json::object();
+    j.set("counters", std::move(counter_obj))
+        .set("gauges", std::move(gauge_obj))
+        .set("histograms", std::move(histogram_obj));
+    return j;
+}
+
+namespace {
+
+/** Instance identity that survives address reuse (see localShard). */
+std::atomic<uint64_t> next_registry_id{1};
+
+} // namespace
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id++) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard &
+MetricsRegistry::localShard()
+{
+    // Per-thread cache of (registry identity -> shard). The id check
+    // makes a cache hit safe even when a destroyed registry's address
+    // is recycled by a later one on the same worker thread.
+    struct CacheEntry
+    {
+        const MetricsRegistry *owner;
+        uint64_t id;
+        Shard *shard;
+    };
+    thread_local std::vector<CacheEntry> cache;
+    for (const CacheEntry &entry : cache) {
+        if (entry.owner == this && entry.id == id_)
+            return *entry.shard;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::make_unique<Shard>());
+    Shard *shard = shards_.back().get();
+    if (cache.size() >= 16)
+        cache.erase(cache.begin());
+    cache.push_back({this, id_, shard});
+    return *shard;
+}
+
+void
+MetricsRegistry::add(const char *name, double delta)
+{
+    localShard().counters[name] += delta;
+}
+
+void
+MetricsRegistry::gaugeMax(const char *name, double value)
+{
+    Shard &shard = localShard();
+    auto [it, inserted] = shard.gauges.emplace(name, value);
+    if (!inserted)
+        it->second = std::max(it->second, value);
+}
+
+void
+MetricsRegistry::observe(const char *name, double value_ms)
+{
+    HistogramData &histogram = localShard().histograms[name];
+    if (histogram.bounds.empty()) {
+        histogram.bounds = defaultLatencyBoundsMs();
+        histogram.counts.assign(histogram.bounds.size() + 1, 0);
+    }
+    size_t bucket =
+        std::upper_bound(histogram.bounds.begin(),
+                         histogram.bounds.end(), value_ms) -
+        histogram.bounds.begin();
+    ++histogram.counts[bucket];
+    if (histogram.count == 0) {
+        histogram.min = value_ms;
+        histogram.max = value_ms;
+    } else {
+        histogram.min = std::min(histogram.min, value_ms);
+        histogram.max = std::max(histogram.max, value_ms);
+    }
+    ++histogram.count;
+    histogram.sum += value_ms;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot merged;
+    for (const auto &shard : shards_) {
+        MetricsSnapshot view;
+        view.counters.assign(shard->counters.begin(),
+                             shard->counters.end());
+        view.gauges.assign(shard->gauges.begin(),
+                           shard->gauges.end());
+        view.histograms.assign(shard->histograms.begin(),
+                               shard->histograms.end());
+        merged.merge(view);
+    }
+    return merged;
+}
+
+size_t
+MetricsRegistry::shardCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shards_.size();
+}
+
+} // namespace obs
+} // namespace pddl

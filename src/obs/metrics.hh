@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges and fixed-bucket latency
+ * histograms.
+ *
+ * Writers record through per-thread shards -- after a shard is
+ * created (one mutex acquisition per thread per registry) every
+ * increment touches thread-private storage only, so concurrent
+ * harness workers never contend or race. A snapshot merges the
+ * shards into one name-sorted view; merging is associative and
+ * order-fixed (counters and histogram buckets sum, gauges keep the
+ * maximum), so any shard arrangement of the same recorded values
+ * yields the identical snapshot, which is what keeps BENCH output
+ * bit-identical across --threads.
+ *
+ * Metric names follow `component.metric[_unit]` (see README
+ * "Observability"); callers pass string literals or otherwise
+ * long-lived strings.
+ */
+
+#ifndef PDDL_OBS_METRICS_HH
+#define PDDL_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace pddl {
+namespace obs {
+
+/** Default latency buckets in milliseconds (log-spaced, 0.25..2s). */
+const std::vector<double> &defaultLatencyBoundsMs();
+
+/** Merged view of one histogram: fixed bounds + overflow bucket. */
+struct HistogramData
+{
+    /** Upper bounds; counts has one extra overflow slot. */
+    std::vector<double> bounds;
+    std::vector<int64_t> counts;
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    void merge(const HistogramData &other);
+    Json toJson() const;
+};
+
+/** Point-in-time merged view of a registry (or several). */
+struct MetricsSnapshot
+{
+    /** All series name-sorted so output order never varies. */
+    std::vector<std::pair<std::string, double>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramData>> histograms;
+
+    bool
+    empty() const
+    {
+        return counters.empty() && gauges.empty() &&
+               histograms.empty();
+    }
+
+    double counter(const std::string &name) const;
+    double gauge(const std::string &name) const;
+    const HistogramData *histogram(const std::string &name) const;
+
+    /** Fold another snapshot in (counters/buckets sum, gauges max). */
+    void merge(const MetricsSnapshot &other);
+
+    Json toJson() const;
+};
+
+/**
+ * Registry of named metrics with per-thread shards.
+ *
+ * add/gaugeMax/observe are safe to call from any number of threads
+ * concurrently; snapshot() must only run while no writer is active
+ * (the harness snapshots after its workers join; single-threaded
+ * simulations trivially satisfy this).
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+    ~MetricsRegistry();
+
+    /** Add `delta` to counter `name` (created at zero). */
+    void add(const char *name, double delta = 1.0);
+
+    /** Raise gauge `name` to at least `value` (merge = max). */
+    void gaugeMax(const char *name, double value);
+
+    /** Record one latency sample into histogram `name`. */
+    void observe(const char *name, double value_ms);
+
+    /** Merge every shard into one name-sorted snapshot. */
+    MetricsSnapshot snapshot() const;
+
+    /** Shards created so far (one per writer thread). */
+    size_t shardCount() const;
+
+  private:
+    struct Shard
+    {
+        std::map<std::string, double> counters;
+        std::map<std::string, double> gauges;
+        std::map<std::string, HistogramData> histograms;
+    };
+
+    /** This thread's shard, created on first use. */
+    Shard &localShard();
+
+    const uint64_t id_; ///< instance identity for shard caching
+    mutable std::mutex mutex_; ///< guards shards_ layout only
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace obs
+} // namespace pddl
+
+#endif // PDDL_OBS_METRICS_HH

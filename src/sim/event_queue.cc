@@ -23,6 +23,8 @@ EventQueue::runOne()
     Item item = std::move(const_cast<Item &>(heap_.top()));
     heap_.pop();
     now_ = item.when;
+    ++fired_;
+    probe_.count("sim.events");
     item.callback();
     return true;
 }

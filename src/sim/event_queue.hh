@@ -16,6 +16,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/probe.hh"
+
 namespace pddl {
 
 /** Simulated time in milliseconds. */
@@ -67,6 +69,12 @@ class EventQueue
      */
     void runUntil(SimTime t);
 
+    /** Attach instrumentation (scheduled/fired event counters). */
+    void setProbe(obs::Probe probe) { probe_ = probe; }
+
+    /** Events fired since construction. */
+    uint64_t fired() const { return fired_; }
+
   private:
     struct Item
     {
@@ -89,6 +97,8 @@ class EventQueue
     std::priority_queue<Item, std::vector<Item>, Later> heap_;
     SimTime now_ = 0.0;
     uint64_t next_seq_ = 0;
+    uint64_t fired_ = 0;
+    obs::Probe probe_;
 };
 
 } // namespace pddl

@@ -1,11 +1,10 @@
-#include "harness/json.hh"
+#include "util/json.hh"
 
 #include <cassert>
 #include <cmath>
 #include <cstdio>
 
 namespace pddl {
-namespace harness {
 
 Json
 Json::array()
@@ -152,5 +151,4 @@ Json::dump(int indent) const
     return out;
 }
 
-} // namespace harness
 } // namespace pddl

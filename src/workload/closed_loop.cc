@@ -88,6 +88,8 @@ runClosedLoop(const Layout &layout, const DiskModel &disk_model,
     array_config.failed_disk =
         config.mode == ArrayMode::FaultFree ? -1 : config.failed_disk;
     array_config.sstf_window = config.sstf_window;
+    array_config.probe = config.probe;
+    experiment.events.setProbe(config.probe);
 
     ArrayController array(experiment.events, layout, disk_model,
                           array_config);

@@ -19,6 +19,7 @@
 #include "array/request_mapper.hh"
 #include "disk/disk.hh"
 #include "layout/layout.hh"
+#include "obs/probe.hh"
 #include "stats/welford.hh"
 
 namespace pddl {
@@ -42,6 +43,12 @@ struct SimConfig
     /** Completions discarded before measurement starts. */
     int64_t warmup = 200;
     uint64_t seed = 42;
+
+    /**
+     * Instrumentation sinks, threaded to the event queue, controller,
+     * mapper and every disk. Default: fully off.
+     */
+    obs::Probe probe;
 };
 
 /** Measured outcome of one experiment. */

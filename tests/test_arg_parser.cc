@@ -1,0 +1,123 @@
+/**
+ * @file
+ * ArgParser: the declarative flag parser behind every bench binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/arg_parser.hh"
+
+namespace pddl {
+namespace harness {
+namespace {
+
+/** argv builder: parse() wants char *const *, tests want strings. */
+bool
+parseArgs(ArgParser &parser, std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    argv.push_back(const_cast<char *>("prog"));
+    for (std::string &arg : args)
+        argv.push_back(arg.data());
+    return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+ArgParser
+benchLikeParser()
+{
+    ArgParser parser("prog", "test parser");
+    parser.addString("json", "DIR", "output directory");
+    parser.addInt("threads", "N", "worker threads", 1);
+    parser.addBool("verbose", "chatty output");
+    return parser;
+}
+
+TEST(ArgParser, AcceptsBothFlagSpellings)
+{
+    ArgParser parser = benchLikeParser();
+    ASSERT_TRUE(parseArgs(parser, {"--json", "out", "--threads=4",
+                                   "--verbose"}));
+    EXPECT_TRUE(parser.has("json"));
+    EXPECT_EQ(parser.getString("json"), "out");
+    EXPECT_EQ(parser.getInt("threads"), 4);
+    EXPECT_TRUE(parser.getBool("verbose"));
+    EXPECT_FALSE(parser.helpRequested());
+}
+
+TEST(ArgParser, FallbacksApplyWhenFlagsAbsent)
+{
+    ArgParser parser = benchLikeParser();
+    ASSERT_TRUE(parseArgs(parser, {}));
+    EXPECT_FALSE(parser.has("json"));
+    EXPECT_EQ(parser.getString("json", "dflt"), "dflt");
+    EXPECT_EQ(parser.getInt("threads", 8), 8);
+    EXPECT_FALSE(parser.getBool("verbose"));
+}
+
+TEST(ArgParser, RejectsUnknownFlag)
+{
+    ArgParser parser = benchLikeParser();
+    EXPECT_FALSE(parseArgs(parser, {"--bogus"}));
+    EXPECT_NE(parser.error().find("--bogus"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsMissingValue)
+{
+    ArgParser parser = benchLikeParser();
+    EXPECT_FALSE(parseArgs(parser, {"--json"}));
+    EXPECT_FALSE(parser.error().empty());
+}
+
+TEST(ArgParser, RejectsBadAndUndersizedIntegers)
+{
+    ArgParser parser = benchLikeParser();
+    EXPECT_FALSE(parseArgs(parser, {"--threads", "four"}));
+
+    ArgParser parser2 = benchLikeParser();
+    EXPECT_FALSE(parseArgs(parser2, {"--threads", "0"}));
+    EXPECT_FALSE(parser2.error().empty());
+}
+
+TEST(ArgParser, EnforcesRequiredFlags)
+{
+    ArgParser parser("prog", "test parser");
+    parser.addString("out", "PATH", "output file", true);
+    EXPECT_FALSE(parseArgs(parser, {}));
+    EXPECT_NE(parser.error().find("--out"), std::string::npos);
+
+    ArgParser parser2("prog", "test parser");
+    parser2.addString("out", "PATH", "output file", true);
+    EXPECT_TRUE(parseArgs(parser2, {"--out=x"}));
+}
+
+TEST(ArgParser, HelpShortCircuitsRequiredChecks)
+{
+    ArgParser parser("prog", "test parser");
+    parser.addString("out", "PATH", "output file", true);
+    EXPECT_TRUE(parseArgs(parser, {"--help"}));
+    EXPECT_TRUE(parser.helpRequested());
+
+    ArgParser parser2("prog", "test parser");
+    parser2.addString("out", "PATH", "output file", true);
+    EXPECT_TRUE(parseArgs(parser2, {"-h"}));
+    EXPECT_TRUE(parser2.helpRequested());
+}
+
+TEST(ArgParser, UsageListsFlagsAndEpilog)
+{
+    ArgParser parser = benchLikeParser();
+    parser.setEpilog("Environment:\n  PDDL_BENCH_THREADS  workers");
+    std::string usage = parser.usage();
+    EXPECT_NE(usage.find("--json"), std::string::npos);
+    EXPECT_NE(usage.find("--threads"), std::string::npos);
+    EXPECT_NE(usage.find("--verbose"), std::string::npos);
+    EXPECT_NE(usage.find("PDDL_BENCH_THREADS"), std::string::npos);
+    EXPECT_NE(usage.find("test parser"), std::string::npos);
+}
+
+} // namespace
+} // namespace harness
+} // namespace pddl

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "array/controller.hh"
 #include "core/pddl_layout.hh"
 #include "layout/raid5.hh"
@@ -123,8 +126,8 @@ TEST_F(ControllerFixture, RuntimeFailureForcesLargeWriteOfLostDataUnit)
     PddlLayout pddl(boseConstruction(13, 4));
     ArrayController array(events, pddl, model, ArrayConfig{});
     const int64_t stripe = 7;
-    const int failed = pddl.unitAddress(stripe, 0).disk;
-    array.failDisk(failed);
+    const int failed = pddl.map({stripe, 0}).disk;
+    array.transition(ArrayState::Degraded, failed);
     EXPECT_EQ(array.mode(), ArrayMode::Degraded);
 
     RequestMapper expect(pddl, ArrayMode::Degraded, failed);
@@ -150,8 +153,8 @@ TEST_F(ControllerFixture, RuntimeFailureForcesSmallWriteOfLostUnmodifiedUnit)
     PddlLayout pddl(boseConstruction(13, 4));
     ArrayController array(events, pddl, model, ArrayConfig{});
     const int64_t stripe = 11;
-    const int failed = pddl.unitAddress(stripe, 2).disk;
-    array.failDisk(failed);
+    const int failed = pddl.map({stripe, 2}).disk;
+    array.transition(ArrayState::Degraded, failed);
 
     RequestMapper expect(pddl, ArrayMode::Degraded, failed);
     // Modify 2 of 3 data units: fault-free policy would large-write,
@@ -179,8 +182,8 @@ TEST_F(ControllerFixture, RuntimeFailureOfCheckUnitDropsParityMaintenance)
     PddlLayout pddl(boseConstruction(13, 4));
     ArrayController array(events, pddl, model, ArrayConfig{});
     const int64_t stripe = 5;
-    const int failed = pddl.unitAddress(stripe, 3).disk;
-    array.failDisk(failed);
+    const int failed = pddl.map({stripe, 3}).disk;
+    array.transition(ArrayState::Degraded, failed);
 
     RequestMapper expect(pddl, ArrayMode::Degraded, failed);
     auto ops = expect.expand(stripe * 3, 1, AccessType::Write);
@@ -205,7 +208,7 @@ TEST_F(ControllerFixture, RuntimeFailRestoreCycleOnOneController)
     EXPECT_EQ(array.mode(), ArrayMode::FaultFree);
     EXPECT_EQ(array.failedDisk(), -1);
 
-    array.failDisk(4);
+    array.transition(ArrayState::Degraded, 4);
     EXPECT_EQ(array.mode(), ArrayMode::Degraded);
     EXPECT_EQ(array.failedDisk(), 4);
     int completions = 0;
@@ -216,9 +219,9 @@ TEST_F(ControllerFixture, RuntimeFailRestoreCycleOnOneController)
     EXPECT_EQ(completions, 20);
     EXPECT_EQ(array.disk(4).tally().total(), 0);
 
-    array.spareComplete(4);
+    array.transition(ArrayState::PostReconstruction, 4);
     EXPECT_EQ(array.mode(), ArrayMode::PostReconstruction);
-    array.restore(4);
+    array.transition(ArrayState::FaultFree);
     EXPECT_EQ(array.mode(), ArrayMode::FaultFree);
     EXPECT_EQ(array.failedDisk(), -1);
     // Back in service: the repaired disk carries load again.
@@ -228,6 +231,79 @@ TEST_F(ControllerFixture, RuntimeFailRestoreCycleOnOneController)
     events.runUntilEmpty();
     EXPECT_EQ(completions, 220);
     EXPECT_GT(array.disk(4).tally().total(), 0);
+}
+
+TEST_F(ControllerFixture, IllegalTransitionsThrow)
+{
+    PddlLayout pddl(boseConstruction(13, 4));
+    ArrayController array(events, pddl, model, ArrayConfig{});
+
+    // Sparing needs a prior failure; a fault-free array cannot
+    // "return" to fault-free either.
+    EXPECT_THROW(array.transition(ArrayState::PostReconstruction, 4),
+                 std::logic_error);
+    EXPECT_THROW(array.transition(ArrayState::FaultFree),
+                 std::logic_error);
+    // Disk id must name a real disk.
+    EXPECT_THROW(array.transition(ArrayState::Degraded, -1),
+                 std::logic_error);
+    EXPECT_THROW(array.transition(ArrayState::Degraded,
+                                  pddl.numDisks()),
+                 std::logic_error);
+    EXPECT_EQ(array.state(), ArrayState::FaultFree);
+
+    array.transition(ArrayState::Degraded, 4);
+    // Second failure is data loss, not a transition.
+    EXPECT_THROW(array.transition(ArrayState::Degraded, 5),
+                 std::logic_error);
+    // Sparing must name the disk that actually failed.
+    EXPECT_THROW(array.transition(ArrayState::PostReconstruction, 5),
+                 std::logic_error);
+    EXPECT_EQ(array.state(), ArrayState::Degraded);
+    EXPECT_EQ(array.failedDisk(), 4);
+}
+
+TEST_F(ControllerFixture, SparingRequiresSpareSpace)
+{
+    Raid5Layout raid5(13); // no distributed spare
+    ArrayController array(events, raid5, model, ArrayConfig{});
+    array.transition(ArrayState::Degraded, 3);
+    EXPECT_THROW(array.transition(ArrayState::PostReconstruction, 3),
+                 std::logic_error);
+    // Repair without sparing goes straight back to fault-free.
+    array.transition(ArrayState::FaultFree);
+    EXPECT_EQ(array.state(), ArrayState::FaultFree);
+}
+
+TEST_F(ControllerFixture, TransitionsEmitTraceInstants)
+{
+    if (!obs::kObsEnabled)
+        GTEST_SKIP() << "hooks compiled out (PDDL_OBS=OFF)";
+    PddlLayout pddl(boseConstruction(13, 4));
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer(64);
+    ArrayConfig config;
+    config.probe = obs::Probe(&registry, &tracer);
+    ArrayController array(events, pddl, model, config);
+
+    array.transition(ArrayState::Degraded, 2);
+    array.transition(ArrayState::PostReconstruction, 2);
+    array.transition(ArrayState::FaultFree);
+
+    EXPECT_DOUBLE_EQ(registry.snapshot().counter("array.transitions"),
+                     3.0);
+    int instants = 0;
+    for (const obs::TraceEvent &event : tracer.events()) {
+        if (event.phase == obs::TraceEvent::Phase::Instant &&
+            std::string(event.name) == "array.transition") {
+            ++instants;
+        }
+    }
+    EXPECT_EQ(instants, 3);
+    std::string json = tracer.chromeJson();
+    EXPECT_NE(json.find("\"from\": \"degraded\""), std::string::npos);
+    EXPECT_NE(json.find("\"to\": \"post_reconstruction\""),
+              std::string::npos);
 }
 
 TEST_F(ControllerFixture, DeterministicReplay)

@@ -30,7 +30,7 @@ TEST(Datum, EveryKSubsetHostsExactlyOneStripe)
     for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
         std::vector<int> disks;
         for (int pos = 0; pos < 3; ++pos)
-            disks.push_back(layout.unitAddress(s, pos).disk);
+            disks.push_back(layout.map({s, pos}).disk);
         std::sort(disks.begin(), disks.end());
         EXPECT_TRUE(subsets.insert(disks).second)
             << "subset reused at stripe " << s;
@@ -44,14 +44,14 @@ TEST(Datum, OffsetsCountEarlierStripesOnSameDisk)
     std::vector<int64_t> used(9, 0);
     for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
         for (int pos = 0; pos < 4; ++pos) {
-            PhysAddr a = layout.unitAddress(s, pos);
+            PhysAddr a = layout.map({s, pos});
             EXPECT_EQ(a.unit, used[a.disk])
                 << "stripe " << s << " pos " << pos;
         }
         // Advance after checking all positions of the stripe.
         std::set<int> disks;
         for (int pos = 0; pos < 4; ++pos)
-            disks.insert(layout.unitAddress(s, pos).disk);
+            disks.insert(layout.map({s, pos}).disk);
         for (int d : disks)
             ++used[d];
     }
@@ -105,7 +105,7 @@ TEST(Datum, DataAndCheckPositionsPartitionTheSubset)
     for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
         std::set<int> disks;
         for (int pos = 0; pos < 5; ++pos)
-            disks.insert(layout.unitAddress(s, pos).disk);
+            disks.insert(layout.map({s, pos}).disk);
         EXPECT_EQ(disks.size(), 5u) << "stripe " << s;
     }
 }

@@ -153,7 +153,7 @@ TEST_F(FaultFixture, ScrubFindsAndRepairsInjectedLatentErrors)
     for (int64_t stripe = 50; stripe < 200 && timeline.size() < 3;
          ++stripe) {
         for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
-            PhysAddr addr = layout.unitAddress(stripe, pos);
+            PhysAddr addr = layout.map({stripe, pos});
             if (addr.disk == 2) {
                 timeline.push_back({5.0 + timeline.size(),
                                     FaultEvent::Kind::LatentError, 2,

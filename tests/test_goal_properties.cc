@@ -164,9 +164,9 @@ TEST_P(GoalSweep, Goal4LargeWriteDataUnitBijection)
     const int data_units = layout.dataUnitsPerStripe();
     std::set<PhysAddr> seen;
     for (int64_t du = 0; du < layout.dataUnitsPerPeriod(); ++du) {
-        PhysAddr direct = layout.dataUnitAddress(du);
-        PhysAddr via_stripe = layout.unitAddress(
-            du / data_units, static_cast<int>(du % data_units));
+        PhysAddr direct = layout.map(layout.virtualOf(du));
+        PhysAddr via_stripe = layout.map({
+            du / data_units, static_cast<int>(du % data_units)});
         ASSERT_EQ(direct, via_stripe) << "data unit " << du;
         ASSERT_TRUE(seen.insert(direct).second)
             << "two client units share a physical address";
@@ -202,9 +202,9 @@ TEST_P(GoalSweep, Goal6MappingIsPure)
     const int64_t step = std::max<int64_t>(1, stripes / 16);
     for (int64_t s = 0; s < stripes; s += step) {
         for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
-            PhysAddr first = layout.unitAddress(s, pos);
-            layout.unitAddress((s + stripes / 2) % stripes, 0);
-            PhysAddr second = layout.unitAddress(s, pos);
+            PhysAddr first = layout.map({s, pos});
+            layout.map({(s + stripes / 2) % stripes, 0});
+            PhysAddr second = layout.map({s, pos});
             ASSERT_EQ(first, second);
         }
     }
@@ -253,7 +253,7 @@ TEST_P(GoalSweep, Goal8SpareRelocationBalancedAndCollisionFree)
         std::set<PhysAddr> homes;
         for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
             for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
-                PhysAddr addr = layout.unitAddress(s, pos);
+                PhysAddr addr = layout.map({s, pos});
                 if (addr.disk != failed)
                     continue;
                 PhysAddr home =

@@ -59,8 +59,8 @@ TEST_P(LayoutProperties, AddressesRepeatPeriodically)
     const int64_t rows = layout.unitsPerDiskPerPeriod();
     for (int64_t s = 0; s < std::min<int64_t>(stripes, 64); ++s) {
         for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
-            PhysAddr base = layout.unitAddress(s, pos);
-            PhysAddr next = layout.unitAddress(s + stripes, pos);
+            PhysAddr base = layout.map({s, pos});
+            PhysAddr next = layout.map({s + stripes, pos});
             EXPECT_EQ(next.disk, base.disk);
             EXPECT_EQ(next.unit, base.unit + rows);
         }
@@ -108,9 +108,9 @@ TEST_P(LayoutProperties, Goal4LargeWriteOptimization)
     const Layout &layout = *layout_;
     const int data_units = layout.dataUnitsPerStripe();
     for (int64_t du = 0; du < layout.dataUnitsPerPeriod(); ++du) {
-        PhysAddr direct = layout.dataUnitAddress(du);
-        PhysAddr via_stripe = layout.unitAddress(
-            du / data_units, static_cast<int>(du % data_units));
+        PhysAddr direct = layout.map(layout.virtualOf(du));
+        PhysAddr via_stripe = layout.map({
+            du / data_units, static_cast<int>(du % data_units)});
         EXPECT_EQ(direct, via_stripe);
     }
 }
@@ -139,7 +139,7 @@ TEST_P(LayoutProperties, SpareRelocationTargetsSpareSpace)
         std::set<PhysAddr> homes;
         for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
             for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
-                PhysAddr addr = layout.unitAddress(s, pos);
+                PhysAddr addr = layout.map({s, pos});
                 if (addr.disk != failed)
                     continue;
                 PhysAddr home =

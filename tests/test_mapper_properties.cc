@@ -54,8 +54,9 @@ TEST_P(MapperProperties, OpsAreUniqueAndOnHealthyDisks)
                     for (const PhysOp &op : ops) {
                         EXPECT_GE(op.addr.disk, 0);
                         EXPECT_LT(op.addr.disk, layout_->numDisks());
-                        if (mode != ArrayMode::FaultFree)
+                        if (mode != ArrayMode::FaultFree) {
                             EXPECT_NE(op.addr.disk, failed);
+                        }
                         EXPECT_TRUE(
                             seen.emplace(op.addr.disk, op.addr.unit,
                                          op.write, op.phase)
@@ -112,7 +113,7 @@ TEST_P(MapperProperties, WritesAlwaysTouchEveryModifiedHealthyUnit)
             const int count = data_units + 1; // spans two stripes
             auto ops = mapper.expand(start, count, AccessType::Write);
             for (int64_t du = start; du < start + count; ++du) {
-                PhysAddr addr = layout_->dataUnitAddress(du);
+                PhysAddr addr = layout_->map(layout_->virtualOf(du));
                 if (mode == ArrayMode::Degraded &&
                     addr.disk == failed) {
                     continue; // lost unit is captured via parity
@@ -144,7 +145,7 @@ TEST_P(MapperProperties, FaultFreeWriteMaintainsEveryCheckUnit)
                                  AccessType::Write);
         for (int pos = data_units; pos < layout_->stripeWidth();
              ++pos) {
-            PhysAddr check = layout_->unitAddress(stripe, pos);
+            PhysAddr check = layout_->map({stripe, pos});
             bool written = false;
             for (const PhysOp &op : ops)
                 written = written || (op.addr == check && op.write);

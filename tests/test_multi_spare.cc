@@ -85,7 +85,7 @@ TEST(MultiSpare, SpareColumnsAreDisjointPerRow)
         for (int64_t s = row * layout.stripesPerRow();
              s < (row + 1) * layout.stripesPerRow(); ++s) {
             for (int pos = 0; pos < layout.stripeWidth(); ++pos)
-                occupied.insert(layout.unitAddress(s, pos).disk);
+                occupied.insert(layout.map({s, pos}).disk);
         }
         EXPECT_EQ(occupied.count(s0.disk), 0u);
         EXPECT_EQ(occupied.count(s1.disk), 0u);
@@ -104,7 +104,7 @@ TEST(MultiSpare, SecondFailureCanUseSecondSpareColumn)
     std::set<PhysAddr> homes;
     for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
         for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
-            PhysAddr addr = layout.unitAddress(s, pos);
+            PhysAddr addr = layout.map({s, pos});
             if (addr.disk == failed_a) {
                 PhysAddr home = layout.spareAddress(0, addr.unit);
                 EXPECT_NE(home.disk, failed_a);

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Observability layer: metrics registry merge semantics, tracer ring
+ * behavior and Chrome export, and the Probe facade (both the sink
+ * dispatch and the guarantees the no-op build relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/probe.hh"
+#include "obs/trace.hh"
+
+namespace pddl {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistry, CountersGaugesAndHistogramsRoundTrip)
+{
+    MetricsRegistry registry;
+    registry.add("a.count");
+    registry.add("a.count", 2.0);
+    registry.gaugeMax("a.gauge", 3.0);
+    registry.gaugeMax("a.gauge", 1.0); // lower: ignored by max-merge
+    registry.observe("a.lat_ms", 0.5);
+    registry.observe("a.lat_ms", 100.0);
+
+    MetricsSnapshot snap = registry.snapshot();
+    EXPECT_DOUBLE_EQ(snap.counter("a.count"), 3.0);
+    EXPECT_DOUBLE_EQ(snap.gauge("a.gauge"), 3.0);
+    const HistogramData *h = snap.histogram("a.lat_ms");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 2);
+    EXPECT_DOUBLE_EQ(h->sum, 100.5);
+    EXPECT_DOUBLE_EQ(h->min, 0.5);
+    EXPECT_DOUBLE_EQ(h->max, 100.0);
+    int64_t bucket_total = 0;
+    for (int64_t c : h->counts)
+        bucket_total += c;
+    EXPECT_EQ(bucket_total, h->count);
+}
+
+TEST(MetricsRegistry, MissingSeriesReadAsZeroOrNull)
+{
+    MetricsRegistry registry;
+    MetricsSnapshot snap = registry.snapshot();
+    EXPECT_TRUE(snap.empty());
+    EXPECT_DOUBLE_EQ(snap.counter("nope"), 0.0);
+    EXPECT_DOUBLE_EQ(snap.gauge("nope"), 0.0);
+    EXPECT_EQ(snap.histogram("nope"), nullptr);
+}
+
+TEST(MetricsRegistry, ShardMergeMatchesSingleThreadTotals)
+{
+    // The same values recorded from four threads (four shards) and
+    // from one thread (one shard) must snapshot identically: merge
+    // is order-fixed and associative.
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 1000;
+
+    MetricsRegistry sharded;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&sharded, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                sharded.add("w.ops");
+                sharded.gaugeMax("w.peak", t * kPerThread + i);
+                sharded.observe("w.lat_ms", (i % 50) * 0.3);
+            }
+        });
+    }
+    for (std::thread &w : writers)
+        w.join();
+    EXPECT_GE(sharded.shardCount(), 1u);
+
+    MetricsRegistry single;
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kPerThread; ++i) {
+            single.add("w.ops");
+            single.gaugeMax("w.peak", t * kPerThread + i);
+            single.observe("w.lat_ms", (i % 50) * 0.3);
+        }
+    }
+
+    MetricsSnapshot a = sharded.snapshot();
+    MetricsSnapshot b = single.snapshot();
+    EXPECT_EQ(a.counters, b.counters);
+    EXPECT_EQ(a.gauges, b.gauges);
+    ASSERT_EQ(a.histograms.size(), b.histograms.size());
+    const HistogramData *ha = a.histogram("w.lat_ms");
+    const HistogramData *hb = b.histogram("w.lat_ms");
+    ASSERT_NE(ha, nullptr);
+    ASSERT_NE(hb, nullptr);
+    EXPECT_EQ(ha->counts, hb->counts);
+    EXPECT_EQ(ha->count, hb->count);
+    EXPECT_DOUBLE_EQ(ha->sum, hb->sum);
+    EXPECT_DOUBLE_EQ(ha->min, hb->min);
+    EXPECT_DOUBLE_EQ(ha->max, hb->max);
+
+    // The JSON rendering (what lands in BENCH rows) matches too.
+    EXPECT_EQ(a.toJson().dump(), b.toJson().dump());
+}
+
+TEST(MetricsRegistry, ThreadLocalCacheSurvivesRegistryReuse)
+{
+    // Registries die and new ones reuse their addresses (the harness
+    // creates one per grid point); the thread-local shard cache must
+    // key on instance identity, not address.
+    for (int round = 0; round < 8; ++round) {
+        MetricsRegistry registry;
+        registry.add("r.count", round + 1);
+        MetricsSnapshot snap = registry.snapshot();
+        EXPECT_DOUBLE_EQ(snap.counter("r.count"), round + 1.0);
+    }
+}
+
+TEST(MetricsSnapshot, MergeSumsCountersAndKeepsGaugeMax)
+{
+    MetricsRegistry r1, r2;
+    r1.add("x", 2.0);
+    r1.gaugeMax("g", 5.0);
+    r1.observe("h", 1.0);
+    r2.add("x", 3.0);
+    r2.add("y", 1.0);
+    r2.gaugeMax("g", 4.0);
+    r2.observe("h", 10.0);
+
+    MetricsSnapshot merged = r1.snapshot();
+    merged.merge(r2.snapshot());
+    EXPECT_DOUBLE_EQ(merged.counter("x"), 5.0);
+    EXPECT_DOUBLE_EQ(merged.counter("y"), 1.0);
+    EXPECT_DOUBLE_EQ(merged.gauge("g"), 5.0);
+    const HistogramData *h = merged.histogram("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 2);
+    EXPECT_DOUBLE_EQ(h->min, 1.0);
+    EXPECT_DOUBLE_EQ(h->max, 10.0);
+}
+
+/**
+ * The Tracer tests drive record() directly: the Probe facade is a
+ * no-op under PDDL_OBS=OFF, but the sink classes build and work in
+ * both configurations.
+ */
+TraceEvent
+instantAt(const char *name, int tid, double ts_ms)
+{
+    TraceEvent event;
+    event.name = name;
+    event.cat = "test";
+    event.phase = TraceEvent::Phase::Instant;
+    event.tid = tid;
+    event.ts_ms = ts_ms;
+    return event;
+}
+
+TEST(Tracer, RecordsSpansAndKeepsOrder)
+{
+    Tracer tracer(64);
+    {
+        SpanGuard span(&tracer, "outer", "test", 1, 10.0);
+        span.closeAt(30.0);
+        {
+            SpanGuard inner(&tracer, "inner", "test", 1, 12.0);
+            inner.closeAt(20.0);
+        }
+    }
+    tracer.record(instantAt("tick", 1, 15.0));
+
+    std::vector<TraceEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 5u);
+    // Recording order: outer B, inner B, inner E, outer E, instant.
+    EXPECT_EQ(std::string(events[0].name), "outer");
+    EXPECT_EQ(events[0].phase, TraceEvent::Phase::Begin);
+    EXPECT_EQ(std::string(events[1].name), "inner");
+    EXPECT_EQ(events[1].phase, TraceEvent::Phase::Begin);
+    EXPECT_EQ(events[2].phase, TraceEvent::Phase::End);
+    EXPECT_EQ(std::string(events[3].name), "outer");
+    EXPECT_EQ(events[3].phase, TraceEvent::Phase::End);
+    EXPECT_EQ(events[4].phase, TraceEvent::Phase::Instant);
+}
+
+TEST(Tracer, RingOverflowDropsOldestAndCounts)
+{
+    Tracer tracer(8);
+    for (int i = 0; i < 20; ++i)
+        tracer.record(instantAt("e", 0, static_cast<double>(i)));
+
+    EXPECT_EQ(tracer.size(), 8u);
+    EXPECT_EQ(tracer.recorded(), 20u);
+    EXPECT_EQ(tracer.dropped(), 12u);
+
+    // Flight recorder: the *newest* events survive, oldest first.
+    std::vector<TraceEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 8u);
+    for (size_t i = 0; i < events.size(); ++i)
+        EXPECT_DOUBLE_EQ(events[i].ts_ms, 12.0 + static_cast<double>(i));
+}
+
+TEST(Tracer, ChromeJsonIsMonotoneAndCarriesLanes)
+{
+    Tracer tracer(64);
+    tracer.setLaneName(7, "disk 7");
+    // Recorded out of timestamp order: export must sort.
+    tracer.record(instantAt("late", 7, 50.0));
+    TraceEvent span;
+    span.name = "io";
+    span.cat = "disk";
+    span.phase = TraceEvent::Phase::Complete;
+    span.tid = 7;
+    span.ts_ms = 10.0;
+    span.dur_ms = 5.0;
+    span.args[0] = {"lba", 1234.0};
+    span.args[1] = {"kind", "read"};
+    span.num_args = 2;
+    tracer.record(span);
+    TraceEvent open = instantAt("access", 0, 20.0);
+    open.cat = "array";
+    open.phase = TraceEvent::Phase::AsyncBegin;
+    open.id = 42;
+    tracer.record(open);
+    TraceEvent close = open;
+    close.phase = TraceEvent::Phase::AsyncEnd;
+    close.ts_ms = 30.0;
+    tracer.record(close);
+
+    std::string json = tracer.chromeJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("disk 7"), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"read\""), std::string::npos);
+    // ts in microseconds: 10 ms -> 10000, before 20000, 30000, 50000.
+    size_t p1 = json.find("\"ts\": 10000");
+    size_t p2 = json.find("\"ts\": 20000");
+    size_t p3 = json.find("\"ts\": 30000");
+    size_t p4 = json.find("\"ts\": 50000");
+    ASSERT_NE(p1, std::string::npos);
+    ASSERT_NE(p2, std::string::npos);
+    ASSERT_NE(p3, std::string::npos);
+    ASSERT_NE(p4, std::string::npos);
+    EXPECT_LT(p1, p2);
+    EXPECT_LT(p2, p3);
+    EXPECT_LT(p3, p4);
+}
+
+TEST(Probe, DefaultProbeIsOffAndSafe)
+{
+    Probe probe;
+    EXPECT_FALSE(probe.on());
+    EXPECT_FALSE(probe.tracing());
+    // Every hook must be callable with no sinks attached.
+    probe.count("x");
+    probe.gaugeMax("x", 1.0);
+    probe.observe("x", 1.0);
+    probe.lane(0, "lane");
+    probe.instant("x", "t", 0, 0.0);
+    probe.complete("x", "t", 0, 0.0, 1.0);
+    probe.asyncBegin("x", "t", 0, 1, 0.0);
+    probe.asyncEnd("x", "t", 0, 1, 0.0);
+    probe.counterSample("x", 0, 0.0, "v", 1.0);
+}
+
+TEST(Probe, DispatchesToAttachedSinks)
+{
+    if (!kObsEnabled)
+        GTEST_SKIP() << "hooks compiled out (PDDL_OBS=OFF)";
+    MetricsRegistry registry;
+    Tracer tracer(16);
+    Probe probe(&registry, &tracer);
+    EXPECT_TRUE(probe.on());
+    EXPECT_TRUE(probe.tracing());
+    probe.count("p.count", 2.0);
+    probe.observe("p.lat_ms", 1.5);
+    probe.instant("p", "test", 0, 1.0);
+
+    MetricsSnapshot snap = registry.snapshot();
+    EXPECT_DOUBLE_EQ(snap.counter("p.count"), 2.0);
+    ASSERT_NE(snap.histogram("p.lat_ms"), nullptr);
+    EXPECT_EQ(tracer.size(), 1u);
+}
+
+} // namespace
+} // namespace obs
+} // namespace pddl

@@ -32,8 +32,8 @@ TEST(ParityDecluster, EachTileRotatesParityPosition)
     // In tile t, the parity of block j sits on block[j][t].
     for (int t = 0; t < 4; ++t) {
         for (int j = 0; j < b; ++j) {
-            PhysAddr parity = layout.unitAddress(
-                static_cast<int64_t>(t) * b + j, 3);
+            PhysAddr parity = layout.map({
+                static_cast<int64_t>(t) * b + j, 3});
             EXPECT_EQ(parity.disk, blocks[j][t]);
         }
     }
@@ -50,8 +50,8 @@ TEST(ParityDecluster, OffsetsPackTilesDensely)
         std::vector<int> per_disk(13, 0);
         for (int j = 0; j < b; ++j) {
             for (int pos = 0; pos < 4; ++pos) {
-                PhysAddr a = layout.unitAddress(
-                    static_cast<int64_t>(tile) * b + j, pos);
+                PhysAddr a = layout.map({
+                    static_cast<int64_t>(tile) * b + j, pos});
                 EXPECT_GE(a.unit, static_cast<int64_t>(tile) * r);
                 EXPECT_LT(a.unit, static_cast<int64_t>(tile + 1) * r);
                 ++per_disk[a.disk];

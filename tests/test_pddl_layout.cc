@@ -36,7 +36,7 @@ TEST(PddlLayout, Figure2MappingReproducedExactly)
     };
     for (int s = 0; s < 14; ++s) {
         for (int pos = 0; pos < 3; ++pos) {
-            PhysAddr a = layout.unitAddress(s, pos);
+            PhysAddr a = layout.map({s, pos});
             EXPECT_EQ(a.disk, expected[s][pos])
                 << "stripe " << s << " pos " << pos;
             EXPECT_EQ(a.unit, s / 2);
@@ -107,7 +107,7 @@ TEST(PddlLayout, VirtualDiskAddressMatchesAppendixListing)
     // disk = 1 + d + d/(k-1) with d = su % (g*(k-1)).
     const int g = 2, k = 3;
     for (int64_t su = 0; su < 40; ++su) {
-        VirtualAddress va = virtualDiskAddress(su, g, k);
+        Raid4Address va = virtualDiskAddress(su, g, k);
         int64_t d = su % (g * (k - 1));
         EXPECT_EQ(va.offset, su / (g * (k - 1)));
         EXPECT_EQ(va.disk, 1 + d + d / (k - 1));
@@ -124,13 +124,13 @@ TEST(PddlLayout, VirtualDiskAgreesWithStripeAddressing)
 {
     // The appendix front end and the Layout interface describe the
     // same client ordering: stripe_unit su's virtual column equals
-    // the column unitAddress derives for data position su % (k-1).
+    // the column the mapping derives for data position su % (k-1).
     PddlLayout layout = sevenDiskExample();
     const int g = layout.stripesPerRow();
     const int k = layout.stripeWidth();
     for (int64_t su = 0; su < layout.dataUnitsPerPeriod(); ++su) {
-        VirtualAddress va = virtualDiskAddress(su, g, k);
-        PhysAddr addr = layout.dataUnitAddress(su);
+        Raid4Address va = virtualDiskAddress(su, g, k);
+        PhysAddr addr = layout.map(layout.virtualOf(su));
         EXPECT_EQ(addr.disk,
                   layout.virtual2physical(va.disk, va.offset));
         EXPECT_EQ(addr.unit, va.offset);
@@ -176,7 +176,7 @@ TEST(PddlLayout, SuperStripeReadsAreRowParallel)
         std::set<int> disks;
         for (int i = 0; i < super; ++i)
             disks.insert(
-                layout.dataUnitAddress(row * super + i).disk);
+                layout.map(layout.virtualOf(row * super + i)).disk);
         EXPECT_EQ(static_cast<int>(disks.size()), super)
             << "row " << row;
     }

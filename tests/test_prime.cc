@@ -26,17 +26,17 @@ TEST(Prime, MultiplierPlacesUnitsOnExpectedDisks)
     PrimeLayout layout(7, 3);
     // Section c=1 (stripes 0..6): data slot v = j(k-1)+i goes to
     // disk v mod 7; stripe 0's data slots are v = 0,1.
-    EXPECT_EQ(layout.unitAddress(0, 0).disk, 0);
-    EXPECT_EQ(layout.unitAddress(0, 1).disk, 1);
+    EXPECT_EQ(layout.map({0, 0}).disk, 0);
+    EXPECT_EQ(layout.map({0, 1}).disk, 1);
     // Parity of stripe j=0 sits at slot n(k-1) + sigma(0) with
     // sigma(0) = (0-1) mod 7 = 6: v = 20 -> disk 6, row 2.
-    EXPECT_EQ(layout.unitAddress(0, 2).disk, 6);
-    EXPECT_EQ(layout.unitAddress(0, 2).unit, 2);
+    EXPECT_EQ(layout.map({0, 2}).disk, 6);
+    EXPECT_EQ(layout.map({0, 2}).unit, 2);
     // Section c=2 (stripes 7..13): disk = (2v) mod 7, rows 3..5.
-    EXPECT_EQ(layout.unitAddress(7, 0).disk, 0);
-    EXPECT_EQ(layout.unitAddress(7, 1).disk, 2);
-    EXPECT_EQ(layout.unitAddress(7, 2).disk, 5); // 2*20 mod 7
-    EXPECT_EQ(layout.unitAddress(7, 0).unit, 3);
+    EXPECT_EQ(layout.map({7, 0}).disk, 0);
+    EXPECT_EQ(layout.map({7, 1}).disk, 2);
+    EXPECT_EQ(layout.map({7, 2}).disk, 5); // 2*20 mod 7
+    EXPECT_EQ(layout.map({7, 0}).unit, 3);
 }
 
 TEST(Prime, NearOptimalParallelism)
@@ -53,9 +53,9 @@ TEST(Prime, NearOptimalParallelism)
         std::set<int> disks;
         for (int i = 0; i < 13; ++i) {
             disks.insert(layout
-                             .dataUnitAddress(section *
+                             .map(layout.virtualOf(section *
                                                   data_per_section +
-                                              i)
+                                              i))
                              .disk);
         }
         EXPECT_EQ(disks.size(), 13u);
@@ -74,8 +74,9 @@ TEST(Prime, ReconstructionExactlyBalanced)
                 << "n=" << n << " k=" << k << " failed=" << failed;
             // k(k-1) reads per surviving disk per pattern.
             for (int d = 0; d < n; ++d) {
-                if (d != failed)
+                if (d != failed) {
                     EXPECT_EQ(tally.reads[d], k * (k - 1));
+                }
             }
         }
     }
@@ -92,7 +93,7 @@ TEST(Prime, EachDiskHoldsKUnitsPerSection)
     std::vector<int> per_disk(13, 0);
     for (int64_t s = 0; s < 13; ++s) { // first section
         for (int pos = 0; pos < 4; ++pos) {
-            PhysAddr a = layout.unitAddress(s, pos);
+            PhysAddr a = layout.map({s, pos});
             EXPECT_LT(a.unit, 4); // rows 0..3
             ++per_disk[a.disk];
         }

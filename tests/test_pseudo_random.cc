@@ -20,10 +20,10 @@ TEST(PseudoRandom, DeterministicPerSeed)
     bool any_differs = false;
     for (int64_t s = 0; s < 200; ++s) {
         for (int pos = 0; pos < 4; ++pos) {
-            PhysAddr pa = a.unitAddress(s, pos);
-            all_equal = all_equal && pa == b.unitAddress(s, pos);
+            PhysAddr pa = a.map({s, pos});
+            all_equal = all_equal && pa == b.map({s, pos});
             any_differs =
-                any_differs || !(pa == c.unitAddress(s, pos));
+                any_differs || !(pa == c.map({s, pos}));
         }
     }
     EXPECT_TRUE(all_equal);
@@ -36,8 +36,8 @@ TEST(PseudoRandom, RoundsAreIndependentlyScrambled)
     bool differs = false;
     for (int64_t s = 0; s < 13 && !differs; ++s) {
         for (int pos = 0; pos < 4; ++pos) {
-            if (!(layout.unitAddress(s, pos).disk ==
-                  layout.unitAddress(s + 13, pos).disk)) {
+            if (!(layout.map({s, pos}).disk ==
+                  layout.map({s + 13, pos}).disk)) {
                 differs = true;
             }
         }
@@ -55,7 +55,7 @@ TEST(PseudoRandom, EveryRoundIsBalancedAndCollisionFree)
             int64_t s = round * 11 + j;
             std::set<int> stripe_disks;
             for (int pos = 0; pos < 4; ++pos) {
-                PhysAddr a = layout.unitAddress(s, pos);
+                PhysAddr a = layout.map({s, pos});
                 stripe_disks.insert(a.disk);
                 ++per_disk[a.disk];
                 EXPECT_GE(a.unit, round * 4);
@@ -75,7 +75,7 @@ TEST(PseudoRandom, LongRunParityRoughlyBalanced)
     std::vector<int64_t> parity(13, 0);
     const int64_t stripes = 13 * 400;
     for (int64_t s = 0; s < stripes; ++s)
-        ++parity[layout.unitAddress(s, 3).disk];
+        ++parity[layout.map({s, 3}).disk];
     double expected = static_cast<double>(stripes) / 13.0;
     for (int d = 0; d < 13; ++d)
         EXPECT_NEAR(static_cast<double>(parity[d]), expected,
@@ -91,14 +91,14 @@ TEST(PseudoRandom, ReconstructionRoughlyBalancedOverManyRounds)
     for (int64_t s = 0; s < 13 * 300; ++s) {
         int failed_pos = -1;
         for (int pos = 0; pos < 4; ++pos) {
-            if (layout.unitAddress(s, pos).disk == failed)
+            if (layout.map({s, pos}).disk == failed)
                 failed_pos = pos;
         }
         if (failed_pos < 0)
             continue;
         for (int pos = 0; pos < 4; ++pos) {
             if (pos != failed_pos)
-                ++reads[layout.unitAddress(s, pos).disk];
+                ++reads[layout.map({s, pos}).disk];
         }
     }
     int64_t lo = INT64_MAX, hi = 0, total = 0;

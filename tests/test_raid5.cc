@@ -16,7 +16,7 @@ TEST(Raid5, ParityRotatesLeft)
     Raid5Layout layout(5);
     // Parity of stripe s sits on disk (n-1-s) mod n.
     for (int64_t s = 0; s < 10; ++s) {
-        PhysAddr parity = layout.unitAddress(s, 4);
+        PhysAddr parity = layout.map({s, 4});
         EXPECT_EQ(parity.disk, (5 - 1 - s % 5 + 5) % 5);
         EXPECT_EQ(parity.unit, s);
     }
@@ -26,11 +26,11 @@ TEST(Raid5, DataFollowsParityDisk)
 {
     Raid5Layout layout(5);
     // Stripe 0: parity on disk 4, data on 0,1,2,3.
-    EXPECT_EQ(layout.unitAddress(0, 0).disk, 0);
-    EXPECT_EQ(layout.unitAddress(0, 3).disk, 3);
+    EXPECT_EQ(layout.map({0, 0}).disk, 0);
+    EXPECT_EQ(layout.map({0, 3}).disk, 3);
     // Stripe 1: parity on disk 3, data begins on disk 4.
-    EXPECT_EQ(layout.unitAddress(1, 0).disk, 4);
-    EXPECT_EQ(layout.unitAddress(1, 1).disk, 0);
+    EXPECT_EQ(layout.map({1, 0}).disk, 4);
+    EXPECT_EQ(layout.map({1, 1}).disk, 0);
 }
 
 TEST(Raid5, Goal5MaximalReadParallelism)
@@ -49,8 +49,8 @@ TEST(Raid5, ConsecutiveDataUnitsOnConsecutiveDisks)
 {
     Raid5Layout layout(13);
     for (int64_t du = 0; du + 1 < layout.dataUnitsPerPeriod(); ++du) {
-        int disk_a = layout.dataUnitAddress(du).disk;
-        int disk_b = layout.dataUnitAddress(du + 1).disk;
+        int disk_a = layout.map(layout.virtualOf(du)).disk;
+        int disk_b = layout.map(layout.virtualOf(du + 1)).disk;
         EXPECT_EQ(disk_b, (disk_a + 1) % 13) << "du=" << du;
     }
 }

@@ -41,7 +41,7 @@ TEST_F(ReconstructionFixture, RebuildsEveryLostUnitExactlyOnce)
     int64_t expected = 0;
     for (int64_t s = 0; s < stripes; ++s) {
         for (int pos = 0; pos < 4; ++pos) {
-            if (layout.unitAddress(s, pos).disk == 0)
+            if (layout.map({s, pos}).disk == 0)
                 ++expected;
         }
     }

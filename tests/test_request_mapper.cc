@@ -104,7 +104,7 @@ TEST_F(MapperFixture, DegradedReadReconstructsFromSurvivors)
     RequestMapper mapper(pddl, ArrayMode::Degraded, 3);
     int64_t du = -1;
     for (int64_t candidate = 0; candidate < 39; ++candidate) {
-        if (pddl.dataUnitAddress(candidate).disk == 3) {
+        if (pddl.map(pddl.virtualOf(candidate)).disk == 3) {
             du = candidate;
             break;
         }
@@ -123,7 +123,7 @@ TEST_F(MapperFixture, DegradedReadOfHealthyUnitIsDirect)
     RequestMapper mapper(pddl, ArrayMode::Degraded, 3);
     int64_t du = -1;
     for (int64_t candidate = 0; candidate < 39; ++candidate) {
-        if (pddl.dataUnitAddress(candidate).disk != 3) {
+        if (pddl.map(pddl.virtualOf(candidate)).disk != 3) {
             du = candidate;
             break;
         }
@@ -144,7 +144,7 @@ TEST_F(MapperFixture, DegradedWriteOfFailedModifiedUnitGoesLarge)
         int64_t start = stripe * 12;
         int failed_pos = -1;
         for (int pos = 0; pos < 13; ++pos) {
-            if (raid5.unitAddress(stripe, pos).disk == failed)
+            if (raid5.map({stripe, pos}).disk == failed)
                 failed_pos = pos;
         }
         ASSERT_GE(failed_pos, 0); // RAID-5: every disk in every stripe
@@ -188,7 +188,7 @@ TEST_F(MapperFixture, PostReconstructionRedirectsToSpares)
     // (the spare home), not k-1.
     int64_t du = -1;
     for (int64_t candidate = 0; candidate < 39; ++candidate) {
-        if (pddl.dataUnitAddress(candidate).disk == failed) {
+        if (pddl.map(pddl.virtualOf(candidate)).disk == failed) {
             du = candidate;
             break;
         }
@@ -199,7 +199,7 @@ TEST_F(MapperFixture, PostReconstructionRedirectsToSpares)
     EXPECT_EQ(degraded_ops.size(), 3u);
     ASSERT_EQ(post_ops.size(), 1u);
     EXPECT_NE(post_ops[0].addr.disk, failed);
-    PhysAddr original = pddl.dataUnitAddress(du);
+    PhysAddr original = pddl.map(pddl.virtualOf(du));
     EXPECT_EQ(post_ops[0].addr,
               pddl.relocatedAddress(failed, original.unit));
 }

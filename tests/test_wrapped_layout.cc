@@ -40,7 +40,7 @@ TEST(WrappedLayout, EachDiskSitsOutOneBlock)
             for (int pos = 0; pos < 7; ++pos) {
                 used.insert(
                     layout
-                        .unitAddress(block * inner_stripes + s, pos)
+                        .map({block * inner_stripes + s, pos})
                         .disk);
             }
         }
@@ -80,7 +80,7 @@ TEST_F(WrappedFixture, RelocationStaysOffFailedDiskAndIsInjective)
         std::set<PhysAddr> homes;
         for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s) {
             for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
-                PhysAddr addr = layout.unitAddress(s, pos);
+                PhysAddr addr = layout.map({s, pos});
                 if (addr.disk != failed)
                     continue;
                 PhysAddr home =
@@ -101,7 +101,7 @@ TEST_F(WrappedFixture, BlockCompactionIsDense)
     std::set<PhysAddr> seen;
     for (int64_t s = 0; s < layout.stripesPerPeriod(); ++s)
         for (int pos = 0; pos < layout.stripeWidth(); ++pos)
-            seen.insert(layout.unitAddress(s, pos));
+            seen.insert(layout.map({s, pos}));
     // occupied + spare = all rows.
     auto spare = spareUnitsPerDisk(layout);
     int64_t expected =
