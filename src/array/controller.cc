@@ -44,86 +44,122 @@ ArrayController::ArrayController(EventQueue &events,
     data_units_ = patterns * layout_.dataUnitsPerPeriod();
 }
 
+ArrayController::PendingHandle
+ArrayController::allocPending()
+{
+    PendingHandle handle;
+    if (free_pending_ != kNilPending) {
+        handle = free_pending_;
+        free_pending_ = pending_[handle].next_free;
+        pending_[handle].next_free = kNilPending;
+    } else {
+        handle = static_cast<PendingHandle>(pending_.size());
+        pending_.emplace_back();
+    }
+    return handle;
+}
+
+void
+ArrayController::freePending(PendingHandle handle)
+{
+    Pending &pending = pending_[handle];
+    pending.outstanding = 0;
+    pending.phase1.clear(); // capacity retained for the next access
+    pending.phase1_issued = false;
+    pending.done.reset();
+    pending.next_free = free_pending_;
+    free_pending_ = handle;
+}
+
 void
 ArrayController::access(int64_t start_unit, int count, AccessType type,
-                        std::function<void()> done)
+                        InlineCallback done)
 {
     assert(start_unit >= 0 && start_unit + count <= data_units_);
-    auto pending = std::make_shared<Pending>();
-    pending->id = next_access_id_++;
-    pending->start_ms = events_.now();
-    pending->done = std::move(done);
+    const PendingHandle handle = allocPending();
+    Pending &pending = pending_[handle];
+    pending.id = next_access_id_++;
+    pending.start_ms = events_.now();
+    pending.done = std::move(done);
 
     const obs::Probe &probe = config_.probe;
     probe.count(type == AccessType::Read ? "array.reads"
                                          : "array.writes");
-    probe.asyncBegin("access", "array", obs::kLaneArray, pending->id,
-                     pending->start_ms);
+    probe.asyncBegin("access", "array", obs::kLaneArray, pending.id,
+                     pending.start_ms);
 
-    std::vector<PhysOp> ops = mapper_.expand(start_unit, count, type);
-    assert(!ops.empty());
-    probe.count("array.phys_ops", static_cast<double>(ops.size()));
-    std::vector<PhysOp> phase0;
-    for (PhysOp &op : ops) {
+    mapper_.expandInto(start_unit, count, type, scratch_ops_);
+    assert(!scratch_ops_.empty());
+    probe.count("array.phys_ops",
+                static_cast<double>(scratch_ops_.size()));
+    scratch_phase0_.clear();
+    for (PhysOp &op : scratch_ops_) {
         if (op.phase == 0)
-            phase0.push_back(op);
+            scratch_phase0_.push_back(op);
         else
-            pending->phase1.push_back(op);
+            pending.phase1.push_back(op);
     }
-    if (phase0.empty()) {
-        // No pre-reads: issue the overwrites directly. Move them out
-        // first, or phaseComplete would re-issue the batch.
-        std::vector<PhysOp> writes = std::move(pending->phase1);
-        pending->phase1.clear();
-        issueOps(writes, pending);
+    if (scratch_phase0_.empty()) {
+        // No pre-reads: issue the overwrites directly.
+        pending.phase1_issued = true;
+        issueOps(pending.phase1, handle);
     } else {
-        issueOps(phase0, pending);
+        issueOps(scratch_phase0_, handle);
     }
 }
 
 void
 ArrayController::issueOps(const std::vector<PhysOp> &ops,
-                          const std::shared_ptr<Pending> &pending)
+                          PendingHandle handle)
 {
     assert(!ops.empty());
-    pending->outstanding = static_cast<int>(ops.size());
+    // Disk::submit never completes synchronously (service completion
+    // is a scheduled event), so no phaseComplete -- and no arena
+    // mutation -- can interleave with this loop.
+    Pending &pending = pending_[handle];
+    pending.outstanding = static_cast<int>(ops.size());
+    const uint64_t id = pending.id;
     for (const PhysOp &op : ops) {
         DiskRequest request;
         request.lba = op.addr.unit *
                       static_cast<int64_t>(config_.unit_sectors);
         request.sectors = config_.unit_sectors;
         request.write = op.write;
-        request.access_id = pending->id;
-        request.done = [this, pending] { phaseComplete(pending); };
+        request.access_id = id;
+        request.done = [this, handle] { phaseComplete(handle); };
         disks_[op.addr.disk]->submit(std::move(request));
     }
 }
 
 void
-ArrayController::phaseComplete(const std::shared_ptr<Pending> &pending)
+ArrayController::phaseComplete(PendingHandle handle)
 {
-    assert(pending->outstanding > 0);
-    if (--pending->outstanding > 0)
+    Pending &pending = pending_[handle];
+    assert(pending.outstanding > 0);
+    if (--pending.outstanding > 0)
         return;
-    if (!pending->phase1.empty()) {
+    if (!pending.phase1.empty() && !pending.phase1_issued) {
         // All pre-reads done: new parity is computable, overwrite.
-        std::vector<PhysOp> writes = std::move(pending->phase1);
-        pending->phase1.clear();
-        issueOps(writes, pending);
+        pending.phase1_issued = true;
+        issueOps(pending.phase1, handle);
         return;
     }
     const obs::Probe &probe = config_.probe;
     const double now = events_.now();
-    probe.observe("array.access_ms", now - pending->start_ms);
-    probe.asyncEnd("access", "array", obs::kLaneArray, pending->id,
+    probe.observe("array.access_ms", now - pending.start_ms);
+    probe.asyncEnd("access", "array", obs::kLaneArray, pending.id,
                    now);
-    if (pending->done)
-        pending->done();
+    // Recycle the slot before the completion callback runs: it may
+    // issue the next access, which then reuses this arena entry.
+    InlineCallback done = std::move(pending.done);
+    freePending(handle);
+    if (done)
+        done();
 }
 
 void
 ArrayController::submitUnit(int disk, int64_t unit, bool write,
-                            std::function<void()> done)
+                            InlineCallback done)
 {
     assert(disk >= 0 && disk < layout_.numDisks());
     config_.probe.count("array.unit_ops");

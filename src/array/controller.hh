@@ -13,6 +13,7 @@
 #ifndef PDDL_ARRAY_CONTROLLER_HH
 #define PDDL_ARRAY_CONTROLLER_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "disk/disk.hh"
 #include "layout/layout.hh"
 #include "obs/probe.hh"
+#include "sim/callback.hh"
 #include "sim/event_queue.hh"
 
 namespace pddl {
@@ -75,7 +77,7 @@ class ArrayController
      * @param done fired when the last physical operation completes
      */
     void access(int64_t start_unit, int count, AccessType type,
-                std::function<void()> done);
+                InlineCallback done);
 
     /**
      * Submit one raw stripe-unit operation outside the logical access
@@ -83,7 +85,7 @@ class ArrayController
      * own access for seek classification.
      */
     void submitUnit(int disk, int64_t unit, bool write,
-                    std::function<void()> done);
+                    InlineCallback done);
 
     /**
      * Drive the failure lifecycle one legal edge (see ArrayState).
@@ -106,32 +108,6 @@ class ArrayController
     /** Current failure-lifecycle state. */
     ArrayState state() const { return mapper_.mode(); }
 
-    /** @deprecated use transition(ArrayState::Degraded, disk). */
-    [[deprecated("use transition(ArrayState::Degraded, disk)")]] void
-    failDisk(int disk)
-    {
-        transition(ArrayState::Degraded, disk);
-    }
-
-    /**
-     * @deprecated use transition(ArrayState::PostReconstruction,
-     * disk).
-     */
-    [[deprecated(
-        "use transition(ArrayState::PostReconstruction, disk)")]] void
-    spareComplete(int disk)
-    {
-        transition(ArrayState::PostReconstruction, disk);
-    }
-
-    /** @deprecated use transition(ArrayState::FaultFree). */
-    [[deprecated("use transition(ArrayState::FaultFree)")]] void
-    restore(int disk)
-    {
-        (void)disk;
-        transition(ArrayState::FaultFree);
-    }
-
     ArrayMode mode() const { return mapper_.mode(); }
     int failedDisk() const { return mapper_.failedDisk(); }
 
@@ -153,19 +129,35 @@ class ArrayController
     const ArrayConfig &config() const { return config_; }
 
   private:
-    /** In-flight access bookkeeping shared by its op callbacks. */
+    /** Arena handle of one in-flight access (index into pending_). */
+    using PendingHandle = uint32_t;
+    static constexpr PendingHandle kNilPending = ~PendingHandle{0};
+
+    /**
+     * In-flight access bookkeeping, pooled in a free-list arena: op
+     * callbacks carry {controller, handle} instead of a shared_ptr,
+     * so the steady-state request path performs no reference-counted
+     * allocation. Freed slots keep their phase1 capacity for reuse.
+     */
     struct Pending
     {
         int outstanding = 0;
+        /** Overwrites gated on the pre-read phase completing. */
         std::vector<PhysOp> phase1;
+        /** True once phase1 has been issued (guards re-issue). */
+        bool phase1_issued = false;
         uint64_t id = 0;
         double start_ms = 0.0;
-        std::function<void()> done;
+        InlineCallback done;
+        PendingHandle next_free = kNilPending;
     };
 
+    PendingHandle allocPending();
+    void freePending(PendingHandle handle);
+
     void issueOps(const std::vector<PhysOp> &ops,
-                  const std::shared_ptr<Pending> &pending);
-    void phaseComplete(const std::shared_ptr<Pending> &pending);
+                  PendingHandle handle);
+    void phaseComplete(PendingHandle handle);
 
     EventQueue &events_;
     const Layout &layout_;
@@ -174,6 +166,13 @@ class ArrayController
     std::vector<std::unique_ptr<Disk>> disks_;
     int64_t data_units_ = 0;
     uint64_t next_access_id_ = 0;
+
+    /** Arena of in-flight accesses (see Pending). */
+    std::vector<Pending> pending_;
+    PendingHandle free_pending_ = kNilPending;
+    /** Scratch for access(): expanded ops and the phase-0 slice. */
+    std::vector<PhysOp> scratch_ops_;
+    std::vector<PhysOp> scratch_phase0_;
 };
 
 } // namespace pddl

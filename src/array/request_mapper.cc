@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
-#include <set>
-#include <tuple>
 
 namespace pddl {
 
@@ -43,11 +41,21 @@ std::vector<PhysOp>
 RequestMapper::expand(int64_t start_unit, int count,
                       AccessType type) const
 {
+    std::vector<PhysOp> ops;
+    expandInto(start_unit, count, type, ops);
+    return ops;
+}
+
+void
+RequestMapper::expandInto(int64_t start_unit, int count,
+                          AccessType type,
+                          std::vector<PhysOp> &ops) const
+{
     assert(start_unit >= 0 && count >= 1);
     const int data_units = layout_.dataUnitsPerStripe();
     const int64_t end = start_unit + count;
 
-    std::vector<PhysOp> ops;
+    ops.clear();
     for (int64_t stripe = start_unit / data_units;
          stripe * data_units < end; ++stripe) {
         int lo = static_cast<int>(
@@ -61,19 +69,24 @@ RequestMapper::expand(int64_t start_unit, int count,
     }
 
     // Deduplicate (degraded reconstruction can read a partner unit
-    // that the access reads anyway), preserving issue order.
-    std::set<std::tuple<int, int64_t, bool, int>> seen;
-    std::vector<PhysOp> unique;
-    unique.reserve(ops.size());
-    for (const PhysOp &op : ops) {
-        assert(op.addr.disk != failed_disk_ ||
+    // that the access reads anyway), preserving issue order. Op
+    // batches are a few dozen entries at most, so a quadratic scan
+    // beats a set -- and allocates nothing.
+    size_t kept = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        assert(ops[i].addr.disk != failed_disk_ ||
                mode_ == ArrayMode::FaultFree);
-        if (seen.emplace(op.addr.disk, op.addr.unit, op.write,
-                         op.phase).second) {
-            unique.push_back(op);
+        bool duplicate = false;
+        for (size_t j = 0; j < kept; ++j) {
+            if (ops[j] == ops[i]) {
+                duplicate = true;
+                break;
+            }
         }
+        if (!duplicate)
+            ops[kept++] = ops[i];
     }
-    return unique;
+    ops.resize(kept);
 }
 
 void

@@ -94,6 +94,14 @@ class RequestMapper
                                AccessType type) const;
 
     /**
+     * Same as expand(), but reuses the caller's vector (cleared
+     * first). The steady-state controller path goes through this
+     * overload so expansion allocates nothing once capacities warm up.
+     */
+    void expandInto(int64_t start_unit, int count, AccessType type,
+                    std::vector<PhysOp> &ops) const;
+
+    /**
      * Switch operating mode at runtime (live failure lifecycle).
      * Accesses expanded before the switch keep their old mapping;
      * the transition is atomic at expansion time.

@@ -7,203 +7,13 @@
 #include <numeric>
 #include <tuple>
 
+#include "core/climber.hh"
 #include "util/modmath.hh"
 #include "util/rng.hh"
 
 namespace pddl {
 
 namespace {
-
-/**
- * Joint hill-climber over p permutations with an incrementally
- * maintained reconstruction tally and squared-deviation cost.
- */
-class GroupClimber
-{
-  public:
-    GroupClimber(int n, int k, int p, Rng &rng, int spares = 1)
-        : n_(n), k_(k), g_((n - spares) / k), p_(p),
-          spares_(spares), rng_(rng)
-    {
-        assert(n == g_ * k + spares_);
-        int64_t total =
-            static_cast<int64_t>(p_) * g_ * k_ * (k_ - 1);
-        assert(total % (n_ - 1) == 0 &&
-               "flat tally target must be integral");
-        target_ = total / (n_ - 1);
-    }
-
-    void
-    randomize()
-    {
-        perms_.clear();
-        for (int q = 0; q < p_; ++q)
-            perms_.push_back(rng_.permutation(n_));
-        rebuildTally();
-    }
-
-    int64_t cost() const { return cost_; }
-
-    /**
-     * First-improvement hill climbing over all (perm, a, b) swaps in
-     * a random order per sweep; stops at a local optimum or after
-     * max_steps accepted moves.
-     *
-     * @return true when a satisfactory group (cost 0) was reached.
-     */
-    bool
-    climb(int64_t max_steps)
-    {
-        // Enumerate all candidate swaps once; reshuffle per sweep.
-        std::vector<std::tuple<int, int, int>> moves;
-        moves.reserve(static_cast<size_t>(p_) * n_ * (n_ - 1) / 2);
-        for (int q = 0; q < p_; ++q)
-            for (int a = 0; a < n_; ++a)
-                for (int b = a + 1; b < n_; ++b)
-                    moves.emplace_back(q, a, b);
-
-        // One shuffled circular order, scanned with first
-        // improvement; sideways (equal-cost) moves are allowed with a
-        // budget so the climber can walk the landscape's large
-        // plateaus. A full scan with no acceptance is a (plateau-
-        // exhausted) local optimum.
-        rng_.shuffle(moves);
-        const int max_sideways = 3 * n_;
-        int sideways = 0;
-        int64_t steps = 0;
-        size_t index = 0;
-        size_t rejected_in_a_row = 0;
-        while (cost_ > 0 && steps < max_steps) {
-            if (rejected_in_a_row == moves.size())
-                return false; // local optimum, plateau spent
-            const auto &[q, a, b] = moves[index];
-            index = (index + 1) % moves.size();
-            int64_t before = cost_;
-            applySwap(q, a, b);
-            if (cost_ < before) {
-                sideways = 0;
-                rejected_in_a_row = 0;
-                ++steps;
-            } else if (cost_ == before && sideways < max_sideways) {
-                ++sideways;
-                rejected_in_a_row = 0;
-                ++steps;
-            } else {
-                applySwap(q, a, b); // revert
-                ++rejected_in_a_row;
-            }
-        }
-        return cost_ == 0;
-    }
-
-    /** Deviation of the tally from flat, per development distance. */
-    std::vector<int64_t>
-    deviations() const
-    {
-        std::vector<int64_t> dev(n_, 0);
-        for (int delta = 1; delta < n_; ++delta)
-            dev[delta] = tally_[delta] - target_;
-        return dev;
-    }
-
-    const std::vector<int> &perm(int q) const { return perms_[q]; }
-
-    /** Basin-hopping kick: a burst of random swaps, cost updated. */
-    void
-    perturb(int count)
-    {
-        for (int i = 0; i < count; ++i) {
-            int q = static_cast<int>(rng_.below(p_));
-            int a = static_cast<int>(rng_.below(n_));
-            int b = static_cast<int>(rng_.below(n_));
-            if (a != b)
-                applySwap(q, a, b);
-        }
-    }
-
-    PermutationGroup
-    group() const
-    {
-        PermutationGroup result;
-        result.n = n_;
-        result.k = k_;
-        result.g = g_;
-        result.spares = spares_;
-        result.xor_development = false;
-        result.perms = perms_;
-        return result;
-    }
-
-  private:
-    int
-    blockOfColumn(int column) const
-    {
-        return column < spares_ ? -1 : (column - spares_) / k_;
-    }
-
-    /** Add (sign=+1) or remove (sign=-1) one block's differences. */
-    void
-    accountBlock(int q, int block, int sign)
-    {
-        const int base = spares_ + block * k_;
-        const auto &perm = perms_[q];
-        for (int c = base; c < base + k_; ++c) {
-            for (int c2 = base; c2 < base + k_; ++c2) {
-                if (c2 == c)
-                    continue;
-                int delta = (perm[c2] - perm[c] + n_) % n_;
-                bumpTally(delta, sign);
-            }
-        }
-    }
-
-    void
-    bumpTally(int delta, int sign)
-    {
-        int64_t old_dev = tally_[delta] - target_;
-        tally_[delta] += sign;
-        int64_t new_dev = tally_[delta] - target_;
-        cost_ += new_dev * new_dev - old_dev * old_dev;
-    }
-
-    /** Swap entries a and b of permutation q, updating the cost. */
-    void
-    applySwap(int q, int a, int b)
-    {
-        int block_a = blockOfColumn(a);
-        int block_b = blockOfColumn(b);
-        if (block_a >= 0)
-            accountBlock(q, block_a, -1);
-        if (block_b >= 0 && block_b != block_a)
-            accountBlock(q, block_b, -1);
-        std::swap(perms_[q][a], perms_[q][b]);
-        if (block_a >= 0)
-            accountBlock(q, block_a, +1);
-        if (block_b >= 0 && block_b != block_a)
-            accountBlock(q, block_b, +1);
-    }
-
-    void
-    rebuildTally()
-    {
-        tally_.assign(n_, 0);
-        cost_ = 0;
-        // Start from a zero tally so bumpTally accumulates the cost.
-        for (int delta = 1; delta < n_; ++delta)
-            cost_ += target_ * target_;
-        for (int q = 0; q < p_; ++q)
-            for (int block = 0; block < g_; ++block)
-                accountBlock(q, block, +1);
-    }
-
-    int n_, k_, g_, p_;
-    int spares_ = 1;
-    int64_t target_ = 0;
-    std::vector<std::vector<int>> perms_;
-    std::vector<int64_t> tally_;
-    int64_t cost_ = 0;
-    Rng &rng_;
-};
 
 /**
  * Pair search by complement matching: collect the deviation

@@ -95,9 +95,10 @@ Disk::startNext()
         }
     }
 
-    DiskRequest request = std::move(queue_[best]);
+    in_service_ = std::move(queue_[best]);
     queue_.erase(queue_.begin() + best);
     busy_ = true;
+    const DiskRequest &request = in_service_;
 
     // Classify before the arm moves (section 4's local/non-local).
     Chs start = model_.geometry.lbaToChs(request.lba);
@@ -138,22 +139,35 @@ Disk::startNext()
         probe_.counterSample("disk busy", lane_, dispatch_ms, "busy",
                              1.0);
     }
-    events_.scheduleAfter(service, [this, request = std::move(request)] {
-        busy_ = false;
-        if (probe_.tracing()) {
-            probe_.counterSample("disk busy", lane_, events_.now(),
-                                 "busy", 0.0);
-            probe_.counterSample("queue depth", lane_, events_.now(),
-                                 "depth",
-                                 static_cast<double>(queue_.size()));
-        }
-        touchLatentErrors(request.lba, request.sectors, request.write);
-        if (request.done)
-            request.done();
-        // The completion callback may have enqueued more work.
-        if (!busy_ && !queue_.empty())
-            startNext();
-    });
+    events_.scheduleAfter(service, [this] { completeService(); });
+}
+
+void
+Disk::completeService()
+{
+    assert(busy_);
+    // Detach everything the epilogue needs before firing `done`: the
+    // callback may submit new work, which can start the next service
+    // and overwrite in_service_.
+    const int64_t lba = in_service_.lba;
+    const int sectors = in_service_.sectors;
+    const bool write = in_service_.write;
+    InlineCallback done = std::move(in_service_.done);
+
+    busy_ = false;
+    if (probe_.tracing()) {
+        probe_.counterSample("disk busy", lane_, events_.now(),
+                             "busy", 0.0);
+        probe_.counterSample("queue depth", lane_, events_.now(),
+                             "depth",
+                             static_cast<double>(queue_.size()));
+    }
+    touchLatentErrors(lba, sectors, write);
+    if (done)
+        done();
+    // The completion callback may have enqueued more work.
+    if (!busy_ && !queue_.empty())
+        startNext();
 }
 
 SimTime

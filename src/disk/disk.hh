@@ -23,6 +23,7 @@
 #include "disk/geometry.hh"
 #include "disk/seek_model.hh"
 #include "obs/probe.hh"
+#include "sim/callback.hh"
 #include "sim/event_queue.hh"
 
 namespace pddl {
@@ -99,7 +100,7 @@ struct DiskRequest
     /** Identity of the logical access that generated this op. */
     uint64_t access_id = 0;
     /** Completion callback, fired at service completion time. */
-    std::function<void()> done;
+    InlineCallback done;
     /** Arrival time, stamped by Disk::submit (queue-wait metric). */
     double submit_ms = 0.0;
 };
@@ -175,6 +176,9 @@ class Disk
     /** Pick the next request (SSTF within the window) and serve it. */
     void startNext();
 
+    /** Service completion of `in_service_` (scheduled by startNext). */
+    void completeService();
+
     /** Compute service time and update arm/head position. */
     SimTime serviceTime(const DiskRequest &request);
 
@@ -190,6 +194,8 @@ class Disk
 
     std::deque<DiskRequest> queue_;
     bool busy_ = false;
+    /** The request the arm is serving; valid only while busy_. */
+    DiskRequest in_service_;
 
     int arm_cylinder_ = 0;
     int current_head_ = 0;

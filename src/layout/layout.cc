@@ -1,5 +1,7 @@
 #include "layout/layout.hh"
 
+#include <memory>
+
 namespace pddl {
 
 Layout::Layout(std::string name, int disks, int width, int check_units)
@@ -9,6 +11,37 @@ Layout::Layout(std::string name, int disks, int width, int check_units)
     assert(disks_ >= 2);
     assert(width_ >= 2 && width_ <= disks_);
     assert(check_units_ >= 1 && check_units_ < width_);
+}
+
+Layout::~Layout()
+{
+    delete table_.load(std::memory_order_relaxed);
+}
+
+const Layout::MapTable *
+Layout::ensureTable() const
+{
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    const MapTable *existing =
+        table_.load(std::memory_order_relaxed);
+    if (existing != nullptr)
+        return existing;
+
+    auto table = std::make_unique<MapTable>();
+    const int64_t period = stripesPerPeriod();
+    if (mapIsPeriodic() && period * width_ <= kMaxTableEntries) {
+        table->stripes = period;
+        table->shift = unitsPerDiskPerPeriod();
+        table->entries.reserve(
+            static_cast<size_t>(period) * width_);
+        for (int64_t stripe = 0; stripe < period; ++stripe) {
+            for (int pos = 0; pos < width_; ++pos)
+                table->entries.push_back(mapUnit(stripe, pos));
+        }
+    }
+    const MapTable *published = table.release();
+    table_.store(published, std::memory_order_release);
+    return published;
 }
 
 } // namespace pddl

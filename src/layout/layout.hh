@@ -12,18 +12,25 @@
  * The mapping API is uniform across all layout families:
  * map(VirtualAddress) resolves one virtual stripe unit to its
  * physical home, and describe() reports the family's shape
- * (LayoutInfo) for benches, JSON output and tests. The historical
- * per-family entry points (unitAddress, dataUnitAddress,
- * stripeOfDataUnit) survive this PR as [[deprecated]] shims.
+ * (LayoutInfo) for benches, JSON output and tests.
+ *
+ * map() serves from a lazily built per-period table (one PhysAddr per
+ * (stripe-in-period, position)) whenever the family's mapping is
+ * truly periodic and the period is small enough; otherwise it falls
+ * back to the analytic mapUnit() hook. The table is built once per
+ * layout object and shared by every thread using it.
  */
 
 #ifndef PDDL_LAYOUT_LAYOUT_HH
 #define PDDL_LAYOUT_LAYOUT_HH
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <tuple>
+#include <vector>
 
 namespace pddl {
 
@@ -102,7 +109,23 @@ class Layout
      */
     Layout(std::string name, int disks, int width, int check_units = 1);
 
-    virtual ~Layout() = default;
+    virtual ~Layout();
+
+    Layout(const Layout &) = delete;
+    Layout &operator=(const Layout &) = delete;
+    Layout &operator=(Layout &&) = delete;
+
+    /**
+     * Moving a layout transfers its shape but not its lazily built
+     * map table (it is cheap to rebuild and pinning it would pin the
+     * mutex too). Value-typed layouts (WrappedLayout's inner PDDL,
+     * make() factories) rely on this.
+     */
+    Layout(Layout &&other) noexcept
+        : name_(std::move(other.name_)), disks_(other.disks_),
+          width_(other.width_), check_units_(other.check_units_)
+    {
+    }
 
     const std::string &name() const { return name_; }
 
@@ -128,12 +151,50 @@ class Layout
     virtual int64_t unitsPerDiskPerPeriod() const = 0;
 
     /**
+     * True when mapUnit() literally repeats every stripesPerPeriod()
+     * stripes (shifted by unitsPerDiskPerPeriod() rows), i.e. when a
+     * single-period table reproduces the whole mapping. Pseudo-random
+     * declustering repeats in structure but not content, so it opts
+     * out and map() always computes analytically.
+     */
+    virtual bool mapIsPeriodic() const { return true; }
+
+    /**
      * The one mapping entry point: physical home of the virtual
      * stripe unit `va`. The stripe index may be any non-negative
      * value (the pattern repeats every stripesPerPeriod() stripes).
+     *
+     * Served from the per-period table when available (O(1) lookup,
+     * no per-family arithmetic); falls back to mapUnit() for
+     * non-periodic families and oversized periods.
      */
     PhysicalAddress
     map(VirtualAddress va) const
+    {
+        assert(va.stripe >= 0);
+        assert(va.pos >= 0 && va.pos < width_);
+        const MapTable *table =
+            table_.load(std::memory_order_acquire);
+        if (table == nullptr)
+            table = ensureTable();
+        if (table->entries.empty())
+            return mapUnit(va.stripe, va.pos);
+        const int64_t period = va.stripe / table->stripes;
+        const int64_t row = va.stripe - period * table->stripes;
+        PhysAddr entry =
+            table->entries[static_cast<size_t>(row) * width_ +
+                           va.pos];
+        entry.unit += period * table->shift;
+        return entry;
+    }
+
+    /**
+     * The analytic mapping, bypassing the per-period table. Same
+     * result as map() by construction; exists so tests and tools can
+     * cross-check the table against the family arithmetic.
+     */
+    PhysicalAddress
+    mapUncached(VirtualAddress va) const
     {
         assert(va.stripe >= 0);
         assert(va.pos >= 0 && va.pos < width_);
@@ -183,27 +244,6 @@ class Layout
         return PhysAddr{-1, -1};
     }
 
-    /** @deprecated shim for one PR: use map({stripe, pos}). */
-    [[deprecated("use map(VirtualAddress)")]] PhysAddr
-    unitAddress(int64_t stripe, int pos) const
-    {
-        return map({stripe, pos});
-    }
-
-    /** @deprecated shim for one PR: use map(virtualOf(du)). */
-    [[deprecated("use map(virtualOf(data_unit))")]] PhysAddr
-    dataUnitAddress(int64_t du) const
-    {
-        return map(virtualOf(du));
-    }
-
-    /** @deprecated shim for one PR: use virtualOf(du).stripe. */
-    [[deprecated("use virtualOf(data_unit).stripe")]] int64_t
-    stripeOfDataUnit(int64_t du) const
-    {
-        return du / dataUnitsPerStripe();
-    }
-
     /** Client data units in one layout pattern. */
     int64_t
     dataUnitsPerPeriod() const
@@ -222,10 +262,35 @@ class Layout
     virtual int groupCount() const { return 0; }
 
   private:
+    /**
+     * One period of the mapping, row-major by (stripe, pos). An empty
+     * `entries` marks the table disabled (non-periodic family or a
+     * period over kMaxTableEntries): map() then computes analytically.
+     */
+    struct MapTable
+    {
+        std::vector<PhysAddr> entries;
+        int64_t stripes = 0; ///< stripesPerPeriod()
+        int64_t shift = 0;   ///< unitsPerDiskPerPeriod()
+    };
+
+    /** Table size cap: 1M entries (16 MB) covers every shipped grid. */
+    static constexpr int64_t kMaxTableEntries = int64_t{1} << 20;
+
+    /**
+     * Build (or fetch) the table. First caller wins; concurrent
+     * callers block on the mutex and reuse the published table. The
+     * returned pointer is immutable and lives until the layout dies.
+     */
+    const MapTable *ensureTable() const;
+
     std::string name_;
     int disks_;
     int width_;
     int check_units_;
+
+    mutable std::atomic<const MapTable *> table_{nullptr};
+    mutable std::mutex table_mutex_;
 };
 
 } // namespace pddl

@@ -48,6 +48,9 @@ class PseudoRandomLayout : public Layout
         return stripeWidth();
     }
 
+    /** Rounds repeat in structure, never in content: no table. */
+    bool mapIsPeriodic() const override { return false; }
+
     const char *family() const override { return "pseudo_random"; }
 
     PhysAddr mapUnit(int64_t stripe, int pos) const override;

@@ -1,31 +1,141 @@
 #include "sim/event_queue.hh"
 
-#include <cstddef>
-#include <cassert>
+#include <bit>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace pddl {
 
+uint64_t
+EventQueue::whenBits(SimTime when)
+{
+    // `when + 0.0` normalizes -0.0 to +0.0 so equal times get equal
+    // bit images; schedule() rejects times before now(), so every
+    // stored time is >= +0.0 and its bit pattern orders correctly.
+    return std::bit_cast<uint64_t>(when + 0.0);
+}
+
+SimTime
+EventQueue::whenOf(Key key)
+{
+    return std::bit_cast<SimTime>(whenBitsOf(key));
+}
+
+void
+EventQueue::throwPastSchedule(SimTime when) const
+{
+    throw std::logic_error(
+        "EventQueue::schedule: when (" + std::to_string(when) +
+        " ms) is before now (" + std::to_string(now_) + " ms)");
+}
+
+EventQueue::Handle
+EventQueue::allocEvent(Callback &&callback)
+{
+    if (!free_list_.empty()) {
+        const Handle handle = free_list_.back();
+        free_list_.pop_back();
+        pool_[handle] = std::move(callback);
+        return handle;
+    }
+    const Handle handle = static_cast<Handle>(pool_.size());
+    pool_.push_back(std::move(callback));
+    return handle;
+}
+
+void
+EventQueue::freeEvent(Handle handle)
+{
+    pool_[handle].reset();
+    free_list_.push_back(handle);
+}
+
+/** Move the node at logical `index` up to its place (keys+handles). */
+void
+EventQueue::siftUp(size_t index)
+{
+    const Key moving_key = keys_[index + kPad];
+    const Handle moving_handle = handles_[index + kPad];
+    while (index > 0) {
+        const size_t parent = (index - 1) / kArity;
+        if (!(moving_key < keys_[parent + kPad]))
+            break;
+        keys_[index + kPad] = keys_[parent + kPad];
+        handles_[index + kPad] = handles_[parent + kPad];
+        index = parent;
+    }
+    keys_[index + kPad] = moving_key;
+    handles_[index + kPad] = moving_handle;
+}
+
 void
 EventQueue::schedule(SimTime when, Callback callback)
 {
-    assert(when >= now_ && "cannot schedule into the past");
-    heap_.push(Item{when, next_seq_++, std::move(callback)});
+    if (when < now_)
+        throwPastSchedule(when);
+    const Handle handle = allocEvent(std::move(callback));
+    keys_.push_back(makeKey(whenBits(when), next_seq_++));
+    handles_.push_back(handle);
+    siftUp(keys_.size() - 1 - kPad);
 }
 
 bool
 EventQueue::runOne()
 {
-    if (heap_.empty())
+    const size_t size = keys_.size() - kPad;
+    if (size == 0)
         return false;
-    // priority_queue::top() is const; the callback is moved out via
-    // a const_cast that is safe because we pop immediately after.
-    Item item = std::move(const_cast<Item &>(heap_.top()));
-    heap_.pop();
-    now_ = item.when;
+    const Key root_key = keys_[kPad];
+    const Handle root_handle = handles_[kPad];
+    const Key tail_key = keys_.back();
+    const Handle tail_handle = handles_.back();
+    keys_.pop_back();
+    handles_.pop_back();
+    if (size > 1) {
+        // Percolate the root hole down to a leaf -- each level only
+        // selects the earliest of (up to) four keys on one cache
+        // line, with no compare against a moving element -- then
+        // drop the old tail into the hole and let it sift up (the
+        // tail came from a leaf, so it almost never rises). The
+        // total key order makes any resulting arrangement pop the
+        // same event sequence.
+        const size_t remaining = size - 1;
+        size_t hole = 0;
+        for (;;) {
+            const size_t first_child = hole * kArity + 1;
+            if (first_child >= remaining)
+                break;
+            size_t last_child = first_child + kArity;
+            if (last_child > remaining)
+                last_child = remaining;
+            // Conditional-move selection: these compares are
+            // data-dependent and would mispredict as branches.
+            size_t best = first_child;
+            Key best_key = keys_[first_child + kPad];
+            for (size_t child = first_child + 1; child < last_child;
+                 ++child) {
+                const Key key = keys_[child + kPad];
+                const bool earlier = key < best_key;
+                best = earlier ? child : best;
+                best_key = earlier ? key : best_key;
+            }
+            keys_[hole + kPad] = best_key;
+            handles_[hole + kPad] = handles_[best + kPad];
+            hole = best;
+        }
+        keys_[hole + kPad] = tail_key;
+        handles_[hole + kPad] = tail_handle;
+        siftUp(hole);
+    }
+    now_ = whenOf(root_key);
     ++fired_;
     probe_.count("sim.events");
-    item.callback();
+    // Move the closure out and recycle the slot before dispatch: the
+    // callback may schedule new events that reuse it immediately.
+    Callback callback = std::move(pool_[root_handle]);
+    freeEvent(root_handle);
+    callback();
     return true;
 }
 
@@ -39,7 +149,7 @@ EventQueue::runUntilEmpty()
 void
 EventQueue::runUntil(SimTime t)
 {
-    while (!heap_.empty() && heap_.top().when <= t)
+    while (keys_.size() > kPad && whenOf(keys_[kPad]) <= t)
         runOne();
     if (t > now_)
         now_ = t;

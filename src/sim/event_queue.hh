@@ -6,19 +6,72 @@
  * at a simulated time (milliseconds). Ties are broken by insertion
  * order so that repeated runs of the same configuration replay the
  * same history exactly.
+ *
+ * Engine internals (see DESIGN.md §7): events live in a slab pool
+ * recycled through a free list, callbacks are small-buffer-optimized
+ * InlineCallbacks (no heap traffic for the common captures), and the
+ * ready queue is an indexed 4-ary min-heap. Each heap node's sort key
+ * packs (when, seq) into one 128-bit integer -- non-negative doubles
+ * order identically as doubles and as their bit patterns -- so a
+ * comparison is a single branch-free integer compare with the exact
+ * tie-break of the original std::priority_queue engine, and replays
+ * are bit-identical. The keys live in their own cache-aligned array,
+ * padded so every 4-child group occupies exactly one cache line (the
+ * parallel handle array and the pool are only touched per promotion
+ * and per dispatch, never per compare), and a pop percolates the root
+ * hole to a leaf instead of re-sifting the tail from the top. Because
+ * seq makes the key order total, the heap's internal arrangement can
+ * never affect which event fires next.
  */
 
 #ifndef PDDL_SIM_EVENT_QUEUE_HH
 #define PDDL_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
 #include <vector>
 
 #include "obs/probe.hh"
+#include "sim/callback.hh"
 
 namespace pddl {
+
+namespace detail {
+
+/** Minimal allocator pinning vector storage to cache-line alignment. */
+template <typename T>
+struct CacheAlignedAllocator
+{
+    using value_type = T;
+    static constexpr std::align_val_t kAlign{64};
+
+    CacheAlignedAllocator() = default;
+    template <typename U>
+    CacheAlignedAllocator(const CacheAlignedAllocator<U> &)
+    {
+    }
+
+    T *
+    allocate(size_t n)
+    {
+        return static_cast<T *>(::operator new(n * sizeof(T), kAlign));
+    }
+
+    void
+    deallocate(T *p, size_t) noexcept
+    {
+        ::operator delete(p, kAlign);
+    }
+
+    friend bool
+    operator==(const CacheAlignedAllocator &,
+               const CacheAlignedAllocator &)
+    {
+        return true;
+    }
+};
+
+} // namespace detail
 
 /** Simulated time in milliseconds. */
 using SimTime = double;
@@ -32,17 +85,24 @@ using SimTime = double;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
+
+    EventQueue()
+    {
+        keys_.resize(kPad);
+        handles_.resize(kPad);
+    }
 
     /** Current simulated time (time of the last fired event). */
     SimTime now() const { return now_; }
 
     /** Number of events not yet fired. */
-    size_t pending() const { return heap_.size(); }
+    size_t pending() const { return keys_.size() - kPad; }
 
     /**
      * Schedule a callback at absolute time `when`.
-     * @pre when >= now()
+     * @throws std::logic_error when `when` < now() (scheduling into
+     *         the past would silently reorder history)
      */
     void schedule(SimTime when, Callback callback);
 
@@ -76,25 +136,83 @@ class EventQueue
     uint64_t fired() const { return fired_; }
 
   private:
-    struct Item
-    {
-        SimTime when;
-        uint64_t seq;
-        Callback callback;
-    };
+    using Handle = uint32_t;
+    /** Heap fan-out; 4 children's keys fill one cache line. */
+    static constexpr size_t kArity = 4;
+    /**
+     * Leading dummy slots: logical heap index i lives at physical
+     * slot i + kPad, which puts every 4-child group (logical
+     * 4i+1..4i+4, physical 4i+4..4i+7) on a single 64-byte line of
+     * the cache-aligned key array.
+     */
+    static constexpr size_t kPad = 3;
 
-    struct Later
+    /**
+     * Sort key: (when, seq) packed into 128 bits. The high half is
+     * the bit image of the fire time -- IEEE-754 doubles >= +0.0
+     * compare identically as doubles and as uint64_t bit patterns --
+     * and the low half is the insertion sequence, so one integer
+     * compare implements the original engine's exact tie-break, and
+     * seq uniqueness makes the order total.
+     */
+#if defined(__SIZEOF_INT128__)
+    using Key = unsigned __int128;
+    static Key
+    makeKey(uint64_t when_bits, uint64_t seq)
     {
-        bool
-        operator()(const Item &a, const Item &b) const
+        return (static_cast<Key>(when_bits) << 64) | seq;
+    }
+    static uint64_t
+    whenBitsOf(Key key)
+    {
+        return static_cast<uint64_t>(key >> 64);
+    }
+#else
+    struct Key
+    {
+        uint64_t hi, lo;
+        friend bool
+        operator<(const Key &a, const Key &b)
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            if (a.hi != b.hi)
+                return a.hi < b.hi;
+            return a.lo < b.lo;
         }
     };
+    static Key
+    makeKey(uint64_t when_bits, uint64_t seq)
+    {
+        return Key{when_bits, seq};
+    }
+    static uint64_t
+    whenBitsOf(Key key)
+    {
+        return key.hi;
+    }
+#endif
 
-    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    static uint64_t whenBits(SimTime when);
+    static SimTime whenOf(Key key);
+
+    Handle allocEvent(Callback &&callback);
+    void freeEvent(Handle handle);
+    void siftUp(size_t index);
+    [[noreturn]] void throwPastSchedule(SimTime when) const;
+
+    /**
+     * Slab of pooled callbacks, one cache line each
+     * (sizeof(InlineCallback) == 64): a dispatch touches exactly one
+     * pool line. Recycled slots stack up in `free_list_`, so the slot
+     * freed by the firing event is the slot its reschedule reuses,
+     * still hot in L1.
+     */
+    std::vector<Callback, detail::CacheAlignedAllocator<Callback>>
+        pool_;
+    std::vector<Handle> free_list_;
+    /** Heap keys, physically offset by kPad (see above). */
+    std::vector<Key, detail::CacheAlignedAllocator<Key>> keys_;
+    /** Pool handle of each heap node, same physical offset. */
+    std::vector<Handle> handles_;
     SimTime now_ = 0.0;
     uint64_t next_seq_ = 0;
     uint64_t fired_ = 0;

@@ -19,7 +19,7 @@ struct DiskFixture : ::testing::Test
 
     DiskRequest
     request(int64_t lba, int sectors, uint64_t access_id,
-            std::function<void()> done = {})
+            InlineCallback done = {})
     {
         DiskRequest r;
         r.lba = lba;

@@ -132,6 +132,37 @@ TEST(EventQueue, RunUntilHonorsHorizon)
     EXPECT_EQ(fired, 3);
 }
 
+TEST(EventQueue, SchedulingInThePastThrows)
+{
+    EventQueue q;
+    q.schedule(5.0, [] {});
+    q.runUntilEmpty();
+    ASSERT_DOUBLE_EQ(q.now(), 5.0);
+    EXPECT_THROW(q.schedule(4.0, [] {}), std::logic_error);
+    // The failed call must not corrupt the queue.
+    EXPECT_EQ(q.pending(), 0u);
+    int fired = 0;
+    q.schedule(5.0, [&] { ++fired; }); // now() itself is legal
+    q.schedule(6.0, [&] { ++fired; });
+    q.runUntilEmpty();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInThePastThrowsFromInsideAnEvent)
+{
+    EventQueue q;
+    bool threw = false;
+    q.schedule(2.0, [&] {
+        try {
+            q.schedule(1.0, [] {});
+        } catch (const std::logic_error &) {
+            threw = true;
+        }
+    });
+    q.runUntilEmpty();
+    EXPECT_TRUE(threw);
+}
+
 TEST(EventQueue, NowAdvancesMonotonically)
 {
     EventQueue q;

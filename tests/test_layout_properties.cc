@@ -67,6 +67,28 @@ TEST_P(LayoutProperties, AddressesRepeatPeriodically)
     }
 }
 
+TEST_P(LayoutProperties, MapTableMatchesAnalyticMapping)
+{
+    // map() may serve from the lazily built per-period table;
+    // mapUncached() always runs the family arithmetic. They must
+    // agree everywhere, across period boundaries included.
+    const Layout &layout = *layout_;
+    EXPECT_EQ(layout.mapIsPeriodic(), GetParam().kind != "pseudo");
+    const int64_t stripes = layout.stripesPerPeriod();
+    const int64_t span =
+        std::min<int64_t>(2 * stripes + 3, 4096);
+    for (int64_t s = 0; s < span; ++s) {
+        for (int pos = 0; pos < layout.stripeWidth(); ++pos) {
+            PhysAddr fast = layout.map({s, pos});
+            PhysAddr analytic = layout.mapUncached({s, pos});
+            ASSERT_EQ(fast.disk, analytic.disk)
+                << "stripe " << s << " pos " << pos;
+            ASSERT_EQ(fast.unit, analytic.unit)
+                << "stripe " << s << " pos " << pos;
+        }
+    }
+}
+
 TEST_P(LayoutProperties, Goal2DistributedParity)
 {
     auto tally = checkUnitsPerDisk(*layout_);

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Replay equivalence: the engine rewrite (pooled events, indexed
+ * 4-ary heap, arena'd requests, SBO callbacks) must not change any
+ * observable history. This suite drives a mixed closed-loop +
+ * fault-schedule scenario and fingerprints the full event sequence --
+ * after every fired event it folds (now(), pending()) into an FNV-1a
+ * hash, so any reordering, extra or missing event changes the
+ * digest -- plus a final metrics snapshot (seek tallies, completions,
+ * response-time bits, fault counters).
+ *
+ * The golden file tests/golden/replay_scenario.txt was recorded from
+ * the pre-rewrite engine (std::priority_queue + std::function +
+ * shared_ptr<Pending>); the current engine must reproduce it bit for
+ * bit. Regenerate deliberately with PDDL_REPLAY_REGOLD=1 (only when a
+ * change is *supposed* to alter history, e.g. a new tie-break rule).
+ */
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "array/controller.hh"
+#include "core/pddl_layout.hh"
+#include "fault/fault_scheduler.hh"
+#include "sim/event_queue.hh"
+#include "stats/welford.hh"
+#include "util/rng.hh"
+
+#ifndef PDDL_TEST_GOLDEN_DIR
+#define PDDL_TEST_GOLDEN_DIR "."
+#endif
+
+namespace pddl {
+namespace {
+
+/** Bit pattern of a double, for exact (not printf-rounded) compare. */
+uint64_t
+bits(double value)
+{
+    uint64_t out;
+    static_assert(sizeof(out) == sizeof(value));
+    std::memcpy(&out, &value, sizeof(out));
+    return out;
+}
+
+/** Order-sensitive FNV-1a fold of one 64-bit word. */
+void
+fold(uint64_t &hash, uint64_t word)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (word >> (8 * byte)) & 0xff;
+        hash *= 0x100000001b3ULL;
+    }
+}
+
+/** Everything the scenario observes, keyed for the golden file. */
+using Fingerprint = std::map<std::string, uint64_t>;
+
+/**
+ * One mixed scenario: 6 closed-loop clients (70/30 read/write mix,
+ * sizes alternating 1 and 6 units) against PDDL(13,4) while a
+ * scripted fault timeline fails a disk, rebuilds it into spare space
+ * and sprinkles latent sector errors, with the scrubber running.
+ */
+Fingerprint
+runScenario()
+{
+    PddlLayout layout = PddlLayout::make(13, 4);
+    DiskModel model = DiskModel::hp2247();
+
+    EventQueue events;
+    ArrayConfig config;
+    ArrayController array(events, layout, model, config);
+
+    int64_t rows_per_disk = array.dataUnits() /
+                            layout.dataUnitsPerPeriod() *
+                            layout.unitsPerDiskPerPeriod();
+
+    FaultSchedule schedule;
+    schedule.events.push_back(
+        {40.0, FaultEvent::Kind::LatentError, 3, rows_per_disk / 3});
+    schedule.events.push_back(
+        {55.0, FaultEvent::Kind::LatentError, 7, rows_per_disk / 2});
+    schedule.events.push_back(
+        {120.0, FaultEvent::Kind::DiskFailure, 5, 0});
+    schedule.events.push_back(
+        {130.0, FaultEvent::Kind::LatentError, 1, rows_per_disk / 4});
+
+    FaultScheduler::Options options;
+    options.rebuild_parallel = 2;
+    options.rebuild_stripes = 60;
+    options.scrub_interval_ms = 15.0;
+    FaultScheduler scheduler(events, array, std::move(schedule),
+                             std::move(options));
+
+    Rng rng(0x5ca1ab1eULL);
+    Welford response;
+    int64_t completions = 0;
+    const int64_t target_completions = 600;
+    std::function<void()> client = [&] {
+        if (completions >= target_completions)
+            return;
+        int units = (completions % 2 == 0) ? 1 : 6;
+        int64_t span = array.dataUnits() - units;
+        int64_t start = static_cast<int64_t>(
+            rng.below(static_cast<uint64_t>(span + 1)));
+        AccessType type = rng.below(10) < 7 ? AccessType::Read
+                                            : AccessType::Write;
+        SimTime issued = events.now();
+        array.access(start, units, type, [&, issued] {
+            ++completions;
+            response.add(events.now() - issued);
+            client();
+        });
+    };
+
+    scheduler.start();
+    for (int c = 0; c < 6; ++c)
+        client();
+
+    // Drive the loop one event at a time, folding the observable
+    // sequence -- fire time and backlog after every event -- into the
+    // digest. Any divergence in ordering shows up here. The periodic
+    // scrubber keeps the queue nonempty forever, so the scenario is
+    // bounded by an event budget (itself part of the fingerprint).
+    const uint64_t event_budget = 120000;
+    uint64_t sequence = 0xcbf29ce484222325ULL;
+    while (events.fired() < event_budget && events.runOne()) {
+        fold(sequence, bits(events.now()));
+        fold(sequence, events.pending());
+    }
+
+    Fingerprint print;
+    print["events_fired"] = events.fired();
+    print["sequence_hash"] = sequence;
+    print["final_now_bits"] = bits(events.now());
+    print["completions"] = static_cast<uint64_t>(completions);
+    print["response_mean_bits"] = bits(response.mean());
+    print["response_count"] = static_cast<uint64_t>(response.count());
+    SeekTally tally = array.aggregateTally();
+    print["seek_non_local"] = static_cast<uint64_t>(tally.non_local);
+    print["seek_cylinder"] =
+        static_cast<uint64_t>(tally.cylinder_switch);
+    print["seek_track"] = static_cast<uint64_t>(tally.track_switch);
+    print["seek_none"] = static_cast<uint64_t>(tally.no_switch);
+    print["accesses_issued"] = array.accessesIssued();
+    print["array_state"] = static_cast<uint64_t>(array.state());
+    const FaultStats &stats = scheduler.stats();
+    print["failures_applied"] =
+        static_cast<uint64_t>(stats.failures_applied);
+    print["rebuilds_completed"] =
+        static_cast<uint64_t>(stats.rebuilds_completed);
+    print["latent_injected"] =
+        static_cast<uint64_t>(stats.latent_injected);
+    print["latent_detected"] =
+        static_cast<uint64_t>(stats.latent_detected);
+    print["data_loss"] = stats.data_loss ? 1 : 0;
+    double busy = 0.0;
+    for (int d = 0; d < layout.numDisks(); ++d)
+        busy += array.disk(d).busyMs();
+    print["busy_ms_sum_bits"] = bits(busy);
+    return print;
+}
+
+std::string
+goldenPath()
+{
+    return std::string(PDDL_TEST_GOLDEN_DIR) + "/replay_scenario.txt";
+}
+
+Fingerprint
+readGolden(const std::string &path)
+{
+    Fingerprint golden;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            ADD_FAILURE() << "bad golden line: " << line;
+            continue;
+        }
+        golden[line.substr(0, eq)] =
+            std::strtoull(line.c_str() + eq + 1, nullptr, 16);
+    }
+    return golden;
+}
+
+TEST(ReplayEquivalence, MixedFaultScenarioMatchesGolden)
+{
+    Fingerprint print = runScenario();
+
+    const std::string path = goldenPath();
+    if (std::getenv("PDDL_REPLAY_REGOLD") != nullptr) {
+        std::ofstream out(path, std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << "# Recorded observable history of the replay scenario\n"
+               "# (see test_replay_equivalence.cc). Values are hex;\n"
+               "# doubles are stored as IEEE-754 bit patterns.\n";
+        char buf[64];
+        for (const auto &[key, value] : print) {
+            std::snprintf(buf, sizeof(buf), "%s=%" PRIx64 "\n",
+                          key.c_str(), value);
+            out << buf;
+        }
+        GTEST_SKIP() << "golden regenerated at " << path;
+    }
+
+    Fingerprint golden = readGolden(path);
+    ASSERT_FALSE(golden.empty())
+        << "missing golden " << path
+        << " (generate with PDDL_REPLAY_REGOLD=1)";
+    for (const auto &[key, value] : golden) {
+        ASSERT_TRUE(print.count(key)) << "scenario lost key " << key;
+        EXPECT_EQ(print[key], value) << "history diverged at " << key;
+    }
+    EXPECT_EQ(print.size(), golden.size());
+}
+
+/**
+ * The scenario itself must be deterministic run-to-run within one
+ * binary, or the golden comparison would be meaningless.
+ */
+TEST(ReplayEquivalence, ScenarioIsDeterministic)
+{
+    EXPECT_EQ(runScenario(), runScenario());
+}
+
+} // namespace
+} // namespace pddl

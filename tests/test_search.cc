@@ -6,11 +6,47 @@
 
 #include <gtest/gtest.h>
 
+#include "core/climber.hh"
 #include "core/search.hh"
 #include "util/modmath.hh"
+#include "util/rng.hh"
 
 namespace pddl {
 namespace {
+
+TEST(Climber, DeltaCostMatchesFullRecomputeAlongClimb)
+{
+    // The climber maintains its cost with pair-level delta updates;
+    // recomputeCost() rebuilds the tally from scratch. Walk a
+    // recorded climb -- every kind of move the search makes -- and
+    // audit the incremental cost after each step.
+    for (auto [n, k, p, spares] :
+         {std::tuple{9, 4, 2, 1}, std::tuple{10, 3, 2, 1},
+          std::tuple{13, 4, 1, 1}, std::tuple{11, 3, 5, 2}}) {
+        Rng rng(0xc11fb);
+        GroupClimber climber(n, k, p, rng, spares);
+        climber.randomize();
+        ASSERT_EQ(climber.cost(), climber.recomputeCost());
+        Rng moves(0xd3174 + n);
+        for (int step = 0; step < 400; ++step) {
+            int q = static_cast<int>(moves.below(p));
+            int a = static_cast<int>(moves.below(n));
+            int b = static_cast<int>(moves.below(n));
+            if (a == b)
+                continue;
+            climber.applySwap(q, a, b);
+            ASSERT_EQ(climber.cost(), climber.recomputeCost())
+                << "n=" << n << " step " << step << " swap (" << q
+                << ", " << a << ", " << b << ")";
+            if (step % 3 == 0)
+                climber.applySwap(q, a, b); // revert path
+        }
+        // And along a genuine climb (accept/reject sequence).
+        climber.randomize();
+        climber.climb(500);
+        EXPECT_EQ(climber.cost(), climber.recomputeCost());
+    }
+}
 
 TEST(Search, PrimeShortCircuitsToBose)
 {
