@@ -45,18 +45,18 @@ main(int argc, char **argv)
                 experiment.custom =
                     [l, &model, mode, rate, full](
                         uint64_t seed, harness::Extras &extras) {
-                        OpenLoopConfig config;
-                        config.arrivals_per_s = rate;
-                        config.mix = {
+                        OpenLoopSimConfig config;
+                        config.workload.arrivals_per_s = rate;
+                        config.workload.mix = {
                             AccessMixEntry{1, AccessType::Read, 0.7},
                             AccessMixEntry{3, AccessType::Write, 0.2},
                             AccessMixEntry{12, AccessType::Read, 0.1},
                         };
                         config.mode = mode;
                         config.failed_disk = 0;
-                        config.samples = full ? 20000 : 2500;
-                        config.warmup = full ? 2000 : 250;
-                        config.seed = seed;
+                        config.workload.samples = full ? 20000 : 2500;
+                        config.workload.warmup = full ? 2000 : 250;
+                        config.workload.seed = seed;
                         OpenLoopResult r =
                             runOpenLoop(*l, model, config);
                         extras.emplace_back("p95_response_ms",

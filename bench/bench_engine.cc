@@ -344,34 +344,16 @@ main(int argc, char **argv)
 {
     using namespace pddl;
 
-    harness::ArgParser parser(
+    bench::BenchCli cli(
         argv[0],
         "Engine microbenchmark: events/sec, requests/sec, mapping "
         "ns/op and allocations/event of the simulation core "
         "(host-time based; rows are not run-to-run deterministic).");
-    parser.addString("json", "dir",
-                     "also write machine-readable BENCH_engine.json "
-                     "into <dir>");
-    parser.addInt("threads", "n",
-                  "worker threads for the grid (default 1: timing "
-                  "rows should not contend with each other)",
-                  1);
-    parser.addBool("check",
-                   "enforce CI floors (events/sec, allocations/"
-                   "event) and exit 1 on regression");
-    if (!parser.parse(argc, argv)) {
-        std::fprintf(stderr, "%s\n%s", parser.error().c_str(),
-                     parser.usage().c_str());
-        return 2;
-    }
-    if (parser.helpRequested()) {
-        std::fputs(parser.usage().c_str(), stdout);
-        return 0;
-    }
-    bench::options().json_dir = parser.getString("json");
+    cli.addBool("check",
+                "enforce CI floors (events/sec, allocations/"
+                "event) and exit 1 on regression");
     // Timing rows run serially by default; --threads overrides.
-    bench::options().threads =
-        static_cast<int>(parser.getInt("threads", 1));
+    cli.parseOrExit(argc, argv, /*default_threads=*/1);
 
     DiskModel model = DiskModel::hp2247();
     auto layouts = bench::evaluatedLayouts();
@@ -443,7 +425,7 @@ main(int argc, char **argv)
         }
     }
 
-    if (parser.getBool("check"))
+    if (cli.getBool("check"))
         return checkFloors(summary, CheckLimits{});
     return 0;
 }

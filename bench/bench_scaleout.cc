@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Scale-out benchmark: one volume striped over S independent PDDL
+ * arrays, swept over shard counts {1, 2, 4, 8}.
+ *
+ * Each row runs a closed-loop client population (8 clients per
+ * shard, 24 KB accesses) against a VolumeManager and reports
+ * simulated rates only -- requests per simulated second and engine
+ * events per simulated second -- so BENCH_scaleout.json is
+ * bit-identical for every --threads value (host wall time never
+ * enters a row). The fault rows additionally play a scripted
+ * disk-failure timeline against shard 0, measuring how one
+ * rebuilding shard's spillover shows up against the healthy
+ * remainder (degraded sub-access share, rebuild completion).
+ *
+ * --check enforces the scale-out acceptance floors in CI: the
+ * 4-shard healthy row must deliver at least 3x the 1-shard
+ * aggregate request rate, and no fault row may end in data loss.
+ */
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hh"
+#include "fault/fault_scheduler.hh"
+#include "volume/volume_manager.hh"
+
+namespace pddl {
+namespace {
+
+const std::vector<int> kShardCounts = {1, 2, 4, 8};
+
+/** Clients per shard: the offered concurrency scales with capacity. */
+constexpr int kClientsPerShard = 8;
+
+/**
+ * One scale-out point: a volume of `shard_count` PDDL shards under a
+ * closed-loop population, optionally with a scripted disk failure on
+ * shard 0. Fixed sample count (min == max, zero tolerance) pins the
+ * simulated work so rates compare cleanly across shard counts.
+ */
+SimResult
+runScaleout(int shard_count, bool faulted, uint64_t seed,
+            harness::Extras &extras)
+{
+    EventQueue events;
+    PddlLayout layout = PddlLayout::make(13, 4);
+    DiskModel model = DiskModel::hp2247();
+
+    std::vector<ShardSpec> specs(static_cast<size_t>(shard_count));
+    for (ShardSpec &spec : specs) {
+        spec.layout = &layout;
+        spec.model = &model;
+    }
+    VolumeConfig vconfig;
+    vconfig.chunk_units = 8;
+    VolumeManager volume(events, std::move(specs), vconfig);
+
+    // Per-shard fault injection: shard 0 loses disk 2 early in the
+    // run and rebuilds into its distributed spare while the other
+    // shards keep serving at full speed.
+    std::unique_ptr<FaultScheduler> faults;
+    if (faulted) {
+        FaultSchedule schedule;
+        schedule.events.push_back(
+            {40.0, FaultEvent::Kind::DiskFailure, 2, 0});
+        faults = std::make_unique<FaultScheduler>(
+            events, std::move(schedule), FaultScheduler::Options{});
+        faults->bindArray(volume.shard(0));
+        faults->start();
+    }
+
+    ClosedLoopConfig config;
+    config.clients = kClientsPerShard * shard_count;
+    config.access_units = 3; // 24 KB: mixes chunk-local + split ops
+    config.type = AccessType::Read;
+    config.relative_tolerance = 0.0;
+    config.min_samples = bench::fullFidelity() ? 12000 : 3000;
+    config.max_samples = config.min_samples;
+    config.warmup = 200;
+    config.seed = seed;
+
+    ClosedLoopClient client(config);
+    client.start(events, volume);
+    events.runUntilEmpty();
+
+    SimResult result = client.result();
+
+    // Simulated rates only: host wall time must never reach a row,
+    // or the JSON would stop being bit-identical across --threads.
+    const double sim_s = events.now() / 1000.0;
+    extras.emplace_back("shards", shard_count);
+    extras.emplace_back("req_per_s", result.throughput_per_s);
+    extras.emplace_back("events_per_sim_s",
+                        static_cast<double>(events.fired()) / sim_s);
+    extras.emplace_back(
+        "sub_per_access",
+        static_cast<double>(volume.subAccessesIssued()) /
+            static_cast<double>(volume.volumeAccessesIssued()));
+    int max_depth = 0;
+    for (int s = 0; s < volume.shardCount(); ++s)
+        max_depth = std::max(max_depth, volume.maxInFlight(s));
+    extras.emplace_back("max_in_flight", max_depth);
+    extras.emplace_back("degraded_shards_end", volume.degradedShards());
+    if (faulted) {
+        const FaultStats &stats = faults->stats();
+        extras.emplace_back("rebuilds_completed",
+                            stats.rebuilds_completed);
+        extras.emplace_back("data_loss", stats.data_loss ? 1.0 : 0.0);
+        extras.emplace_back("degraded_ms", faults->degradedMs());
+    }
+    return result;
+}
+
+double
+extra(const harness::PointResult &point, const char *key)
+{
+    for (const auto &[name, value] : point.extras) {
+        if (name == key)
+            return value;
+    }
+    return 0.0;
+}
+
+/** Enforce the scale-out acceptance floors. @return exit code. */
+int
+checkFloors(const harness::RunSummary &summary)
+{
+    int failures = 0;
+    std::map<int, double> healthy_req_per_s;
+    for (const harness::PointResult &point : summary.points) {
+        const int shards = static_cast<int>(extra(point, "shards"));
+        const bool faulted = point.point.mode != ArrayMode::FaultFree;
+        if (!faulted) {
+            healthy_req_per_s[shards] = extra(point, "req_per_s");
+            continue;
+        }
+        if (extra(point, "data_loss") != 0.0) {
+            std::fprintf(stderr,
+                         "[check] FAIL %d shards: single failure "
+                         "ended in data loss\n",
+                         shards);
+            ++failures;
+        }
+        if (extra(point, "rebuilds_completed") < 1.0) {
+            std::fprintf(stderr,
+                         "[check] FAIL %d shards: rebuild never "
+                         "completed\n",
+                         shards);
+            ++failures;
+        }
+    }
+    const double base = healthy_req_per_s[1];
+    const double four = healthy_req_per_s[4];
+    if (base <= 0.0 || four < 3.0 * base) {
+        std::fprintf(stderr,
+                     "[check] FAIL scale-out: 4-shard %.0f req/s is "
+                     "below 3x the 1-shard %.0f req/s\n",
+                     four, base);
+        ++failures;
+    } else {
+        std::fprintf(stderr,
+                     "[check] 4-shard scale-out %.2fx the 1-shard "
+                     "rate\n",
+                     four / base);
+    }
+    if (failures == 0)
+        std::fprintf(stderr, "[check] all scale-out floors met\n");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+} // namespace pddl
+
+int
+main(int argc, char **argv)
+{
+    using namespace pddl;
+
+    bench::BenchCli cli(
+        argv[0],
+        "Scale-out benchmark: request and event rates of one volume "
+        "striped over 1/2/4/8 PDDL shards, healthy and with a "
+        "single-shard disk failure (simulated rates; rows are "
+        "bit-identical for every --threads value).");
+    cli.addBool("check",
+                "enforce CI floors (4-shard >= 3x 1-shard req/s, "
+                "fault rows rebuild without data loss) and exit 1 "
+                "on regression");
+    cli.parseOrExit(argc, argv);
+    // Every row is a simulated rate: strip the informational host
+    // wall fields so BENCH_scaleout.json is byte-identical for any
+    // --threads value and CI can diff the raw files.
+    bench::options().deterministic_json = true;
+
+    std::vector<harness::Experiment> experiments;
+    for (int shards : kShardCounts) {
+        for (bool faulted : {false, true}) {
+            harness::Experiment experiment;
+            experiment.point = {"Scaleout",
+                                std::string("volume/") +
+                                    (faulted ? "shard0_failure"
+                                             : "healthy"),
+                                24, kClientsPerShard * shards,
+                                AccessType::Read,
+                                faulted ? ArrayMode::Degraded
+                                        : ArrayMode::FaultFree};
+            experiment.custom = [shards, faulted](
+                                    uint64_t seed,
+                                    harness::Extras &extras) {
+                return runScaleout(shards, faulted, seed, extras);
+            };
+            experiments.push_back(std::move(experiment));
+        }
+    }
+
+    harness::RunSummary summary = bench::runGrid(
+        "Scaleout",
+        "Volume scale-out: req/s and events/s vs shard count, "
+        "healthy and with one shard rebuilding (simulated rates)",
+        experiments);
+
+    std::printf("Volume scale-out (%d clients per shard, 24 KB "
+                "reads)\n",
+                kClientsPerShard);
+    std::printf("%7s %16s %12s %14s %9s %9s %10s\n", "shards",
+                "scenario", "req/s", "events/sim-s", "resp ms",
+                "sub/acc", "max depth");
+    bench::printRule(8);
+    for (const harness::PointResult &point : summary.points) {
+        std::printf("%7d %16s %12.0f %14.0f %9.2f %9.3f %10.0f\n",
+                    static_cast<int>(extra(point, "shards")),
+                    point.point.mode == ArrayMode::FaultFree
+                        ? "healthy"
+                        : "shard0 failure",
+                    extra(point, "req_per_s"),
+                    extra(point, "events_per_sim_s"),
+                    point.result.mean_response_ms,
+                    extra(point, "sub_per_access"),
+                    extra(point, "max_in_flight"));
+    }
+
+    if (cli.getBool("check"))
+        return checkFloors(summary);
+    return 0;
+}

@@ -123,6 +123,14 @@ struct BenchOptions
     std::string trace_path;
     /** The tracer observes only the first figure's first point. */
     bool trace_attached = false;
+    /**
+     * Zero the informational host-wall fields (wall_time_s, wall_ms,
+     * threads) in BENCH_<figure>.json so the file is literally
+     * bit-identical across --threads values. Benches whose rows are
+     * all simulated rates (bench_scaleout) set this; CI then diffs
+     * the raw files without a strip step.
+     */
+    bool deterministic_json = false;
 };
 
 inline BenchOptions &
@@ -149,50 +157,125 @@ suiteMetrics()
 }
 
 /**
- * Parse the shared bench flags (--json, --threads, --metrics,
- * --trace, --help). Call first in every bench main(); `description`
- * is the binary's one-line help blurb. Unknown options and missing
- * values are rejected with a clear error and exit code 2. This is
- * the single registration point for bench-wide flags: a flag added
- * here reaches all bench binaries at once.
+ * The shared bench command line: every bench binary gets --json,
+ * --threads, --metrics, --trace and --help from here, plus whatever
+ * binary-specific flags it registers before parseOrExit(). This is
+ * the single registration point for bench-wide flags -- a flag added
+ * in the constructor reaches all bench binaries at once -- and the
+ * single owner of the exit policy: --help prints usage and exits 0,
+ * unknown flags and missing values print a clear error and exit 2.
+ */
+class BenchCli
+{
+  public:
+    BenchCli(const char *program, const char *description)
+        : parser_(program, description)
+    {
+        parser_.addString("json", "dir",
+                          "also write machine-readable "
+                          "BENCH_<figure>.json files into <dir>");
+        parser_.addInt("threads", "n",
+                       "worker threads for the experiment grid "
+                       "(default: PDDL_BENCH_THREADS or hardware "
+                       "concurrency; results are bit-identical for "
+                       "any value)",
+                       1);
+        parser_.addString("metrics", "file",
+                          "write the merged metrics snapshot as JSON "
+                          "and embed per-point metrics in BENCH rows");
+        parser_.addString("trace", "file",
+                          "record the first grid point as Chrome "
+                          "trace_event JSON (load in Perfetto or "
+                          "chrome://tracing)");
+        parser_.setEpilog(
+            "environment:\n"
+            "  PDDL_BENCH_FULL=1     paper-fidelity stopping rule "
+            "(slower)\n"
+            "  PDDL_BENCH_THREADS=n  default worker count\n");
+    }
+
+    /** Register binary-specific flags before parseOrExit(). */
+    void
+    addBool(const std::string &name, const std::string &help)
+    {
+        parser_.addBool(name, help);
+    }
+
+    void
+    addInt(const std::string &name, const std::string &value_name,
+           const std::string &help, long long min_value)
+    {
+        parser_.addInt(name, value_name, help, min_value);
+    }
+
+    void
+    addString(const std::string &name, const std::string &value_name,
+              const std::string &help)
+    {
+        parser_.addString(name, value_name, help);
+    }
+
+    /**
+     * Parse argv and fill options(). Owns the process-exit contract:
+     * --help exits 0 after printing usage, any parse error exits 2.
+     * `default_threads` applies when --threads is absent (0 defers to
+     * PDDL_BENCH_THREADS / hardware concurrency; host-timing benches
+     * pass 1 so rows do not contend).
+     */
+    void
+    parseOrExit(int argc, char **argv, int default_threads = 0)
+    {
+        if (!parser_.parse(argc, argv)) {
+            std::fprintf(stderr, "%s\n%s", parser_.error().c_str(),
+                         parser_.usage().c_str());
+            std::exit(2);
+        }
+        if (parser_.helpRequested()) {
+            std::fputs(parser_.usage().c_str(), stdout);
+            std::exit(0);
+        }
+        options().json_dir = parser_.getString("json");
+        options().threads = static_cast<int>(
+            parser_.getInt("threads", default_threads));
+        options().metrics_path = parser_.getString("metrics");
+        options().trace_path = parser_.getString("trace");
+    }
+
+    bool has(const std::string &name) const { return parser_.has(name); }
+
+    bool
+    getBool(const std::string &name) const
+    {
+        return parser_.getBool(name);
+    }
+
+    long long
+    getInt(const std::string &name, long long fallback = 0) const
+    {
+        return parser_.getInt(name, fallback);
+    }
+
+    std::string
+    getString(const std::string &name,
+              const std::string &fallback = "") const
+    {
+        return parser_.getString(name, fallback);
+    }
+
+  private:
+    harness::ArgParser parser_;
+};
+
+/**
+ * Parse just the shared bench flags. Call first in every bench
+ * main() that needs no extra flags; binaries with their own flags
+ * construct a BenchCli instead.
  */
 inline void
 parseArgs(int argc, char **argv, const char *description = "")
 {
-    harness::ArgParser parser(argv[0], description);
-    parser.addString("json", "dir",
-                     "also write machine-readable "
-                     "BENCH_<figure>.json files into <dir>");
-    parser.addInt("threads", "n",
-                  "worker threads for the experiment grid (default: "
-                  "PDDL_BENCH_THREADS or hardware concurrency; "
-                  "results are bit-identical for any value)",
-                  1);
-    parser.addString("metrics", "file",
-                     "write the merged metrics snapshot as JSON and "
-                     "embed per-point metrics in BENCH rows");
-    parser.addString("trace", "file",
-                     "record the first grid point as Chrome "
-                     "trace_event JSON (load in Perfetto or "
-                     "chrome://tracing)");
-    parser.setEpilog(
-        "environment:\n"
-        "  PDDL_BENCH_FULL=1     paper-fidelity stopping rule "
-        "(slower)\n"
-        "  PDDL_BENCH_THREADS=n  default worker count\n");
-    if (!parser.parse(argc, argv)) {
-        std::fprintf(stderr, "%s\n%s", parser.error().c_str(),
-                     parser.usage().c_str());
-        std::exit(2);
-    }
-    if (parser.helpRequested()) {
-        std::fputs(parser.usage().c_str(), stdout);
-        std::exit(0);
-    }
-    options().json_dir = parser.getString("json");
-    options().threads = static_cast<int>(parser.getInt("threads", 0));
-    options().metrics_path = parser.getString("metrics");
-    options().trace_path = parser.getString("trace");
+    BenchCli cli(argv[0], description);
+    cli.parseOrExit(argc, argv);
 }
 
 /**
@@ -248,8 +331,15 @@ runGrid(const char *figure, const char *caption,
     suiteTotals().point_wall_ms.merge(summary.point_wall_ms);
     if (!options().json_dir.empty()) {
         std::filesystem::create_directories(options().json_dir);
+        harness::RunSummary to_write = summary;
+        if (options().deterministic_json) {
+            to_write.wall_s = 0.0;
+            to_write.threads = 0;
+            for (harness::PointResult &point : to_write.points)
+                point.wall_ms = 0.0;
+        }
         std::string path = harness::writeFigureJson(
-            options().json_dir, figure, caption, summary);
+            options().json_dir, figure, caption, to_write);
         std::fprintf(stderr, "[%s] wrote %s\n", figure, path.c_str());
     }
     if (metrics_on) {

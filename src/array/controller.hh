@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "array/request_mapper.hh"
+#include "array/target.hh"
 #include "disk/disk.hh"
 #include "layout/layout.hh"
 #include "obs/probe.hh"
@@ -54,8 +55,12 @@ struct ArrayConfig
     obs::Probe probe;
 };
 
-/** The simulated array: disks + mapper + RMW sequencing. */
-class ArrayController
+/**
+ * The simulated array: disks + mapper + RMW sequencing. Implements
+ * Target, so workload drivers address one array exactly as they
+ * address a sharded volume.
+ */
+class ArrayController : public Target
 {
   public:
     /**
@@ -69,7 +74,7 @@ class ArrayController
                     const ArrayConfig &config);
 
     /** Client data units addressable (whole patterns on the media). */
-    int64_t dataUnits() const { return data_units_; }
+    int64_t dataUnits() const override { return data_units_; }
 
     /**
      * Issue a logical access of `count` aligned data units.
@@ -77,7 +82,7 @@ class ArrayController
      * @param done fired when the last physical operation completes
      */
     void access(int64_t start_unit, int count, AccessType type,
-                InlineCallback done);
+                InlineCallback done) override;
 
     /**
      * Submit one raw stripe-unit operation outside the logical access
@@ -119,10 +124,10 @@ class ArrayController
         std::function<void(int disk, int64_t lba)> hook);
 
     /** Sum of all disks' seek tallies. */
-    SeekTally aggregateTally() const;
+    SeekTally aggregateTally() const override;
 
     /** Logical accesses issued so far. */
-    uint64_t accessesIssued() const { return next_access_id_; }
+    uint64_t accessesIssued() const override { return next_access_id_; }
 
     const Disk &disk(int i) const { return *disks_[i]; }
     const Layout &layout() const { return layout_; }

@@ -1,0 +1,7 @@
+#include "array/target.hh"
+
+namespace pddl {
+
+Target::~Target() = default;
+
+} // namespace pddl

@@ -55,22 +55,49 @@ faultStateName(FaultState state)
 }
 
 FaultScheduler::FaultScheduler(EventQueue &events,
-                               ArrayController &array,
                                FaultSchedule schedule, Options options)
-    : events_(events), array_(array), schedule_(std::move(schedule)),
+    : events_(events), schedule_(std::move(schedule)),
       options_(std::move(options))
 {
-    assert(array_.mode() == ArrayMode::FaultFree &&
-           "the lifecycle starts from a healthy array");
     assert(std::is_sorted(schedule_.events.begin(),
                           schedule_.events.end()) &&
            "fault timelines are time-ordered");
+}
+
+FaultScheduler::FaultScheduler(EventQueue &events,
+                               ArrayController &array,
+                               FaultSchedule schedule, Options options)
+    : FaultScheduler(events, std::move(schedule), std::move(options))
+{
+    bindArray(array);
+}
+
+void
+FaultScheduler::bindArray(ArrayController &array)
+{
+    assert(!started_ && "rebind only before the timeline plays");
+    assert(array.mode() == ArrayMode::FaultFree &&
+           "the lifecycle starts from a healthy array");
+    if (array_ == &array)
+        return;
+    if (array_ != nullptr) {
+        // Detach from the previous shard and reset the lifecycle:
+        // the scheduler is a per-shard blueprint, not shared state.
+        array_->setMediumErrorHook(nullptr);
+        scrubber_.reset();
+        engine_.reset();
+        state_ = FaultState::FaultFree;
+        stats_ = FaultStats{};
+        degraded_since_ = 0.0;
+        degraded_total_ = 0.0;
+    }
+    array_ = &array;
     if (options_.scrub_interval_ms > 0.0) {
         scrubber_ = std::make_unique<Scrubber>(
-            events_, array_,
+            events_, *array_,
             Scrubber::Config{options_.scrub_interval_ms, 0});
     }
-    array_.setMediumErrorHook([this](int disk, int64_t lba) {
+    array_->setMediumErrorHook([this](int disk, int64_t lba) {
         (void)disk;
         (void)lba;
         ++stats_.latent_detected;
@@ -85,6 +112,7 @@ void
 FaultScheduler::start()
 {
     assert(!started_ && "a scheduler plays its timeline once");
+    assert(array_ != nullptr && "bindArray() before start()");
     started_ = true;
     for (const FaultEvent &event : schedule_.events) {
         events_.schedule(event.when, [this, event] {
@@ -104,8 +132,8 @@ void
 FaultScheduler::onFailure(const FaultEvent &event)
 {
     // A failure of the disk that is already down changes nothing.
-    if (array_.mode() != ArrayMode::FaultFree &&
-        array_.failedDisk() == event.disk) {
+    if (array_->mode() != ArrayMode::FaultFree &&
+        array_->failedDisk() == event.disk) {
         return;
     }
 
@@ -124,24 +152,24 @@ FaultScheduler::onFailure(const FaultEvent &event)
     }
 
     ++stats_.failures_applied;
-    const obs::Probe &probe = array_.config().probe;
+    const obs::Probe &probe = array_->config().probe;
     probe.lane(obs::kLaneFault, "faults");
     probe.count("fault.disk_failures");
     probe.instant("disk failure", "fault", obs::kLaneFault,
                   events_.now(),
                   {{"disk", static_cast<double>(event.disk)}});
-    array_.transition(ArrayState::Degraded, event.disk);
+    array_->transition(ArrayState::Degraded, event.disk);
     degraded_since_ = events_.now();
     setState(FaultState::Rebuilding);
 
-    if (!array_.layout().hasSparing()) {
+    if (!array_->layout().hasSparing()) {
         // No spare space to rebuild into: the array stays degraded
         // (a replacement-disk copy is outside this model); a second
         // failure still means data loss.
         return;
     }
     engine_ = std::make_unique<ReconstructionEngine>(
-        events_, array_, event.disk, options_.rebuild_stripes,
+        events_, *array_, event.disk, options_.rebuild_stripes,
         options_.rebuild_parallel);
     engine_->start([this, disk = event.disk] {
         if (state_ != FaultState::Rebuilding)
@@ -149,7 +177,7 @@ FaultScheduler::onFailure(const FaultEvent &event)
         stats_.rebuild_ms.add(engine_->durationMs());
         ++stats_.rebuilds_completed;
         degraded_total_ += events_.now() - degraded_since_;
-        array_.transition(ArrayState::PostReconstruction, disk);
+        array_->transition(ArrayState::PostReconstruction, disk);
         setState(FaultState::Restored);
     });
 }
@@ -158,13 +186,13 @@ void
 FaultScheduler::onLatent(const FaultEvent &event)
 {
     // The failed disk's media is gone; a latent error there is moot.
-    if (array_.mode() != ArrayMode::FaultFree &&
-        array_.failedDisk() == event.disk) {
+    if (array_->mode() != ArrayMode::FaultFree &&
+        array_->failedDisk() == event.disk) {
         return;
     }
     ++stats_.latent_injected;
-    array_.config().probe.count("fault.latent_injected");
-    array_.injectLatentError(event.disk, event.unit);
+    array_->config().probe.count("fault.latent_injected");
+    array_->injectLatentError(event.disk, event.unit);
 }
 
 void
@@ -177,7 +205,7 @@ FaultScheduler::declareDataLoss(const char *cause)
     stats_.data_loss = true;
     stats_.data_loss_ms = events_.now();
     stats_.data_loss_cause = cause;
-    const obs::Probe &probe = array_.config().probe;
+    const obs::Probe &probe = array_->config().probe;
     probe.count("fault.data_loss");
     probe.instant("data loss", "fault", obs::kLaneFault,
                   events_.now(), {{"cause", cause}});

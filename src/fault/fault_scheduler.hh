@@ -154,6 +154,20 @@ class FaultScheduler
     };
 
     /**
+     * Unbound scheduler: carries its timeline and knobs but drives no
+     * array yet. Sharded volumes construct one scheduler per shard up
+     * front and bindArray() each to its shard's controller.
+     *
+     * @param events shared simulation event queue
+     * @param schedule fault timeline to play
+     * @param options lifecycle knobs
+     */
+    FaultScheduler(EventQueue &events, FaultSchedule schedule,
+                   Options options);
+
+    /**
+     * Bound in one step (the single-array convenience).
+     *
      * @param events shared simulation event queue
      * @param array the live array (starts fault-free)
      * @param schedule fault timeline to play
@@ -161,6 +175,18 @@ class FaultScheduler
      */
     FaultScheduler(EventQueue &events, ArrayController &array,
                    FaultSchedule schedule, Options options);
+
+    /**
+     * Bind (or rebind) the scheduler to `array`. Legal any time
+     * before start(): rebinding detaches from the previous array
+     * (its medium-error hook is cleared) and resets the lifecycle
+     * state, so one scheduler blueprint can be pointed at any shard.
+     * The array must be fault-free.
+     */
+    void bindArray(ArrayController &array);
+
+    /** The array this scheduler drives (nullptr while unbound). */
+    ArrayController *array() const { return array_; }
 
     /** Schedule the whole timeline onto the event queue. */
     void start();
@@ -181,7 +207,7 @@ class FaultScheduler
     void setState(FaultState state);
 
     EventQueue &events_;
-    ArrayController &array_;
+    ArrayController *array_ = nullptr;
     FaultSchedule schedule_;
     Options options_;
 

@@ -1,0 +1,55 @@
+#include "volume/placement.hh"
+
+#include "util/rng.hh"
+
+namespace pddl {
+
+PlacementPolicy::~PlacementPolicy() = default;
+
+void
+StaticPlacement::permutation(int64_t period, int shards,
+                             int *perm) const
+{
+    (void)period;
+    for (int i = 0; i < shards; ++i)
+        perm[i] = i;
+}
+
+void
+RotatedPlacement::permutation(int64_t period, int shards,
+                              int *perm) const
+{
+    const int shift =
+        static_cast<int>(period % static_cast<int64_t>(shards));
+    for (int i = 0; i < shards; ++i) {
+        int shard = i + shift;
+        if (shard >= shards)
+            shard -= shards;
+        perm[i] = shard;
+    }
+}
+
+void
+ShuffledPlacement::permutation(int64_t period, int shards,
+                               int *perm) const
+{
+    for (int i = 0; i < shards; ++i)
+        perm[i] = i;
+    Rng rng(hashMix64(static_cast<uint64_t>(period), seed_));
+    for (int i = shards - 1; i > 0; --i) {
+        int j = static_cast<int>(
+            rng.below(static_cast<uint64_t>(i + 1)));
+        int tmp = perm[i];
+        perm[i] = perm[j];
+        perm[j] = tmp;
+    }
+}
+
+const PlacementPolicy &
+staticPlacement()
+{
+    static const StaticPlacement instance;
+    return instance;
+}
+
+} // namespace pddl

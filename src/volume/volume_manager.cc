@@ -1,0 +1,219 @@
+#include "volume/volume_manager.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pddl {
+
+VolumeManager::VolumeManager(EventQueue &events,
+                             std::vector<ShardSpec> shards,
+                             VolumeConfig config)
+    : events_(events), config_(std::move(config)),
+      placement_(config_.placement != nullptr ? config_.placement
+                                              : &staticPlacement()),
+      chunk_units_(config_.chunk_units)
+{
+    if (shards.empty())
+        throw std::logic_error("volume needs at least one shard");
+    if (static_cast<int>(shards.size()) > kMaxShards)
+        throw std::logic_error("volume shard count over kMaxShards");
+    if (chunk_units_ < 1)
+        throw std::logic_error("volume chunk_units must be >= 1");
+
+    shards_.reserve(shards.size());
+    for (const ShardSpec &spec : shards) {
+        assert(spec.layout != nullptr && "shard needs a layout");
+        shards_.push_back(std::make_unique<ArrayController>(
+            events_, *spec.layout, spec.model != nullptr
+                ? *spec.model
+                : DiskModel::hp2247(),
+            spec.array));
+    }
+
+    // Level the address space to the smallest shard, chunk-aligned:
+    // every shard then holds exactly one chunk per period and the
+    // bijection needs no per-shard capacity cases.
+    per_shard_units_ = shards_[0]->dataUnits();
+    for (const auto &shard : shards_)
+        per_shard_units_ = std::min(per_shard_units_,
+                                    shard->dataUnits());
+    per_shard_units_ -= per_shard_units_ % chunk_units_;
+    if (per_shard_units_ < chunk_units_)
+        throw std::logic_error(
+            "volume shards too small for one chunk");
+    data_units_ =
+        per_shard_units_ * static_cast<int64_t>(shards_.size());
+
+    in_flight_.assign(shards_.size(), 0);
+    max_in_flight_.assign(shards_.size(), 0);
+    inflight_metric_.reserve(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        inflight_metric_.push_back("volume.shard" + std::to_string(s) +
+                                   ".inflight_max");
+    }
+}
+
+VolumeAddress
+VolumeManager::route(int64_t unit) const
+{
+    assert(unit >= 0 && unit < data_units_);
+    const int shard_count = shardCount();
+    const int64_t chunk = unit / chunk_units_;
+    const int64_t offset = unit % chunk_units_;
+    const int64_t period = chunk / shard_count;
+    const int slot = static_cast<int>(chunk % shard_count);
+    int perm[kMaxShards];
+    placement_->permutation(period, shard_count, perm);
+    return {perm[slot], period * chunk_units_ + offset};
+}
+
+int64_t
+VolumeManager::volumeUnitOf(VolumeAddress addr) const
+{
+    assert(addr.shard >= 0 && addr.shard < shardCount());
+    assert(addr.unit >= 0 && addr.unit < per_shard_units_);
+    const int shard_count = shardCount();
+    const int64_t period = addr.unit / chunk_units_;
+    const int64_t offset = addr.unit % chunk_units_;
+    int perm[kMaxShards];
+    placement_->permutation(period, shard_count, perm);
+    int slot = -1;
+    for (int i = 0; i < shard_count; ++i) {
+        if (perm[i] == addr.shard) {
+            slot = i;
+            break;
+        }
+    }
+    assert(slot >= 0 && "placement emitted a non-permutation");
+    return (period * shard_count + slot) * chunk_units_ + offset;
+}
+
+uint32_t
+VolumeManager::allocFlight()
+{
+    if (free_flight_ == kNilFlight) {
+        flights_.emplace_back();
+        return static_cast<uint32_t>(flights_.size() - 1);
+    }
+    uint32_t handle = free_flight_;
+    free_flight_ = flights_[handle].next_free;
+    return handle;
+}
+
+void
+VolumeManager::subComplete(uint32_t handle, int shard)
+{
+    --in_flight_[shard];
+    Flight &flight = flights_[handle];
+    assert(flight.outstanding > 0);
+    if (--flight.outstanding > 0)
+        return;
+    InlineCallback done = std::move(flight.done);
+    flight.done = InlineCallback();
+    flight.next_free = free_flight_;
+    free_flight_ = handle;
+    config_.probe.count("volume.accesses_completed");
+    done();
+}
+
+void
+VolumeManager::access(int64_t start_unit, int count, AccessType type,
+                      InlineCallback done)
+{
+    assert(count >= 1);
+    assert(start_unit >= 0 && start_unit + count <= data_units_);
+
+    ++issued_;
+    config_.probe.count("volume.accesses");
+
+    const uint32_t handle = allocFlight();
+    Flight &flight = flights_[handle];
+    flight.done = std::move(done);
+    // Hold the flight open while fanning out: sub-access completions
+    // only ever fire from the event loop, but the hold keeps the
+    // accounting correct even if that ever changes.
+    flight.outstanding = 1;
+
+    int64_t unit = start_unit;
+    int remaining = count;
+    int runs = 0;
+    while (remaining > 0) {
+        const VolumeAddress head = route(unit);
+        // A run extends to the end of the current chunk: consecutive
+        // volume units within one chunk are consecutive shard-local
+        // units on one shard.
+        const int64_t chunk_left =
+            chunk_units_ - (unit % chunk_units_);
+        const int run = static_cast<int>(
+            chunk_left < remaining ? chunk_left : remaining);
+
+        ++runs;
+        ++sub_issued_;
+        ++flights_[handle].outstanding;
+        ++in_flight_[head.shard];
+        if (in_flight_[head.shard] > max_in_flight_[head.shard]) {
+            max_in_flight_[head.shard] = in_flight_[head.shard];
+            config_.probe.gaugeMax(
+                inflight_metric_[static_cast<size_t>(head.shard)]
+                    .c_str(),
+                static_cast<double>(in_flight_[head.shard]));
+        }
+        config_.probe.count("volume.sub_accesses");
+        if (shards_[head.shard]->mode() != ArrayMode::FaultFree)
+            config_.probe.count("volume.degraded_sub_accesses");
+
+        const int shard_index = head.shard;
+        shards_[shard_index]->access(
+            head.unit, run, type, [this, handle, shard_index] {
+                subComplete(handle, shard_index);
+            });
+
+        unit += run;
+        remaining -= run;
+    }
+    if (runs > 1)
+        config_.probe.count("volume.split_accesses");
+
+    // Release the fan-out hold (completions fire from the event
+    // loop, so this is what actually arms the last-one-out check).
+    Flight &after = flights_[handle];
+    if (--after.outstanding == 0) {
+        InlineCallback finished = std::move(after.done);
+        after.done = InlineCallback();
+        after.next_free = free_flight_;
+        free_flight_ = handle;
+        config_.probe.count("volume.accesses_completed");
+        finished();
+    }
+}
+
+SeekTally
+VolumeManager::aggregateTally() const
+{
+    SeekTally total;
+    for (const auto &shard : shards_)
+        total += shard->aggregateTally();
+    return total;
+}
+
+uint64_t
+VolumeManager::accessesIssued() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->accessesIssued();
+    return total;
+}
+
+int
+VolumeManager::degradedShards() const
+{
+    int degraded = 0;
+    for (const auto &shard : shards_) {
+        if (shard->mode() != ArrayMode::FaultFree)
+            ++degraded;
+    }
+    return degraded;
+}
+
+} // namespace pddl

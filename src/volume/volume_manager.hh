@@ -1,0 +1,179 @@
+/**
+ * @file
+ * VolumeManager: one address space striped over many arrays.
+ *
+ * The paper maps a single n = g*k + 1 disk array; a production-scale
+ * system composes many such arrays behind one volume, the way
+ * heterogeneous-disk-array work (Thomasian & Xu) allocates virtual
+ * arrays across shards. The VolumeManager owns S independent shards
+ * -- each its own ArrayController with its own layout, disks and
+ * fault state -- on one shared event queue, and routes a flat volume
+ * address space across them:
+ *
+ *   chunk   = unit / chunk_units          (striping granularity)
+ *   period  = chunk / S,  slot = chunk mod S
+ *   shard   = perm_period[slot]           (placement policy)
+ *   local   = period * chunk_units + unit mod chunk_units
+ *
+ * Because the placement policy emits one shard permutation per
+ * period (see placement.hh), every shard receives exactly one chunk
+ * per period and the route is a bijection with an O(S) inverse --
+ * the property the routing tests sweep.
+ *
+ * Degraded-mode policy: striping is static, so a shard in rebuild
+ * cannot shed its chunks -- it keeps serving them through its own
+ * degraded-mode machinery while the router keeps routing. What the
+ * volume adds is visibility and containment accounting: per-shard
+ * in-flight depth (live and high-water), counts of sub-accesses sent
+ * into degraded shards, and volume-rolled-up Probe metrics, so
+ * experiments can see one rebuilding shard's spillover against the
+ * healthy remainder instead of a single blended number.
+ *
+ * A logical access that crosses a chunk boundary fans out into one
+ * sub-access per chunk run; the access completes when its last
+ * sub-access completes. Sub-access bookkeeping lives in a free-list
+ * arena (no steady-state allocation), matching the controller's own
+ * in-flight machinery.
+ */
+
+#ifndef PDDL_VOLUME_VOLUME_MANAGER_HH
+#define PDDL_VOLUME_VOLUME_MANAGER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/controller.hh"
+#include "array/target.hh"
+#include "obs/probe.hh"
+#include "sim/event_queue.hh"
+#include "volume/placement.hh"
+
+namespace pddl {
+
+/** One shard of a volume: a layout plus its controller knobs. */
+struct ShardSpec
+{
+    /** The shard's data layout (must outlive the volume). */
+    const Layout *layout = nullptr;
+    /** Drive mechanics; nullptr selects the paper's HP 2247. */
+    const DiskModel *model = nullptr;
+    /** Controller construction knobs (per-shard probe included). */
+    ArrayConfig array;
+};
+
+/** Volume-level configuration. */
+struct VolumeConfig
+{
+    /** Striping chunk in stripe units (contiguity within a shard). */
+    int chunk_units = 64;
+    /** Chunk placement; nullptr selects staticPlacement(). */
+    const PlacementPolicy *placement = nullptr;
+    /** Volume-level rollup metrics (independent of shard probes). */
+    obs::Probe probe;
+};
+
+/** Shard-local home of one volume data unit. */
+struct VolumeAddress
+{
+    int shard;
+    int64_t unit;
+
+    bool
+    operator==(const VolumeAddress &o) const
+    {
+        return shard == o.shard && unit == o.unit;
+    }
+};
+
+/** S independent arrays behind one Target address space. */
+class VolumeManager : public Target
+{
+  public:
+    /** Hard shard-count cap (stack permutation buffers). */
+    static constexpr int kMaxShards = 64;
+
+    /**
+     * @param events shared simulation event queue
+     * @param shards one spec per shard (layouts must outlive the
+     *        volume); capacity is leveled to the smallest shard
+     * @param config volume-level knobs
+     */
+    VolumeManager(EventQueue &events, std::vector<ShardSpec> shards,
+                  VolumeConfig config = VolumeConfig{});
+
+    int shardCount() const { return static_cast<int>(shards_.size()); }
+    ArrayController &shard(int s) { return *shards_[s]; }
+    const ArrayController &shard(int s) const { return *shards_[s]; }
+
+    /** Uniform per-shard capacity (chunk-aligned, leveled). */
+    int64_t shardDataUnits() const { return per_shard_units_; }
+
+    int64_t chunkUnits() const { return chunk_units_; }
+    const PlacementPolicy &placement() const { return *placement_; }
+
+    // Target interface.
+    int64_t dataUnits() const override { return data_units_; }
+    void access(int64_t start_unit, int count, AccessType type,
+                InlineCallback done) override;
+    SeekTally aggregateTally() const override;
+    uint64_t accessesIssued() const override;
+
+    /** Shard-local home of volume data unit `unit`. */
+    VolumeAddress route(int64_t unit) const;
+
+    /** Inverse of route(): the volume unit living at `addr`. */
+    int64_t volumeUnitOf(VolumeAddress addr) const;
+
+    /** Volume-level logical accesses issued so far. */
+    uint64_t volumeAccessesIssued() const { return issued_; }
+
+    /** Sub-accesses (post-split shard requests) issued so far. */
+    uint64_t subAccessesIssued() const { return sub_issued_; }
+
+    /** Live sub-accesses in flight on shard `s`. */
+    int inFlight(int s) const { return in_flight_[s]; }
+
+    /** High-water sub-access depth seen on shard `s`. */
+    int maxInFlight(int s) const { return max_in_flight_[s]; }
+
+    /** Shards currently not in fault-free mode (rebuild/degraded). */
+    int degradedShards() const;
+
+  private:
+    /** Arena slot of one in-flight logical volume access. */
+    struct Flight
+    {
+        int outstanding = 0;
+        InlineCallback done;
+        uint32_t next_free = kNilFlight;
+    };
+
+    static constexpr uint32_t kNilFlight = ~uint32_t{0};
+
+    uint32_t allocFlight();
+    void subComplete(uint32_t handle, int shard);
+
+    EventQueue &events_;
+    VolumeConfig config_;
+    const PlacementPolicy *placement_;
+    int64_t chunk_units_;
+    std::vector<std::unique_ptr<ArrayController>> shards_;
+    int64_t per_shard_units_ = 0;
+    int64_t data_units_ = 0;
+
+    uint64_t issued_ = 0;
+    uint64_t sub_issued_ = 0;
+    std::vector<int> in_flight_;
+    std::vector<int> max_in_flight_;
+    /** Stable per-shard metric names ("volume.shard3.inflight_max"). */
+    std::vector<std::string> inflight_metric_;
+
+    std::vector<Flight> flights_;
+    uint32_t free_flight_ = kNilFlight;
+};
+
+} // namespace pddl
+
+#endif // PDDL_VOLUME_VOLUME_MANAGER_HH

@@ -1,86 +1,140 @@
 #include "workload/closed_loop.hh"
 
-#include <cstddef>
 #include <cassert>
+#include <cstddef>
 
 #include "array/controller.hh"
 #include "sim/event_queue.hh"
-#include "util/rng.hh"
 
 namespace pddl {
 
-namespace {
-
-/** Shared state of one experiment run. */
-struct Experiment
+ClosedLoopClient::ClosedLoopClient(ClosedLoopConfig config)
+    : config_(config), rng_(config.seed)
 {
-    EventQueue events;
-    ArrayController *array = nullptr;
-    SimConfig config;
-    Rng rng{0};
+    assert(config_.clients >= 0 && config_.access_units >= 1);
+}
 
-    Welford response;
-    int64_t completions = 0;
-    bool measuring = false;
-    bool done = false;
-    SimTime measure_start = 0.0;
-    SeekTally tally_at_start;
-    int64_t accesses_at_start = 0;
-
-    /**
-     * Sticky stop decision: the confidence test can flicker (pass at
-     * n samples, fail at n+1), and letting individual clients drop
-     * out would silently change the offered concurrency mid-run.
-     */
-    bool
-    finished()
-    {
-        if (done)
-            return true;
-        if (response.count() >= config.max_samples ||
-            response.converged(config.relative_tolerance, 1.96,
-                               config.min_samples)) {
-            done = true;
-        }
-        return done;
+bool
+ClosedLoopClient::finished()
+{
+    if (done_)
+        return true;
+    if (response_.count() >= config_.max_samples ||
+        response_.converged(config_.relative_tolerance, 1.96,
+                            config_.min_samples)) {
+        done_ = true;
     }
+    return done_;
+}
 
-    void
-    issueOne()
-    {
-        int64_t span = array->dataUnits() - config.access_units;
-        assert(span >= 0);
-        int64_t start = static_cast<int64_t>(
-            rng.below(static_cast<uint64_t>(span + 1)));
-        SimTime issued = events.now();
-        array->access(start, config.access_units, config.type,
-                      [this, issued] {
-                          ++completions;
-                          if (completions == config.warmup) {
-                              measuring = true;
-                              measure_start = events.now();
-                              tally_at_start = array->aggregateTally();
-                              accesses_at_start =
-                                  static_cast<int64_t>(
-                                      array->accessesIssued());
-                          } else if (measuring) {
-                              response.add(events.now() - issued);
-                          }
-                          if (!finished())
-                              issueOne();
-                      });
+void
+ClosedLoopClient::issueOne()
+{
+    int64_t span = target_->dataUnits() - config_.access_units;
+    assert(span >= 0);
+    int64_t start = static_cast<int64_t>(
+        rng_.below(static_cast<uint64_t>(span + 1)));
+    SimTime issued = events_->now();
+    target_->access(start, config_.access_units, config_.type,
+                    [this, issued] {
+                        ++completions_;
+                        if (completions_ == config_.warmup) {
+                            measuring_ = true;
+                            measure_start_ = events_->now();
+                            tally_at_start_ = target_->aggregateTally();
+                            accesses_at_start_ = static_cast<int64_t>(
+                                target_->accessesIssued());
+                        } else if (measuring_) {
+                            response_.add(events_->now() - issued);
+                            measure_end_ = events_->now();
+                        }
+                        if (finished())
+                            return;
+                        if (config_.think_time_ms > 0.0) {
+                            events_->scheduleAfter(
+                                config_.think_time_ms,
+                                [this] { issueOne(); });
+                        } else {
+                            issueOne();
+                        }
+                    });
+}
+
+void
+ClosedLoopClient::start(EventQueue &events, Target &target)
+{
+    assert(events_ == nullptr && "a workload starts once");
+    events_ = &events;
+    target_ = &target;
+    if (config_.warmup <= 0)
+        measuring_ = true;
+    for (int c = 0; c < config_.clients; ++c)
+        issueOne();
+}
+
+SimResult
+ClosedLoopClient::result() const
+{
+    assert(events_ != nullptr && "result() follows a started run");
+    SimResult result;
+    result.mean_response_ms = response_.mean();
+    result.ci_half_width_ms = response_.confidenceHalfWidth();
+    result.samples = response_.count();
+    // The window closes at the last measured completion, not at
+    // drain time: background machinery (a shard rebuild, a fault
+    // timeline) may keep simulated time advancing long after the
+    // population stopped.
+    SimTime elapsed = measure_end_ - measure_start_;
+    if (elapsed > 0.0) {
+        result.throughput_per_s =
+            static_cast<double>(result.samples) / (elapsed / 1000.0);
     }
-};
+    SeekTally tally = target_->aggregateTally();
+    int64_t accesses = static_cast<int64_t>(target_->accessesIssued()) -
+                       accesses_at_start_;
+    if (accesses > 0) {
+        double denom = static_cast<double>(accesses);
+        result.non_local_seeks =
+            static_cast<double>(tally.non_local -
+                                tally_at_start_.non_local) /
+            denom;
+        result.cylinder_switches =
+            static_cast<double>(tally.cylinder_switch -
+                                tally_at_start_.cylinder_switch) /
+            denom;
+        result.track_switches =
+            static_cast<double>(tally.track_switch -
+                                tally_at_start_.track_switch) /
+            denom;
+        result.no_switches =
+            static_cast<double>(tally.no_switch -
+                                tally_at_start_.no_switch) /
+            denom;
+    }
+    return result;
+}
 
-} // namespace
+ClosedLoopConfig
+SimConfig::workload() const
+{
+    ClosedLoopConfig config;
+    config.clients = clients;
+    config.access_units = access_units;
+    config.type = type;
+    config.relative_tolerance = relative_tolerance;
+    config.min_samples = min_samples;
+    config.max_samples = max_samples;
+    config.warmup = warmup;
+    config.seed = seed;
+    return config;
+}
 
 SimResult
 runClosedLoop(const Layout &layout, const DiskModel &disk_model,
               const SimConfig &config)
 {
-    Experiment experiment;
-    experiment.config = config;
-    experiment.rng = Rng(config.seed);
+    EventQueue events;
+    events.setProbe(config.probe);
 
     ArrayConfig array_config;
     array_config.unit_sectors = config.unit_sectors;
@@ -89,51 +143,12 @@ runClosedLoop(const Layout &layout, const DiskModel &disk_model,
         config.mode == ArrayMode::FaultFree ? -1 : config.failed_disk;
     array_config.sstf_window = config.sstf_window;
     array_config.probe = config.probe;
-    experiment.events.setProbe(config.probe);
+    ArrayController array(events, layout, disk_model, array_config);
 
-    ArrayController array(experiment.events, layout, disk_model,
-                          array_config);
-    experiment.array = &array;
-    if (config.warmup <= 0)
-        experiment.measuring = true;
-
-    for (int c = 0; c < config.clients; ++c)
-        experiment.issueOne();
-    experiment.events.runUntilEmpty();
-
-    SimResult result;
-    result.mean_response_ms = experiment.response.mean();
-    result.ci_half_width_ms = experiment.response.confidenceHalfWidth();
-    result.samples = experiment.response.count();
-    SimTime elapsed = experiment.events.now() - experiment.measure_start;
-    if (elapsed > 0.0) {
-        result.throughput_per_s =
-            static_cast<double>(result.samples) / (elapsed / 1000.0);
-    }
-    SeekTally tally = array.aggregateTally();
-    int64_t accesses = static_cast<int64_t>(array.accessesIssued()) -
-                       experiment.accesses_at_start;
-    if (accesses > 0) {
-        double denom = static_cast<double>(accesses);
-        result.non_local_seeks =
-            static_cast<double>(tally.non_local -
-                                experiment.tally_at_start.non_local) /
-            denom;
-        result.cylinder_switches =
-            static_cast<double>(
-                tally.cylinder_switch -
-                experiment.tally_at_start.cylinder_switch) /
-            denom;
-        result.track_switches =
-            static_cast<double>(tally.track_switch -
-                                experiment.tally_at_start.track_switch) /
-            denom;
-        result.no_switches =
-            static_cast<double>(tally.no_switch -
-                                experiment.tally_at_start.no_switch) /
-            denom;
-    }
-    return result;
+    ClosedLoopClient client(config.workload());
+    client.start(events, array);
+    events.runUntilEmpty();
+    return client.result();
 }
 
 } // namespace pddl

@@ -3,19 +3,108 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
-#include <functional>
 
 #include "array/controller.hh"
 #include "sim/event_queue.hh"
-#include "util/rng.hh"
 
 namespace pddl {
 
+OpenLoopClient::OpenLoopClient(OpenLoopConfig config)
+    : config_(std::move(config)), rng_(config_.seed)
+{
+    assert(config_.arrivals_per_s > 0.0);
+    if (config_.mix.empty())
+        config_.mix.push_back(AccessMixEntry{1, AccessType::Read, 1.0});
+    for (const AccessMixEntry &entry : config_.mix) {
+        assert(entry.units >= 1 && entry.weight >= 0.0);
+        total_weight_ += entry.weight;
+    }
+    assert(total_weight_ > 0.0);
+    mean_gap_ms_ = 1000.0 / config_.arrivals_per_s;
+    responses_.reserve(static_cast<size_t>(config_.samples));
+}
+
+void
+OpenLoopClient::arrive()
+{
+    const int64_t total_arrivals = config_.warmup + config_.samples;
+    if (arrivals_ >= total_arrivals)
+        return;
+    int64_t index = arrivals_++;
+
+    double pick = rng_.uniform() * total_weight_;
+    const AccessMixEntry *chosen = &config_.mix.back();
+    for (const AccessMixEntry &entry : config_.mix) {
+        if (pick < entry.weight) {
+            chosen = &entry;
+            break;
+        }
+        pick -= entry.weight;
+    }
+
+    int64_t span = target_->dataUnits() - chosen->units;
+    int64_t start = static_cast<int64_t>(
+        rng_.below(static_cast<uint64_t>(span + 1)));
+    SimTime issued = events_->now();
+    ++outstanding_;
+    max_outstanding_ = std::max(max_outstanding_, outstanding_);
+    target_->access(start, chosen->units, chosen->type,
+                    [this, index, issued] {
+                        --outstanding_;
+                        if (index == config_.warmup)
+                            measure_start_ = events_->now();
+                        if (index >= config_.warmup) {
+                            responses_.push_back(events_->now() -
+                                                 issued);
+                            last_completion_ = events_->now();
+                        }
+                    });
+    events_->scheduleAfter(rng_.exponential(mean_gap_ms_),
+                           [this] { arrive(); });
+}
+
+void
+OpenLoopClient::start(EventQueue &events, Target &target)
+{
+    assert(events_ == nullptr && "a workload starts once");
+    events_ = &events;
+    target_ = &target;
+    events_->scheduleAfter(rng_.exponential(mean_gap_ms_),
+                           [this] { arrive(); });
+}
+
+OpenLoopResult
+OpenLoopClient::result() const
+{
+    assert(events_ != nullptr && "result() follows a started run");
+    OpenLoopResult result;
+    result.samples = static_cast<int64_t>(responses_.size());
+    result.max_outstanding = max_outstanding_;
+    if (!responses_.empty()) {
+        double sum = 0.0;
+        for (double r : responses_)
+            sum += r;
+        result.mean_response_ms =
+            sum / static_cast<double>(responses_.size());
+        std::vector<double> sorted = responses_;
+        std::sort(sorted.begin(), sorted.end());
+        result.p95_response_ms =
+            sorted[static_cast<size_t>(0.95 * (sorted.size() - 1))];
+        result.max_response_ms = sorted.back();
+        double window = last_completion_ - measure_start_;
+        if (window > 0.0) {
+            result.completed_per_s =
+                static_cast<double>(responses_.size()) /
+                (window / 1000.0);
+        }
+    }
+    return result;
+}
+
 OpenLoopResult
 runOpenLoop(const Layout &layout, const DiskModel &disk_model,
-            const OpenLoopConfig &config)
+            const OpenLoopSimConfig &config)
 {
-    assert(config.arrivals_per_s > 0.0);
     EventQueue events;
     ArrayConfig array_config;
     array_config.unit_sectors = config.unit_sectors;
@@ -25,91 +114,10 @@ runOpenLoop(const Layout &layout, const DiskModel &disk_model,
     array_config.sstf_window = config.sstf_window;
     ArrayController array(events, layout, disk_model, array_config);
 
-    std::vector<AccessMixEntry> mix = config.mix;
-    if (mix.empty())
-        mix.push_back(AccessMixEntry{1, AccessType::Read, 1.0});
-    double total_weight = 0.0;
-    for (const AccessMixEntry &entry : mix) {
-        assert(entry.units >= 1 && entry.weight >= 0.0);
-        total_weight += entry.weight;
-    }
-    assert(total_weight > 0.0);
-
-    Rng rng(config.seed);
-    const double mean_gap_ms = 1000.0 / config.arrivals_per_s;
-    const int64_t total_arrivals = config.warmup + config.samples;
-
-    std::vector<double> responses;
-    responses.reserve(static_cast<size_t>(config.samples));
-    int64_t arrivals = 0;
-    int64_t completions = 0;
-    int outstanding = 0;
-    int max_outstanding = 0;
-    SimTime measure_start = 0.0;
-    SimTime last_completion = 0.0;
-
-    // Arrival process: each arrival samples the mix and issues
-    // without blocking, then schedules the next arrival.
-    std::function<void()> arrive = [&] {
-        if (arrivals >= total_arrivals)
-            return;
-        int64_t index = arrivals++;
-
-        double pick = rng.uniform() * total_weight;
-        const AccessMixEntry *chosen = &mix.back();
-        for (const AccessMixEntry &entry : mix) {
-            if (pick < entry.weight) {
-                chosen = &entry;
-                break;
-            }
-            pick -= entry.weight;
-        }
-
-        int64_t span = array.dataUnits() - chosen->units;
-        int64_t start = static_cast<int64_t>(
-            rng.below(static_cast<uint64_t>(span + 1)));
-        SimTime issued = events.now();
-        ++outstanding;
-        max_outstanding = std::max(max_outstanding, outstanding);
-        array.access(start, chosen->units, chosen->type,
-                     [&, index, issued] {
-                         --outstanding;
-                         ++completions;
-                         if (index == config.warmup)
-                             measure_start = events.now();
-                         if (index >= config.warmup) {
-                             responses.push_back(events.now() -
-                                                 issued);
-                             last_completion = events.now();
-                         }
-                     });
-        events.scheduleAfter(rng.exponential(mean_gap_ms), arrive);
-    };
-    events.scheduleAfter(rng.exponential(mean_gap_ms), arrive);
+    OpenLoopClient client(config.workload);
+    client.start(events, array);
     events.runUntilEmpty();
-
-    OpenLoopResult result;
-    result.samples = static_cast<int64_t>(responses.size());
-    result.max_outstanding = max_outstanding;
-    if (!responses.empty()) {
-        double sum = 0.0;
-        for (double r : responses)
-            sum += r;
-        result.mean_response_ms =
-            sum / static_cast<double>(responses.size());
-        std::vector<double> sorted = responses;
-        std::sort(sorted.begin(), sorted.end());
-        result.p95_response_ms =
-            sorted[static_cast<size_t>(0.95 * (sorted.size() - 1))];
-        result.max_response_ms = sorted.back();
-        double window = last_completion - measure_start;
-        if (window > 0.0) {
-            result.completed_per_s =
-                static_cast<double>(responses.size()) /
-                (window / 1000.0);
-        }
-    }
-    return result;
+    return client.result();
 }
 
 } // namespace pddl

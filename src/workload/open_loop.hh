@@ -8,8 +8,11 @@
  * extension provides exactly that: exponentially distributed
  * inter-arrival times at a configurable offered rate, a read/write
  * mix, and a distribution over access sizes -- unlike the closed
- * loop, the offered load does not throttle itself when the array
+ * loop, the offered load does not throttle itself when the target
  * saturates.
+ *
+ * OpenLoopClient is the Workload-interface driver (any Target);
+ * runOpenLoop() is the single-array convenience wrapper.
  */
 
 #ifndef PDDL_WORKLOAD_OPEN_LOOP_HH
@@ -21,6 +24,9 @@
 #include "array/request_mapper.hh"
 #include "disk/disk.hh"
 #include "layout/layout.hh"
+#include "stats/welford.hh"
+#include "util/rng.hh"
+#include "workload/workload.hh"
 
 namespace pddl {
 
@@ -32,17 +38,16 @@ struct AccessMixEntry
     double weight;    ///< relative probability
 };
 
-/** Open-loop experiment configuration. */
+/**
+ * Workload-only knobs of the open loop (named-parameter style).
+ * Array construction knobs live in OpenLoopSimConfig, not here.
+ */
 struct OpenLoopConfig
 {
     /** Offered load in logical accesses per second. */
     double arrivals_per_s = 100.0;
     /** Access profile (defaults to 8 KB reads when empty). */
     std::vector<AccessMixEntry> mix;
-    ArrayMode mode = ArrayMode::FaultFree;
-    int failed_disk = 0;
-    int unit_sectors = 16;
-    int sstf_window = 20;
     /** Measured completions (after warmup). */
     int64_t samples = 2000;
     int64_t warmup = 200;
@@ -63,12 +68,61 @@ struct OpenLoopResult
 };
 
 /**
+ * The Poisson arrival process as a Workload: start() schedules the
+ * first arrival; each arrival samples the mix, issues without
+ * blocking, and schedules its successor until `warmup + samples`
+ * arrivals have been offered. The caller runs the event loop and
+ * reads result().
+ */
+class OpenLoopClient : public Workload
+{
+  public:
+    explicit OpenLoopClient(OpenLoopConfig config);
+
+    void start(EventQueue &events, Target &target) override;
+
+    /** Measured outcome; valid once the event loop has drained. */
+    OpenLoopResult result() const;
+
+  private:
+    void arrive();
+
+    OpenLoopConfig config_;
+    EventQueue *events_ = nullptr;
+    Target *target_ = nullptr;
+    Rng rng_{0};
+    double total_weight_ = 0.0;
+    double mean_gap_ms_ = 0.0;
+
+    std::vector<double> responses_;
+    int64_t arrivals_ = 0;
+    int outstanding_ = 0;
+    int max_outstanding_ = 0;
+    SimTime measure_start_ = 0.0;
+    SimTime last_completion_ = 0.0;
+};
+
+/**
+ * One single-array open-loop experiment: the workload knobs plus the
+ * array construction knobs runOpenLoop() needs.
+ */
+struct OpenLoopSimConfig
+{
+    /** The client population (named-parameter workload knobs). */
+    OpenLoopConfig workload;
+    ArrayMode mode = ArrayMode::FaultFree;
+    int failed_disk = 0;
+    int unit_sectors = 16;
+    int sstf_window = 20;
+};
+
+/**
  * Run one open-loop experiment on a fresh simulated array.
  * Deterministic per configuration.
  */
 OpenLoopResult runOpenLoop(const Layout &layout,
                            const DiskModel &disk_model,
-                           const OpenLoopConfig &config);
+                           const OpenLoopSimConfig &config);
 
 } // namespace pddl
 

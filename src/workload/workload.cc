@@ -1,0 +1,7 @@
+#include "workload/workload.hh"
+
+namespace pddl {
+
+Workload::~Workload() = default;
+
+} // namespace pddl

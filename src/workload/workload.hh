@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Workload: the one interface synthetic clients implement.
+ *
+ * A workload issues logical accesses against a Target -- a single
+ * ArrayController or a sharded VolumeManager -- on a shared event
+ * queue. start() wires the client population up and returns; the
+ * caller owns the event loop (runUntilEmpty(), runUntil(), or
+ * whatever mission shape the experiment needs) and reads the
+ * workload's measured outcome afterwards.
+ *
+ * This replaces the former ad-hoc pairing of runClosedLoop /
+ * runOpenLoop free functions with their private driver state: every
+ * bench and test drives a single array or a whole volume through the
+ * same API (the run* single-array wrappers remain as conveniences
+ * built on top).
+ */
+
+#ifndef PDDL_WORKLOAD_WORKLOAD_HH
+#define PDDL_WORKLOAD_WORKLOAD_HH
+
+#include "array/target.hh"
+#include "sim/event_queue.hh"
+
+namespace pddl {
+
+/** A synthetic client population driving one Target. */
+class Workload
+{
+  public:
+    virtual ~Workload();
+
+    Workload() = default;
+    Workload(const Workload &) = delete;
+    Workload &operator=(const Workload &) = delete;
+
+    /**
+     * Begin issuing against `target` on `events` and return. Both
+     * must outlive the workload's run; a workload starts once.
+     */
+    virtual void start(EventQueue &events, Target &target) = 0;
+};
+
+} // namespace pddl
+
+#endif // PDDL_WORKLOAD_WORKLOAD_HH

@@ -181,6 +181,83 @@ TEST_F(FaultFixture, ScrubFindsAndRepairsInjectedLatentErrors)
     EXPECT_EQ(array.disk(2).mediumErrorsRepaired(), 3);
 }
 
+TEST_F(FaultFixture, UnboundSchedulerBindsToAnyShard)
+{
+    // The sharded-volume construction order: schedulers built as
+    // blueprints first, each pointed at its shard's controller later.
+    ArrayController array(events, layout, model, ArrayConfig{});
+    FaultScheduler::Options options;
+    options.rebuild_stripes = 130;
+    FaultScheduler scheduler(
+        events, scripted({{100.0, FaultEvent::Kind::DiskFailure, 3, 0}}),
+        options);
+    EXPECT_EQ(scheduler.array(), nullptr);
+    scheduler.bindArray(array);
+    EXPECT_EQ(scheduler.array(), &array);
+    scheduler.start();
+    events.runUntilEmpty();
+    EXPECT_EQ(scheduler.state(), FaultState::Restored);
+    EXPECT_EQ(array.mode(), ArrayMode::PostReconstruction);
+}
+
+TEST_F(FaultFixture, RebindDetachesThePreviousArray)
+{
+    ArrayController first(events, layout, model, ArrayConfig{});
+    ArrayController second(events, layout, model, ArrayConfig{});
+    FaultScheduler::Options options;
+    options.rebuild_stripes = 130;
+    options.scrub_interval_ms = 1.0;
+    FaultScheduler scheduler(
+        events, scripted({{50.0, FaultEvent::Kind::DiskFailure, 1, 0}}),
+        options);
+    scheduler.bindArray(first);
+    scheduler.bindArray(second);
+    EXPECT_EQ(scheduler.array(), &second);
+    scheduler.start();
+    events.runUntil(30000.0);
+
+    // The timeline played against the rebound shard only.
+    EXPECT_EQ(scheduler.state(), FaultState::Restored);
+    EXPECT_EQ(second.mode(), ArrayMode::PostReconstruction);
+    EXPECT_EQ(first.mode(), ArrayMode::FaultFree);
+    EXPECT_EQ(first.aggregateTally().total(), 0);
+}
+
+TEST_F(FaultFixture, IdenticalTimelinesGiveIdenticalShardVerdicts)
+{
+    // Two shards of one volume-style simulation, each driven by its
+    // own scheduler playing the same scripted timeline: their
+    // per-shard lifecycles and data-loss verdicts must match exactly.
+    ArrayController shard_a(events, layout, model, ArrayConfig{});
+    ArrayController shard_b(events, layout, model, ArrayConfig{});
+
+    const std::vector<FaultEvent> timeline = {
+        {10.0, FaultEvent::Kind::DiskFailure, 0, 0},
+        {12.0, FaultEvent::Kind::DiskFailure, 5, 0},
+    };
+    FaultScheduler::Options options;
+    options.rebuild_stripes = 390;
+
+    FaultScheduler sched_a(events, scripted(timeline), options);
+    FaultScheduler sched_b(events, scripted(timeline), options);
+    sched_a.bindArray(shard_a);
+    sched_b.bindArray(shard_b);
+    sched_a.start();
+    sched_b.start();
+    events.runUntilEmpty();
+
+    EXPECT_EQ(sched_a.state(), sched_b.state());
+    EXPECT_EQ(sched_a.state(), FaultState::DataLoss);
+    EXPECT_EQ(sched_a.stats().data_loss, sched_b.stats().data_loss);
+    EXPECT_EQ(sched_a.stats().data_loss_cause,
+              sched_b.stats().data_loss_cause);
+    EXPECT_DOUBLE_EQ(sched_a.stats().data_loss_ms,
+                     sched_b.stats().data_loss_ms);
+    EXPECT_EQ(sched_a.stats().failures_applied,
+              sched_b.stats().failures_applied);
+    EXPECT_DOUBLE_EQ(sched_a.degradedMs(), sched_b.degradedMs());
+}
+
 TEST_F(FaultFixture, DrawnSchedulesAreDeterministicAndSorted)
 {
     FaultDrawParams params;

@@ -12,22 +12,22 @@
 namespace pddl {
 namespace {
 
-OpenLoopConfig
+OpenLoopSimConfig
 fastConfig()
 {
-    OpenLoopConfig config;
-    config.samples = 800;
-    config.warmup = 100;
+    OpenLoopSimConfig config;
+    config.workload.samples = 800;
+    config.workload.warmup = 100;
     return config;
 }
 
 TEST(OpenLoop, CompletesAllSamples)
 {
     Raid5Layout raid5(13);
-    OpenLoopConfig config = fastConfig();
-    config.arrivals_per_s = 50.0;
+    OpenLoopSimConfig config = fastConfig();
+    config.workload.arrivals_per_s = 50.0;
     OpenLoopResult r = runOpenLoop(raid5, DiskModel::hp2247(), config);
-    EXPECT_EQ(r.samples, config.samples);
+    EXPECT_EQ(r.samples, config.workload.samples);
     EXPECT_GT(r.mean_response_ms, 5.0);
     EXPECT_GE(r.p95_response_ms, r.mean_response_ms);
     EXPECT_GE(r.max_response_ms, r.p95_response_ms);
@@ -36,11 +36,11 @@ TEST(OpenLoop, CompletesAllSamples)
 TEST(OpenLoop, DeterministicPerSeed)
 {
     Raid5Layout raid5(13);
-    OpenLoopConfig config = fastConfig();
+    OpenLoopSimConfig config = fastConfig();
     OpenLoopResult a = runOpenLoop(raid5, DiskModel::hp2247(), config);
     OpenLoopResult b = runOpenLoop(raid5, DiskModel::hp2247(), config);
     EXPECT_DOUBLE_EQ(a.mean_response_ms, b.mean_response_ms);
-    config.seed += 1;
+    config.workload.seed += 1;
     OpenLoopResult c = runOpenLoop(raid5, DiskModel::hp2247(), config);
     EXPECT_NE(a.mean_response_ms, c.mean_response_ms);
 }
@@ -50,11 +50,12 @@ TEST(OpenLoop, LatencyExplodesNearSaturation)
     // Unlike the closed loop, offered load is independent of service
     // rate: queues (and response times) grow sharply near capacity.
     Raid5Layout raid5(13);
-    OpenLoopConfig config = fastConfig();
-    config.arrivals_per_s = 50.0;
+    OpenLoopSimConfig config = fastConfig();
+    config.workload.arrivals_per_s = 50.0;
     OpenLoopResult light = runOpenLoop(raid5, DiskModel::hp2247(),
                                        config);
-    config.arrivals_per_s = 900.0; // beyond ~13 disks' service rate
+    // beyond ~13 disks' service rate
+    config.workload.arrivals_per_s = 900.0;
     OpenLoopResult heavy = runOpenLoop(raid5, DiskModel::hp2247(),
                                        config);
     EXPECT_GT(heavy.mean_response_ms, 2.0 * light.mean_response_ms);
@@ -64,8 +65,8 @@ TEST(OpenLoop, LatencyExplodesNearSaturation)
 TEST(OpenLoop, ThroughputTracksOfferedLoadBelowSaturation)
 {
     Raid5Layout raid5(13);
-    OpenLoopConfig config = fastConfig();
-    config.arrivals_per_s = 100.0;
+    OpenLoopSimConfig config = fastConfig();
+    config.workload.arrivals_per_s = 100.0;
     OpenLoopResult r = runOpenLoop(raid5, DiskModel::hp2247(), config);
     EXPECT_NEAR(r.completed_per_s, 100.0, 15.0);
 }
@@ -73,24 +74,24 @@ TEST(OpenLoop, ThroughputTracksOfferedLoadBelowSaturation)
 TEST(OpenLoop, MixedProfileRuns)
 {
     PddlLayout pddl = PddlLayout::make(13, 4);
-    OpenLoopConfig config = fastConfig();
-    config.arrivals_per_s = 60.0;
+    OpenLoopSimConfig config = fastConfig();
+    config.workload.arrivals_per_s = 60.0;
     // 70% 8 KB reads, 20% 24 KB writes, 10% 96 KB reads.
-    config.mix = {
+    config.workload.mix = {
         AccessMixEntry{1, AccessType::Read, 0.7},
         AccessMixEntry{3, AccessType::Write, 0.2},
         AccessMixEntry{12, AccessType::Read, 0.1},
     };
     OpenLoopResult r = runOpenLoop(pddl, DiskModel::hp2247(), config);
-    EXPECT_EQ(r.samples, config.samples);
+    EXPECT_EQ(r.samples, config.workload.samples);
     EXPECT_GT(r.mean_response_ms, 0.0);
 }
 
 TEST(OpenLoop, DegradedModeSlower)
 {
     PddlLayout pddl = PddlLayout::make(13, 4);
-    OpenLoopConfig config = fastConfig();
-    config.arrivals_per_s = 150.0;
+    OpenLoopSimConfig config = fastConfig();
+    config.workload.arrivals_per_s = 150.0;
     OpenLoopResult ff = runOpenLoop(pddl, DiskModel::hp2247(), config);
     config.mode = ArrayMode::Degraded;
     config.failed_disk = 0;

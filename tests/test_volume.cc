@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the sharded volume layer: routing bijection properties
+ * swept over shard counts, placement policies and all layout
+ * families; access fan-out and completion accounting; degraded-mode
+ * containment; and determinism of a workload driven through the
+ * Target interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/pddl_layout.hh"
+#include "layout/datum.hh"
+#include "layout/parity_decluster.hh"
+#include "layout/prime.hh"
+#include "layout/raid5.hh"
+#include "volume/volume_manager.hh"
+#include "workload/closed_loop.hh"
+
+namespace pddl {
+namespace {
+
+/** The five evaluated layout families on the paper's 13-disk array. */
+std::vector<std::unique_ptr<Layout>>
+allFamilies()
+{
+    std::vector<std::unique_ptr<Layout>> layouts;
+    layouts.push_back(std::make_unique<DatumLayout>(13, 4));
+    layouts.push_back(std::make_unique<ParityDeclusterLayout>(
+        ParityDeclusterLayout::make(13, 4)));
+    layouts.push_back(std::make_unique<Raid5Layout>(13));
+    layouts.push_back(
+        std::make_unique<PddlLayout>(PddlLayout::make(13, 4)));
+    layouts.push_back(std::make_unique<PrimeLayout>(13, 4));
+    return layouts;
+}
+
+std::vector<ShardSpec>
+uniformShards(const Layout &layout, int count)
+{
+    std::vector<ShardSpec> specs(static_cast<size_t>(count));
+    for (ShardSpec &spec : specs)
+        spec.layout = &layout;
+    return specs;
+}
+
+TEST(Placement, PoliciesEmitPermutations)
+{
+    StaticPlacement fixed;
+    RotatedPlacement rotated;
+    ShuffledPlacement shuffled;
+    const PlacementPolicy *policies[] = {&fixed, &rotated, &shuffled};
+    for (const PlacementPolicy *policy : policies) {
+        for (int shards : {1, 2, 3, 5, 8, 64}) {
+            for (int64_t period : {0, 1, 7, 1000}) {
+                int perm[VolumeManager::kMaxShards];
+                policy->permutation(period, shards, perm);
+                std::set<int> seen;
+                for (int i = 0; i < shards; ++i) {
+                    EXPECT_GE(perm[i], 0) << policy->name();
+                    EXPECT_LT(perm[i], shards) << policy->name();
+                    seen.insert(perm[i]);
+                }
+                EXPECT_EQ(seen.size(), static_cast<size_t>(shards))
+                    << policy->name() << " period " << period;
+            }
+        }
+    }
+}
+
+TEST(Placement, PoliciesArePureFunctions)
+{
+    ShuffledPlacement shuffled;
+    int a[8], b[8];
+    shuffled.permutation(123, 8, a);
+    shuffled.permutation(123, 8, b);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(a[i], b[i]);
+    // A different seed develops a different permutation sequence.
+    ShuffledPlacement other(1);
+    bool differs = false;
+    for (int64_t period = 0; period < 16 && !differs; ++period) {
+        shuffled.permutation(period, 8, a);
+        other.permutation(period, 8, b);
+        for (int i = 0; i < 8; ++i)
+            differs |= a[i] != b[i];
+    }
+    EXPECT_TRUE(differs);
+}
+
+/**
+ * The core routing property: route() is a bijection between the
+ * volume address space and the union of the shard-local spaces --
+ * every volume unit round-trips through volumeUnitOf(), and no two
+ * volume units share a (shard, local unit) home. Swept over shard
+ * counts, placement policies and every layout family.
+ */
+TEST(VolumeRouting, BijectionAcrossShardCountsPoliciesAndFamilies)
+{
+    StaticPlacement fixed;
+    RotatedPlacement rotated;
+    ShuffledPlacement shuffled;
+    const PlacementPolicy *policies[] = {&fixed, &rotated, &shuffled};
+
+    auto layouts = allFamilies();
+    for (const auto &layout : layouts) {
+        for (int shard_count : {1, 2, 3, 4, 8}) {
+            for (const PlacementPolicy *policy : policies) {
+                EventQueue events;
+                VolumeConfig config;
+                config.chunk_units = 16;
+                config.placement = policy;
+                VolumeManager volume(
+                    events, uniformShards(*layout, shard_count),
+                    config);
+
+                ASSERT_EQ(volume.dataUnits(),
+                          volume.shardDataUnits() * shard_count);
+
+                // Cover several whole placement periods plus the tail
+                // of the address space.
+                const int64_t period_units =
+                    volume.chunkUnits() * shard_count;
+                const int64_t head =
+                    std::min<int64_t>(volume.dataUnits(),
+                                      4 * period_units);
+                std::set<std::pair<int, int64_t>> homes;
+                auto probe = [&](int64_t unit) {
+                    VolumeAddress addr = volume.route(unit);
+                    ASSERT_GE(addr.shard, 0);
+                    ASSERT_LT(addr.shard, shard_count);
+                    ASSERT_GE(addr.unit, 0);
+                    ASSERT_LT(addr.unit, volume.shardDataUnits());
+                    EXPECT_EQ(volume.volumeUnitOf(addr), unit)
+                        << layout->name() << " S=" << shard_count
+                        << " policy=" << policy->name();
+                    EXPECT_TRUE(
+                        homes.emplace(addr.shard, addr.unit).second)
+                        << "two volume units share a home";
+                };
+                for (int64_t unit = 0; unit < head; ++unit)
+                    probe(unit);
+                for (int64_t unit =
+                         std::max(head, volume.dataUnits() - 64);
+                     unit < volume.dataUnits(); ++unit)
+                    probe(unit);
+            }
+        }
+    }
+}
+
+TEST(VolumeRouting, EveryShardServesOneChunkPerPeriod)
+{
+    PddlLayout layout = PddlLayout::make(13, 4);
+    ShuffledPlacement shuffled;
+    EventQueue events;
+    VolumeConfig config;
+    config.chunk_units = 8;
+    config.placement = &shuffled;
+    VolumeManager volume(events, uniformShards(layout, 4), config);
+
+    const int64_t periods =
+        volume.shardDataUnits() / volume.chunkUnits();
+    for (int64_t period = 0; period < std::min<int64_t>(periods, 32);
+         ++period) {
+        std::set<int> shards_hit;
+        for (int slot = 0; slot < 4; ++slot) {
+            const int64_t chunk = period * 4 + slot;
+            VolumeAddress addr =
+                volume.route(chunk * volume.chunkUnits());
+            shards_hit.insert(addr.shard);
+            // Chunk-local addresses stay within one shard chunk.
+            EXPECT_EQ(addr.unit % volume.chunkUnits(), 0);
+            EXPECT_EQ(addr.unit / volume.chunkUnits(), period);
+        }
+        EXPECT_EQ(shards_hit.size(), 4u) << "period " << period;
+    }
+}
+
+struct VolumeFixture : ::testing::Test
+{
+    EventQueue events;
+    PddlLayout layout = PddlLayout::make(13, 4);
+
+    std::unique_ptr<VolumeManager>
+    makeVolume(int shard_count, int chunk_units = 8)
+    {
+        VolumeConfig config;
+        config.chunk_units = chunk_units;
+        return std::make_unique<VolumeManager>(
+            events, uniformShards(layout, shard_count), config);
+    }
+};
+
+TEST_F(VolumeFixture, RejectsInvalidConfigurations)
+{
+    EXPECT_THROW(VolumeManager(events, {}), std::logic_error);
+    VolumeConfig tiny;
+    tiny.chunk_units = 0;
+    EXPECT_THROW(
+        VolumeManager(events, uniformShards(layout, 2), tiny),
+        std::logic_error);
+    EXPECT_THROW(
+        VolumeManager(events,
+                      uniformShards(layout,
+                                    VolumeManager::kMaxShards + 1)),
+        std::logic_error);
+}
+
+TEST_F(VolumeFixture, CapacityIsChunkAlignedAndLeveled)
+{
+    auto volume = makeVolume(3, 7);
+    EXPECT_EQ(volume->shardDataUnits() % 7, 0);
+    EXPECT_LE(volume->shardDataUnits(),
+              volume->shard(0).dataUnits());
+    EXPECT_EQ(volume->dataUnits(), 3 * volume->shardDataUnits());
+}
+
+TEST_F(VolumeFixture, AccessesCompleteAndFanOutAcrossChunks)
+{
+    auto volume = makeVolume(4);
+    int completions = 0;
+    // Aligned single-chunk access: exactly one sub-access.
+    volume->access(0, 8, AccessType::Read, [&] { ++completions; });
+    // Straddles a chunk boundary: fans out into two sub-accesses on
+    // two different shards.
+    volume->access(4, 8, AccessType::Read, [&] { ++completions; });
+    events.runUntilEmpty();
+
+    EXPECT_EQ(completions, 2);
+    EXPECT_EQ(volume->volumeAccessesIssued(), 2u);
+    EXPECT_EQ(volume->subAccessesIssued(), 3u);
+    for (int s = 0; s < volume->shardCount(); ++s)
+        EXPECT_EQ(volume->inFlight(s), 0);
+    int busy_shards = 0;
+    for (int s = 0; s < volume->shardCount(); ++s)
+        busy_shards += volume->maxInFlight(s) > 0 ? 1 : 0;
+    EXPECT_EQ(busy_shards, 2);
+    // Target::accessesIssued rolls up the per-shard counts.
+    EXPECT_EQ(volume->accessesIssued(), 3u);
+}
+
+TEST_F(VolumeFixture, DegradedShardKeepsServingItsChunks)
+{
+    auto volume = makeVolume(2);
+    EXPECT_EQ(volume->degradedShards(), 0);
+    volume->shard(0).transition(ArrayState::Degraded, 3);
+    EXPECT_EQ(volume->degradedShards(), 1);
+
+    // Whole-volume sweep: chunks on the degraded shard are served by
+    // its degraded-mode machinery, the healthy shard is untouched.
+    int completions = 0;
+    const int64_t chunks =
+        std::min<int64_t>(volume->dataUnits() / volume->chunkUnits(),
+                          64);
+    for (int64_t c = 0; c < chunks; ++c) {
+        volume->access(c * volume->chunkUnits(), 1, AccessType::Read,
+                       [&] { ++completions; });
+    }
+    events.runUntilEmpty();
+    EXPECT_EQ(completions, chunks);
+    EXPECT_EQ(volume->degradedShards(), 1);
+    EXPECT_EQ(volume->shard(1).mode(), ArrayMode::FaultFree);
+}
+
+TEST_F(VolumeFixture, ClosedLoopOverVolumeIsDeterministic)
+{
+    ClosedLoopConfig config;
+    config.clients = 6;
+    config.access_units = 3;
+    config.relative_tolerance = 0.0;
+    config.min_samples = 400;
+    config.max_samples = 400;
+    config.warmup = 50;
+
+    auto run = [&] {
+        EventQueue queue;
+        VolumeConfig vconfig;
+        vconfig.chunk_units = 8;
+        VolumeManager volume(queue, uniformShards(layout, 4),
+                             vconfig);
+        ClosedLoopClient client(config);
+        client.start(queue, volume);
+        queue.runUntilEmpty();
+        return client.result();
+    };
+    SimResult a = run();
+    SimResult b = run();
+    EXPECT_DOUBLE_EQ(a.mean_response_ms, b.mean_response_ms);
+    EXPECT_DOUBLE_EQ(a.throughput_per_s, b.throughput_per_s);
+    EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST_F(VolumeFixture, WorkloadRunsAgainstArrayAndVolumeAlike)
+{
+    // The redesigned API: one Workload drives any Target. The same
+    // client config runs against a bare controller and a 1-shard
+    // volume of the same layout; both complete the same sample count.
+    ClosedLoopConfig config;
+    config.clients = 4;
+    config.access_units = 2;
+    config.relative_tolerance = 0.0;
+    config.min_samples = 200;
+    config.max_samples = 200;
+    config.warmup = 20;
+
+    EventQueue queue_a;
+    ArrayController array(queue_a, layout, DiskModel::hp2247(),
+                          ArrayConfig{});
+    ClosedLoopClient on_array(config);
+    on_array.start(queue_a, array);
+    queue_a.runUntilEmpty();
+
+    EventQueue queue_b;
+    VolumeManager volume(queue_b, uniformShards(layout, 1));
+    ClosedLoopClient on_volume(config);
+    on_volume.start(queue_b, volume);
+    queue_b.runUntilEmpty();
+
+    // In-flight completions may land after the stopping rule
+    // latches, so each run measures at least min_samples and at most
+    // clients - 1 extra.
+    EXPECT_GE(on_array.result().samples, config.min_samples);
+    EXPECT_LT(on_array.result().samples,
+              config.min_samples + config.clients);
+    EXPECT_GE(on_volume.result().samples, config.min_samples);
+    EXPECT_LT(on_volume.result().samples,
+              config.min_samples + config.clients);
+}
+
+} // namespace
+} // namespace pddl
