@@ -4,27 +4,39 @@
  * arrays, swept over shard counts {1, 2, 4, 8}.
  *
  * Each row runs a closed-loop client population (8 clients per
- * shard, 24 KB accesses) against a VolumeManager and reports
- * simulated rates only -- requests per simulated second and engine
- * events per simulated second -- so BENCH_scaleout.json is
- * bit-identical for every --threads value (host wall time never
- * enters a row). The fault rows additionally play a scripted
- * disk-failure timeline against shard 0, measuring how one
- * rebuilding shard's spillover shows up against the healthy
- * remainder (degraded sub-access share, rebuild completion).
+ * shard, 24 KB accesses) against a VolumeManager on the parallel
+ * engine and reports simulated rates only -- requests per simulated
+ * second and engine events per simulated second -- so
+ * BENCH_scaleout.json is bit-identical for every --threads AND
+ * every --sim-threads value (host wall time never enters a row, and
+ * the engine's windows are a pure function of simulation state).
+ * The fault rows additionally play a scripted disk-failure timeline
+ * against shard 0, measuring how one rebuilding shard's spillover
+ * shows up against the healthy remainder (degraded sub-access
+ * share, rebuild completion).
+ *
+ * --speedup (implied by --check) adds the wall-clock rows: one big
+ * 64-shard volume run at 1, 2 and 4 intra-scenario threads, same
+ * simulated history at every count, host wall time printed per row
+ * (stdout only -- wall time never reaches the JSON).
  *
  * --check enforces the scale-out acceptance floors in CI: the
  * 4-shard healthy row must deliver at least 3x the 1-shard
- * aggregate request rate, and no fault row may end in data loss.
+ * aggregate request rate, no fault row may end in data loss, and --
+ * on hosts with at least 4 hardware threads -- the 64-shard volume
+ * must run at least 3x faster at 4 intra-scenario threads.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hh"
 #include "fault/fault_scheduler.hh"
+#include "sim/parallel_engine.hh"
 #include "volume/volume_manager.hh"
 
 namespace pddl {
@@ -36,16 +48,30 @@ const std::vector<int> kShardCounts = {1, 2, 4, 8};
 constexpr int kClientsPerShard = 8;
 
 /**
+ * Volume->shard dispatch latency, and therefore the engine's
+ * conservative window width (lookahead). Two milliseconds keeps
+ * tens of disk events per lane inside each window at this bench's
+ * load, so barrier overhead stays in the noise.
+ */
+constexpr double kDispatchMs = 2.0;
+
+/**
  * One scale-out point: a volume of `shard_count` PDDL shards under a
  * closed-loop population, optionally with a scripted disk failure on
  * shard 0. Fixed sample count (min == max, zero tolerance) pins the
- * simulated work so rates compare cleanly across shard counts.
+ * simulated work so rates compare cleanly across shard counts. Runs
+ * on the parallel engine with --sim-threads workers; every reported
+ * number is identical at every worker count.
  */
 SimResult
 runScaleout(int shard_count, bool faulted, uint64_t seed,
             harness::Extras &extras)
 {
-    EventQueue events;
+    ParallelEngine::Config engine_config;
+    engine_config.threads = bench::options().sim_threads;
+    engine_config.lookahead = kDispatchMs;
+    ParallelEngine engine(shard_count, engine_config);
+
     PddlLayout layout = PddlLayout::make(13, 4);
     DiskModel model = DiskModel::hp2247();
 
@@ -56,18 +82,21 @@ runScaleout(int shard_count, bool faulted, uint64_t seed,
     }
     VolumeConfig vconfig;
     vconfig.chunk_units = 8;
-    VolumeManager volume(events, std::move(specs), vconfig);
+    vconfig.dispatch_ms = kDispatchMs;
+    VolumeManager volume(engine, std::move(specs), vconfig);
 
     // Per-shard fault injection: shard 0 loses disk 2 early in the
     // run and rebuilds into its distributed spare while the other
-    // shards keep serving at full speed.
+    // shards keep serving at full speed. The scheduler lives on
+    // shard 0's lane: all of its machinery is shard-local.
     std::unique_ptr<FaultScheduler> faults;
     if (faulted) {
         FaultSchedule schedule;
         schedule.events.push_back(
             {40.0, FaultEvent::Kind::DiskFailure, 2, 0});
         faults = std::make_unique<FaultScheduler>(
-            events, std::move(schedule), FaultScheduler::Options{});
+            engine.shardQueue(0), std::move(schedule),
+            FaultScheduler::Options{});
         faults->bindArray(volume.shard(0));
         faults->start();
     }
@@ -83,18 +112,23 @@ runScaleout(int shard_count, bool faulted, uint64_t seed,
     config.seed = seed;
 
     ClosedLoopClient client(config);
-    client.start(events, volume);
-    events.runUntilEmpty();
+    startOnHub(client, engine, volume);
+    engine.run();
 
     SimResult result = client.result();
 
     // Simulated rates only: host wall time must never reach a row,
-    // or the JSON would stop being bit-identical across --threads.
-    const double sim_s = events.now() / 1000.0;
+    // or the JSON would stop being bit-identical across --threads
+    // and --sim-threads.
+    const double sim_s = engine.now() / 1000.0;
     extras.emplace_back("shards", shard_count);
     extras.emplace_back("req_per_s", result.throughput_per_s);
     extras.emplace_back("events_per_sim_s",
-                        static_cast<double>(events.fired()) / sim_s);
+                        static_cast<double>(engine.eventsFired()) /
+                            sim_s);
+    extras.emplace_back("windows_per_sim_s",
+                        static_cast<double>(engine.windowsRun()) /
+                            sim_s);
     extras.emplace_back(
         "sub_per_access",
         static_cast<double>(volume.subAccessesIssued()) /
@@ -114,6 +148,101 @@ runScaleout(int shard_count, bool faulted, uint64_t seed,
     return result;
 }
 
+/**
+ * The wall-clock scenario: a 64-shard volume under a heavy
+ * closed-loop population of large accesses (each sub-access expands
+ * to a whole chunk of disk ops), so nearly all event work lives on
+ * the shard lanes and the windows stay dense. Returns the host wall
+ * milliseconds of engine.run(); the simulated outcome is checked
+ * identical across thread counts by the caller.
+ */
+struct WallRun
+{
+    double wall_ms = 0.0;
+    uint64_t events = 0;
+    double sim_ms = 0.0;
+    double mean_response_ms = 0.0;
+    int64_t samples = 0;
+};
+
+WallRun
+runWallScenario(int shard_count, int sim_threads)
+{
+    ParallelEngine::Config engine_config;
+    engine_config.threads = sim_threads;
+    engine_config.lookahead = kDispatchMs;
+    ParallelEngine engine(shard_count, engine_config);
+
+    PddlLayout layout = PddlLayout::make(13, 4);
+    DiskModel model = DiskModel::hp2247();
+    std::vector<ShardSpec> specs(static_cast<size_t>(shard_count));
+    for (ShardSpec &spec : specs) {
+        spec.layout = &layout;
+        spec.model = &model;
+    }
+    VolumeConfig vconfig;
+    vconfig.chunk_units = 8;
+    vconfig.dispatch_ms = kDispatchMs;
+    VolumeManager volume(engine, std::move(specs), vconfig);
+
+    ClosedLoopConfig config;
+    config.clients = 16 * shard_count;
+    config.access_units = 8; // one whole chunk: 8 disk ops per sub
+    config.type = AccessType::Read;
+    config.relative_tolerance = 0.0;
+    config.min_samples = bench::fullFidelity() ? 40000 : 12000;
+    config.max_samples = config.min_samples;
+    config.warmup = 500;
+    config.seed = 0x5ca1ab1eULL;
+
+    ClosedLoopClient client(config);
+    startOnHub(client, engine, volume);
+
+    const auto start = std::chrono::steady_clock::now();
+    engine.run();
+    const auto stop = std::chrono::steady_clock::now();
+
+    WallRun run;
+    run.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start)
+            .count();
+    run.events = engine.eventsFired();
+    run.sim_ms = engine.now();
+    run.mean_response_ms = client.result().mean_response_ms;
+    run.samples = client.result().samples;
+    return run;
+}
+
+/**
+ * Print the wall-clock speedup rows (stdout only, never JSON) and
+ * return the per-thread-count results for floor checking.
+ */
+std::map<int, WallRun>
+runSpeedupRows(int shard_count)
+{
+    std::map<int, WallRun> runs;
+    std::printf("\n64-shard wall-clock speedup (host time; identical "
+                "simulated history per row)\n");
+    std::printf("%12s %10s %12s %12s %10s %9s\n", "sim-threads",
+                "wall ms", "events", "Mev/s-wall", "speedup",
+                "resp ms");
+    bench::printRule(7);
+    double base_ms = 0.0;
+    for (int threads : {1, 2, 4}) {
+        WallRun run = runWallScenario(shard_count, threads);
+        if (threads == 1)
+            base_ms = run.wall_ms;
+        std::printf("%12d %10.0f %12llu %12.2f %9.2fx %9.2f\n",
+                    threads, run.wall_ms,
+                    static_cast<unsigned long long>(run.events),
+                    static_cast<double>(run.events) / 1e3 /
+                        run.wall_ms,
+                    base_ms / run.wall_ms, run.mean_response_ms);
+        runs[threads] = run;
+    }
+    return runs;
+}
+
 double
 extra(const harness::PointResult &point, const char *key)
 {
@@ -126,7 +255,8 @@ extra(const harness::PointResult &point, const char *key)
 
 /** Enforce the scale-out acceptance floors. @return exit code. */
 int
-checkFloors(const harness::RunSummary &summary)
+checkFloors(const harness::RunSummary &summary,
+            const std::map<int, WallRun> &wall_runs)
 {
     int failures = 0;
     std::map<int, double> healthy_req_per_s;
@@ -166,6 +296,45 @@ checkFloors(const harness::RunSummary &summary)
                      "rate\n",
                      four / base);
     }
+
+    // Wall-clock floor: the 64-shard volume must run >= 3x faster
+    // at 4 intra-scenario threads. Host-dependent by nature, so it
+    // only binds where 4 hardware threads exist to run on.
+    const auto one = wall_runs.find(1);
+    const auto fourt = wall_runs.find(4);
+    if (one != wall_runs.end() && fourt != wall_runs.end()) {
+        if (one->second.events != fourt->second.events ||
+            one->second.sim_ms != fourt->second.sim_ms ||
+            one->second.mean_response_ms !=
+                fourt->second.mean_response_ms) {
+            std::fprintf(stderr,
+                         "[check] FAIL speedup rows: simulated "
+                         "history differs across thread counts\n");
+            ++failures;
+        }
+        const double speedup =
+            one->second.wall_ms / fourt->second.wall_ms;
+        if (std::thread::hardware_concurrency() < 4) {
+            std::fprintf(stderr,
+                         "[check] SKIP wall-clock floor: host has "
+                         "%u hardware threads (< 4); measured "
+                         "%.2fx\n",
+                         std::thread::hardware_concurrency(),
+                         speedup);
+        } else if (speedup < 3.0) {
+            std::fprintf(stderr,
+                         "[check] FAIL wall-clock: 64-shard volume "
+                         "at 4 sim-threads is %.2fx the serial "
+                         "engine (floor 3x)\n",
+                         speedup);
+            ++failures;
+        } else {
+            std::fprintf(stderr,
+                         "[check] 64-shard wall-clock speedup "
+                         "%.2fx at 4 sim-threads\n",
+                         speedup);
+        }
+    }
     if (failures == 0)
         std::fprintf(stderr, "[check] all scale-out floors met\n");
     return failures == 0 ? 0 : 1;
@@ -184,11 +353,16 @@ main(int argc, char **argv)
         "Scale-out benchmark: request and event rates of one volume "
         "striped over 1/2/4/8 PDDL shards, healthy and with a "
         "single-shard disk failure (simulated rates; rows are "
-        "bit-identical for every --threads value).");
+        "bit-identical for every --threads and --sim-threads "
+        "value).");
     cli.addBool("check",
                 "enforce CI floors (4-shard >= 3x 1-shard req/s, "
-                "fault rows rebuild without data loss) and exit 1 "
+                "fault rows rebuild without data loss, 64-shard "
+                ">= 3x wall speedup at 4 sim-threads) and exit 1 "
                 "on regression");
+    cli.addBool("speedup",
+                "also run the 64-shard wall-clock speedup rows at "
+                "1/2/4 intra-scenario threads");
     cli.parseOrExit(argc, argv);
     // Every row is a simulated rate: strip the informational host
     // wall fields so BENCH_scaleout.json is byte-identical for any
@@ -223,8 +397,8 @@ main(int argc, char **argv)
         experiments);
 
     std::printf("Volume scale-out (%d clients per shard, 24 KB "
-                "reads)\n",
-                kClientsPerShard);
+                "reads, %d sim-thread(s))\n",
+                kClientsPerShard, bench::options().sim_threads);
     std::printf("%7s %16s %12s %14s %9s %9s %10s\n", "shards",
                 "scenario", "req/s", "events/sim-s", "resp ms",
                 "sub/acc", "max depth");
@@ -242,7 +416,11 @@ main(int argc, char **argv)
                     extra(point, "max_in_flight"));
     }
 
+    std::map<int, WallRun> wall_runs;
+    if (cli.getBool("check") || cli.getBool("speedup"))
+        wall_runs = runSpeedupRows(64);
+
     if (cli.getBool("check"))
-        return checkFloors(summary);
+        return checkFloors(summary, wall_runs);
     return 0;
 }

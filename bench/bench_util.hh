@@ -33,6 +33,7 @@
 #include "core/pddl_layout.hh"
 #include "harness/arg_parser.hh"
 #include "harness/runner.hh"
+#include "harness/thread_pool.hh"
 #include "layout/datum.hh"
 #include "layout/parity_decluster.hh"
 #include "layout/prime.hh"
@@ -119,6 +120,12 @@ struct BenchOptions
     int threads = 0;
     /** Merged metrics JSON file; empty disables metrics. */
     std::string metrics_path;
+    /**
+     * Intra-scenario worker threads (the parallel engine's lanes,
+     * distinct from the grid-point pool above); 0 defers to
+     * PDDL_SIM_THREADS / 1. Output is identical at every value.
+     */
+    int sim_threads = 0;
     /** Chrome trace JSON file; empty disables tracing. */
     std::string trace_path;
     /** The tracer observes only the first figure's first point. */
@@ -180,6 +187,12 @@ class BenchCli
                        "concurrency; results are bit-identical for "
                        "any value)",
                        1);
+        parser_.addInt("sim-threads", "n",
+                       "worker threads within one scenario (the "
+                       "parallel engine's shard lanes; default: "
+                       "PDDL_SIM_THREADS or 1; results are "
+                       "bit-identical for any value)",
+                       1);
         parser_.addString("metrics", "file",
                           "write the merged metrics snapshot as JSON "
                           "and embed per-point metrics in BENCH rows");
@@ -191,7 +204,9 @@ class BenchCli
             "environment:\n"
             "  PDDL_BENCH_FULL=1     paper-fidelity stopping rule "
             "(slower)\n"
-            "  PDDL_BENCH_THREADS=n  default worker count\n");
+            "  PDDL_BENCH_THREADS=n  default worker count\n"
+            "  PDDL_SIM_THREADS=n    default intra-scenario worker "
+            "count\n");
     }
 
     /** Register binary-specific flags before parseOrExit(). */
@@ -237,6 +252,10 @@ class BenchCli
         options().json_dir = parser_.getString("json");
         options().threads = static_cast<int>(
             parser_.getInt("threads", default_threads));
+        options().sim_threads =
+            static_cast<int>(parser_.getInt("sim-threads", 0));
+        if (options().sim_threads < 1)
+            options().sim_threads = harness::defaultSimThreads();
         options().metrics_path = parser_.getString("metrics");
         options().trace_path = parser_.getString("trace");
     }

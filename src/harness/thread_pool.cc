@@ -17,6 +17,17 @@ defaultThreads()
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+int
+defaultSimThreads()
+{
+    if (const char *env = std::getenv("PDDL_SIM_THREADS")) {
+        int parsed = std::atoi(env);
+        if (parsed >= 1)
+            return parsed;
+    }
+    return 1;
+}
+
 ThreadPool::ThreadPool(int threads)
 {
     if (threads < 1)

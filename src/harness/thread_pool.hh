@@ -34,6 +34,16 @@ namespace harness {
  */
 int defaultThreads();
 
+/**
+ * Intra-scenario worker count (the parallel engine's lanes-per-run
+ * threads, distinct from the grid-point pool above):
+ * PDDL_SIM_THREADS when set (clamped to at least 1), otherwise 1.
+ * The default stays serial because the grid pool already saturates
+ * the machine; raising it is safe -- scenario output is identical
+ * at every count -- but multiplies thread pressure per grid point.
+ */
+int defaultSimThreads();
+
 /** Fixed-size pool executing index batches with work stealing. */
 class ThreadPool
 {

@@ -243,5 +243,16 @@ MetricsRegistry::shardCount() const
     return shards_.size();
 }
 
+MetricsSnapshot
+snapshotAll(const std::vector<const MetricsRegistry *> &registries)
+{
+    MetricsSnapshot merged;
+    for (const MetricsRegistry *registry : registries) {
+        if (registry != nullptr)
+            merged.merge(registry->snapshot());
+    }
+    return merged;
+}
+
 } // namespace obs
 } // namespace pddl

@@ -124,6 +124,19 @@ class MetricsRegistry
     std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+/**
+ * Snapshot several registries and fold them in caller order.
+ *
+ * A parallel scenario keeps one single-writer registry per lane
+ * (shard) instead of letting lanes share thread-local shards of one
+ * registry: histogram sums are floating-point folds, so only a merge
+ * order fixed by the caller -- shard 0, 1, 2, ... -- keeps the
+ * grouping, and with it the merged snapshot, byte-identical across
+ * worker-thread counts. Null entries are skipped.
+ */
+MetricsSnapshot
+snapshotAll(const std::vector<const MetricsRegistry *> &registries);
+
 } // namespace obs
 } // namespace pddl
 

@@ -1,8 +1,9 @@
 #include "sim/event_queue.hh"
 
 #include <bit>
+#include <cstdio>
+#include <limits>
 #include <stdexcept>
-#include <string>
 #include <utility>
 
 namespace pddl {
@@ -25,9 +26,17 @@ EventQueue::whenOf(Key key)
 void
 EventQueue::throwPastSchedule(SimTime when) const
 {
-    throw std::logic_error(
-        "EventQueue::schedule: when (" + std::to_string(when) +
-        " ms) is before now (" + std::to_string(now_) + " ms)");
+    // %.17g round-trips a double exactly: two timestamps closer than
+    // std::to_string's fixed six decimals still print distinctly, so
+    // the message always shows which time was asked for, where the
+    // clock stood, and by how much the request landed in the past.
+    char message[192];
+    std::snprintf(message, sizeof(message),
+                  "EventQueue::schedule: event time %.17g ms is "
+                  "%.17g ms before the current simulated time "
+                  "%.17g ms",
+                  when, now_ - when, now_);
+    throw std::logic_error(message);
 }
 
 EventQueue::Handle
@@ -130,6 +139,15 @@ EventQueue::runOne()
     }
     now_ = whenOf(root_key);
     ++fired_;
+    if (digest_on_) {
+        // FNV-1a over (time bits, remaining count): the same fold the
+        // replay-equivalence suite applies externally, so a digest
+        // pins the full dispatch history, not just the final state.
+        constexpr uint64_t kPrime = 1099511628211ULL;
+        digest_ = (digest_ == 0 ? 1469598103934665603ULL : digest_);
+        digest_ = (digest_ ^ whenBitsOf(root_key)) * kPrime;
+        digest_ = (digest_ ^ (keys_.size() - kPad)) * kPrime;
+    }
     probe_.count("sim.events");
     // Move the closure out and recycle the slot before dispatch: the
     // callback may schedule new events that reuse it immediately.
@@ -153,6 +171,21 @@ EventQueue::runUntil(SimTime t)
         runOne();
     if (t > now_)
         now_ = t;
+}
+
+void
+EventQueue::runBefore(SimTime t)
+{
+    while (keys_.size() > kPad && whenOf(keys_[kPad]) < t)
+        runOne();
+}
+
+SimTime
+EventQueue::nextEventTime() const
+{
+    if (keys_.size() == kPad)
+        return std::numeric_limits<SimTime>::infinity();
+    return whenOf(keys_[kPad]);
 }
 
 } // namespace pddl

@@ -129,11 +129,34 @@ class EventQueue
      */
     void runUntil(SimTime t);
 
+    /**
+     * Fire events with time strictly < t, leaving the clock at the
+     * last fired event. This is the parallel engine's window step:
+     * an event exactly at the window edge belongs to the next
+     * window, and the clock must not be dragged forward past events
+     * that a barrier may still deliver at >= now().
+     */
+    void runBefore(SimTime t);
+
+    /** Fire time of the earliest pending event, +inf when empty. */
+    SimTime nextEventTime() const;
+
     /** Attach instrumentation (scheduled/fired event counters). */
     void setProbe(obs::Probe probe) { probe_ = probe; }
 
     /** Events fired since construction. */
     uint64_t fired() const { return fired_; }
+
+    /**
+     * Opt-in replay digest: once enabled, every fired event folds
+     * (time bits, pending count) into an FNV-1a hash, giving a cheap
+     * fingerprint of the queue's whole dispatch history. The golden
+     * replay tests pin per-lane digests across worker-thread counts.
+     */
+    void enableHistoryDigest() { digest_on_ = true; }
+
+    /** Dispatch-history fingerprint (0 until enabled + first fire). */
+    uint64_t historyDigest() const { return digest_; }
 
   private:
     using Handle = uint32_t;
@@ -216,6 +239,8 @@ class EventQueue
     SimTime now_ = 0.0;
     uint64_t next_seq_ = 0;
     uint64_t fired_ = 0;
+    bool digest_on_ = false;
+    uint64_t digest_ = 0;
     obs::Probe probe_;
 };
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/parallel_engine.hh"
+
 namespace pddl {
 
 VolumeManager::VolumeManager(EventQueue &events,
@@ -13,20 +15,53 @@ VolumeManager::VolumeManager(EventQueue &events,
                                               : &staticPlacement()),
       chunk_units_(config_.chunk_units)
 {
+    shard_events_.assign(shards.size(), &events_);
+    init(shards);
+}
+
+VolumeManager::VolumeManager(ParallelEngine &engine,
+                             std::vector<ShardSpec> shards,
+                             VolumeConfig config)
+    : events_(engine.hubQueue()), engine_(&engine),
+      config_(std::move(config)),
+      placement_(config_.placement != nullptr ? config_.placement
+                                              : &staticPlacement()),
+      chunk_units_(config_.chunk_units)
+{
+    if (engine.shardLanes() < static_cast<int>(shards.size()))
+        throw std::logic_error(
+            "parallel volume needs one engine lane per shard");
+    if (!(config_.dispatch_ms >= engine.lookahead()))
+        throw std::logic_error(
+            "volume dispatch_ms must cover the engine lookahead: "
+            "a window could otherwise schedule into a lane's past");
+    shard_events_.reserve(shards.size());
+    for (size_t s = 0; s < shards.size(); ++s)
+        shard_events_.push_back(
+            &engine.shardQueue(static_cast<int>(s)));
+    init(shards);
+}
+
+void
+VolumeManager::init(std::vector<ShardSpec> &shards)
+{
     if (shards.empty())
         throw std::logic_error("volume needs at least one shard");
     if (static_cast<int>(shards.size()) > kMaxShards)
         throw std::logic_error("volume shard count over kMaxShards");
     if (chunk_units_ < 1)
         throw std::logic_error("volume chunk_units must be >= 1");
+    if (!(config_.dispatch_ms >= 0.0))
+        throw std::logic_error("volume dispatch_ms must be >= 0");
 
     shards_.reserve(shards.size());
-    for (const ShardSpec &spec : shards) {
+    for (size_t s = 0; s < shards.size(); ++s) {
+        const ShardSpec &spec = shards[s];
         assert(spec.layout != nullptr && "shard needs a layout");
         shards_.push_back(std::make_unique<ArrayController>(
-            events_, *spec.layout, spec.model != nullptr
-                ? *spec.model
-                : DiskModel::hp2247(),
+            *shard_events_[s], *spec.layout,
+            spec.model != nullptr ? *spec.model
+                                  : DiskModel::hp2247(),
             spec.array));
     }
 
@@ -100,6 +135,27 @@ VolumeManager::allocFlight()
     return handle;
 }
 
+/**
+ * A shard-side completion at shard time `t`. Serially the volume's
+ * join bookkeeping runs inline; in a parallel run the callback is
+ * executing on the lane's worker thread, so the join is posted to
+ * the engine's mailbox and replayed at the next barrier with the hub
+ * clock at `t` -- same simulated time, same (time, shard, FIFO)
+ * order a shared queue would have produced.
+ */
+void
+VolumeManager::subAccessDone(uint32_t handle, int shard)
+{
+    if (engine_ == nullptr) {
+        subComplete(handle, shard);
+        return;
+    }
+    engine_->post(shard, shard_events_[shard]->now(),
+                  [this, handle, shard] {
+                      subComplete(handle, shard);
+                  });
+}
+
 void
 VolumeManager::subComplete(uint32_t handle, int shard)
 {
@@ -162,10 +218,23 @@ VolumeManager::access(int64_t start_unit, int count, AccessType type,
         if (shards_[head.shard]->mode() != ArrayMode::FaultFree)
             config_.probe.count("volume.degraded_sub_accesses");
 
+        // The sub-access crosses the volume->shard fabric: it lands
+        // on the shard's own queue dispatch_ms from now. The shard
+        // controller therefore always runs on its own lane at the
+        // correct shard-local time, and in a parallel run the delay
+        // keeps the delivery at or past the next window edge.
         const int shard_index = head.shard;
-        shards_[shard_index]->access(
-            head.unit, run, type, [this, handle, shard_index] {
-                subComplete(handle, shard_index);
+        const int64_t shard_unit = head.unit;
+        const int run_units = run;
+        shard_events_[shard_index]->schedule(
+            events_.now() + config_.dispatch_ms,
+            [this, handle, shard_index, shard_unit, run_units,
+             type] {
+                shards_[shard_index]->access(
+                    shard_unit, run_units, type,
+                    [this, handle, shard_index] {
+                        subAccessDone(handle, shard_index);
+                    });
             });
 
         unit += run;

@@ -7,8 +7,9 @@
  * heterogeneous-disk-array work (Thomasian & Xu) allocates virtual
  * arrays across shards. The VolumeManager owns S independent shards
  * -- each its own ArrayController with its own layout, disks and
- * fault state -- on one shared event queue, and routes a flat volume
- * address space across them:
+ * fault state -- on one shared event queue (serial) or one engine
+ * lane per shard (parallel, see sim/parallel_engine.hh), and routes
+ * a flat volume address space across them:
  *
  *   chunk   = unit / chunk_units          (striping granularity)
  *   period  = chunk / S,  slot = chunk mod S
@@ -72,6 +73,15 @@ struct VolumeConfig
     const PlacementPolicy *placement = nullptr;
     /** Volume-level rollup metrics (independent of shard probes). */
     obs::Probe probe;
+    /**
+     * Simulated volume->shard dispatch latency in ms: a sub-access
+     * issued at volume time t reaches its shard controller at
+     * t + dispatch_ms, in serial and parallel runs alike. This is
+     * the minimum cross-shard interaction delay, and therefore the
+     * lookahead the parallel engine's time windows ride on -- a
+     * parallel volume requires dispatch_ms >= engine lookahead.
+     */
+    double dispatch_ms = 0.5;
 };
 
 /** Shard-local home of one volume data unit. */
@@ -87,20 +97,36 @@ struct VolumeAddress
     }
 };
 
+class ParallelEngine;
+
 /** S independent arrays behind one Target address space. */
 class VolumeManager : public Target
 {
   public:
-    /** Hard shard-count cap (stack permutation buffers). */
-    static constexpr int kMaxShards = 64;
+    /** Hard shard-count cap (stack permutation buffers, ~2KB). */
+    static constexpr int kMaxShards = 256;
 
     /**
+     * Serial volume: every shard shares one event queue.
+     *
      * @param events shared simulation event queue
      * @param shards one spec per shard (layouts must outlive the
      *        volume); capacity is leveled to the smallest shard
      * @param config volume-level knobs
      */
     VolumeManager(EventQueue &events, std::vector<ShardSpec> shards,
+                  VolumeConfig config = VolumeConfig{});
+
+    /**
+     * Parallel volume: shard s's controller lives on the engine's
+     * lane s queue, clients and fan-out joins on the hub queue, and
+     * shard completions travel back through the engine's barrier
+     * mailboxes. Requires engine.shardLanes() >= shards.size() and
+     * config.dispatch_ms >= engine.lookahead() (the conservative
+     * window's safety condition).
+     */
+    VolumeManager(ParallelEngine &engine,
+                  std::vector<ShardSpec> shards,
                   VolumeConfig config = VolumeConfig{});
 
     int shardCount() const { return static_cast<int>(shards_.size()); }
@@ -152,10 +178,17 @@ class VolumeManager : public Target
 
     static constexpr uint32_t kNilFlight = ~uint32_t{0};
 
+    void init(std::vector<ShardSpec> &shards);
     uint32_t allocFlight();
     void subComplete(uint32_t handle, int shard);
+    void subAccessDone(uint32_t handle, int shard);
 
+    /** Cross-shard lane: clients, joins, completion callbacks. */
     EventQueue &events_;
+    /** Engine behind shard_events_, nullptr in a serial volume. */
+    ParallelEngine *engine_ = nullptr;
+    /** Shard s's controller queue (all == &events_ when serial). */
+    std::vector<EventQueue *> shard_events_;
     VolumeConfig config_;
     const PlacementPolicy *placement_;
     int64_t chunk_units_;

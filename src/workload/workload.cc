@@ -1,7 +1,16 @@
 #include "workload/workload.hh"
 
+#include "sim/parallel_engine.hh"
+
 namespace pddl {
 
 Workload::~Workload() = default;
+
+void
+startOnHub(Workload &workload, ParallelEngine &engine,
+           Target &target)
+{
+    workload.start(engine.hubQueue(), target);
+}
 
 } // namespace pddl

@@ -24,6 +24,8 @@
 
 namespace pddl {
 
+class ParallelEngine;
+
 /** A synthetic client population driving one Target. */
 class Workload
 {
@@ -37,9 +39,23 @@ class Workload
     /**
      * Begin issuing against `target` on `events` and return. Both
      * must outlive the workload's run; a workload starts once.
+     *
+     * In a parallel scenario `events` MUST be the engine's hub
+     * queue (use startOnHub): clients read now() in completion
+     * callbacks and schedule think/arrival timers, and only the hub
+     * lane runs those at the barrier with the correct clock. A
+     * workload started on a shard lane would race the other lanes.
      */
     virtual void start(EventQueue &events, Target &target) = 0;
 };
+
+/**
+ * Start `workload` against `target` on `engine`'s hub lane -- the
+ * one queue of a parallel scenario that client callbacks and timers
+ * may legally live on (see Workload::start).
+ */
+void startOnHub(Workload &workload, ParallelEngine &engine,
+                Target &target);
 
 } // namespace pddl
 

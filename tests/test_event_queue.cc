@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -146,6 +150,86 @@ TEST(EventQueue, SchedulingInThePastThrows)
     q.schedule(6.0, [&] { ++fired; });
     q.runUntilEmpty();
     EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, PastScheduleMessageReportsBothTimesExactly)
+{
+    EventQueue q;
+    // Two times whose first six decimals coincide: std::to_string
+    // would render both as "5.000000", hiding which was at fault.
+    const SimTime now_time = 5.0000001;
+    const SimTime past_time = 5.0;
+    q.schedule(now_time, [] {});
+    q.runUntilEmpty();
+    try {
+        q.schedule(past_time, [] {});
+        FAIL() << "past schedule did not throw";
+    } catch (const std::logic_error &error) {
+        const std::string message = error.what();
+        // The offending timestamp, the current simulated time and
+        // the gap, each printed with round-trip precision.
+        EXPECT_NE(message.find("event time 5 ms"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("current simulated time "
+                               "5.0000001000000003 ms"),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find("before"), std::string::npos)
+            << message;
+        char gap[64];
+        std::snprintf(gap, sizeof(gap), "%.17g",
+                      now_time - past_time);
+        EXPECT_NE(message.find(gap), std::string::npos) << message;
+    }
+}
+
+TEST(EventQueue, RunBeforeStopsAtTheWindowEdge)
+{
+    EventQueue q;
+    std::vector<double> fired;
+    for (double when : {1.0, 2.0, 3.0, 4.0})
+        q.schedule(when, [&, when] { fired.push_back(when); });
+    // Strictly-before semantics: the event at the edge belongs to
+    // the next window, and the clock stays at the last fired event
+    // (not the horizon) so a barrier can still deliver work at or
+    // after now().
+    q.runBefore(3.0);
+    EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+    EXPECT_DOUBLE_EQ(q.now(), 2.0);
+    EXPECT_EQ(q.pending(), 2u);
+    q.runBefore(10.0);
+    EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(EventQueue, NextEventTimeTracksTheRoot)
+{
+    EventQueue q;
+    EXPECT_TRUE(std::isinf(q.nextEventTime()));
+    q.schedule(7.0, [] {});
+    q.schedule(3.0, [] {});
+    EXPECT_DOUBLE_EQ(q.nextEventTime(), 3.0);
+    q.runOne();
+    EXPECT_DOUBLE_EQ(q.nextEventTime(), 7.0);
+    q.runOne();
+    EXPECT_TRUE(std::isinf(q.nextEventTime()));
+}
+
+TEST(EventQueue, HistoryDigestPinsTheDispatchSequence)
+{
+    auto run = [](bool reorder) {
+        EventQueue q;
+        q.enableHistoryDigest();
+        for (double when : {3.0, 1.0, 2.0})
+            q.schedule(reorder && when == 2.0 ? 2.5 : when, [] {});
+        q.runUntilEmpty();
+        return q.historyDigest();
+    };
+    EXPECT_EQ(run(false), run(false));
+    EXPECT_NE(run(false), run(true));
+    EventQueue silent;
+    silent.schedule(1.0, [] {});
+    silent.runUntilEmpty();
+    EXPECT_EQ(silent.historyDigest(), 0u); // opt-in only
 }
 
 TEST(EventQueue, SchedulingInThePastThrowsFromInsideAnEvent)

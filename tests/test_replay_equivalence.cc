@@ -32,8 +32,11 @@
 #include "core/pddl_layout.hh"
 #include "fault/fault_scheduler.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel_engine.hh"
 #include "stats/welford.hh"
 #include "util/rng.hh"
+#include "volume/volume_manager.hh"
+#include "workload/closed_loop.hh"
 
 #ifndef PDDL_TEST_GOLDEN_DIR
 #define PDDL_TEST_GOLDEN_DIR "."
@@ -171,10 +174,130 @@ runScenario()
     return print;
 }
 
-std::string
-goldenPath()
+/**
+ * The volume counterpart: a 4-shard volume on the parallel engine,
+ * two shards playing scripted fault timelines, a closed-loop
+ * population on the hub lane. Per-lane history digests (see
+ * EventQueue::enableHistoryDigest) pin the *dispatch sequence* of
+ * every lane and the hub, not just the end state -- so the golden
+ * asserts the parallel engine reproduces the single-threaded event
+ * schedule exactly, and the cross-thread test asserts worker count
+ * never perturbs it.
+ */
+Fingerprint
+runVolumeScenario(int threads)
 {
-    return std::string(PDDL_TEST_GOLDEN_DIR) + "/replay_scenario.txt";
+    PddlLayout layout = PddlLayout::make(13, 4);
+    DiskModel model = DiskModel::hp2247();
+    constexpr int kShards = 4;
+    constexpr double kDispatchMs = 0.75;
+
+    ParallelEngine::Config engine_config;
+    engine_config.threads = threads;
+    engine_config.lookahead = kDispatchMs;
+    ParallelEngine engine(kShards, engine_config);
+    engine.hubQueue().enableHistoryDigest();
+    for (int lane = 0; lane < kShards; ++lane)
+        engine.shardQueue(lane).enableHistoryDigest();
+
+    ShuffledPlacement placement(0x243f6a8885a308d3ULL);
+    std::vector<ShardSpec> specs(kShards);
+    for (ShardSpec &spec : specs) {
+        spec.layout = &layout;
+        spec.model = &model;
+    }
+    VolumeConfig vconfig;
+    vconfig.chunk_units = 4;
+    vconfig.placement = &placement;
+    vconfig.dispatch_ms = kDispatchMs;
+    VolumeManager volume(engine, std::move(specs), vconfig);
+
+    int64_t rows_per_disk = volume.shard(0).dataUnits() /
+                            layout.dataUnitsPerPeriod() *
+                            layout.unitsPerDiskPerPeriod();
+
+    FaultSchedule shard1_faults;
+    shard1_faults.events.push_back(
+        {45.0, FaultEvent::Kind::LatentError, 7, rows_per_disk / 3});
+    shard1_faults.events.push_back(
+        {120.0, FaultEvent::Kind::DiskFailure, 5, 0});
+    FaultSchedule shard3_faults;
+    shard3_faults.events.push_back(
+        {300.0, FaultEvent::Kind::DiskFailure, 2, 0});
+
+    FaultScheduler::Options options;
+    options.rebuild_parallel = 2;
+    options.rebuild_stripes = 50;
+    FaultScheduler scheduler1(engine.shardQueue(1),
+                              std::move(shard1_faults), options);
+    scheduler1.bindArray(volume.shard(1));
+    scheduler1.start();
+    FaultScheduler scheduler3(engine.shardQueue(3),
+                              std::move(shard3_faults), options);
+    scheduler3.bindArray(volume.shard(3));
+    scheduler3.start();
+
+    ClosedLoopConfig workload;
+    workload.clients = 8;
+    workload.access_units = 3;
+    workload.type = AccessType::Read;
+    workload.relative_tolerance = 0.0;
+    workload.min_samples = 500;
+    workload.max_samples = 500;
+    workload.warmup = 60;
+    workload.seed = 0xfeedfacecafef00dULL;
+    ClosedLoopClient client(workload);
+    startOnHub(client, engine, volume);
+    engine.run();
+
+    Fingerprint print;
+    print["hub_digest"] = engine.hubQueue().historyDigest();
+    print["hub_fired"] = engine.hubQueue().fired();
+    for (int lane = 0; lane < kShards; ++lane) {
+        const std::string prefix =
+            "lane" + std::to_string(lane) + "_";
+        print[prefix + "digest"] =
+            engine.shardQueue(lane).historyDigest();
+        print[prefix + "fired"] = engine.shardQueue(lane).fired();
+        print[prefix + "now_bits"] =
+            bits(engine.shardQueue(lane).now());
+    }
+    print["windows"] = engine.windowsRun();
+    print["final_now_bits"] = bits(engine.now());
+    print["volume_accesses"] = volume.volumeAccessesIssued();
+    print["sub_accesses"] = volume.subAccessesIssued();
+    print["degraded_shards_end"] =
+        static_cast<uint64_t>(volume.degradedShards());
+    SimResult result = client.result();
+    print["samples"] = static_cast<uint64_t>(result.samples);
+    print["response_mean_bits"] = bits(result.mean_response_ms);
+    print["throughput_bits"] = bits(result.throughput_per_s);
+    SeekTally tally = volume.aggregateTally();
+    print["seek_non_local"] = static_cast<uint64_t>(tally.non_local);
+    print["seek_cylinder"] =
+        static_cast<uint64_t>(tally.cylinder_switch);
+    print["seek_track"] = static_cast<uint64_t>(tally.track_switch);
+    print["seek_none"] = static_cast<uint64_t>(tally.no_switch);
+    for (const FaultScheduler *scheduler :
+         {&scheduler1, &scheduler3}) {
+        const std::string prefix =
+            scheduler == &scheduler1 ? "shard1_" : "shard3_";
+        const FaultStats &stats = scheduler->stats();
+        print[prefix + "failures"] =
+            static_cast<uint64_t>(stats.failures_applied);
+        print[prefix + "rebuilds"] =
+            static_cast<uint64_t>(stats.rebuilds_completed);
+        print[prefix + "latent_detected"] =
+            static_cast<uint64_t>(stats.latent_detected);
+        print[prefix + "data_loss"] = stats.data_loss ? 1 : 0;
+    }
+    return print;
+}
+
+std::string
+goldenPath(const char *file)
+{
+    return std::string(PDDL_TEST_GOLDEN_DIR) + "/" + file;
 }
 
 Fingerprint
@@ -197,35 +320,52 @@ readGolden(const std::string &path)
     return golden;
 }
 
-TEST(ReplayEquivalence, MixedFaultScenarioMatchesGolden)
+/**
+ * Regold when PDDL_REPLAY_REGOLD is set (returns true), otherwise
+ * compare `print` against the golden file key by key.
+ */
+bool
+compareOrRegold(Fingerprint print, const char *file,
+                const char *header)
 {
-    Fingerprint print = runScenario();
-
-    const std::string path = goldenPath();
+    const std::string path = goldenPath(file);
     if (std::getenv("PDDL_REPLAY_REGOLD") != nullptr) {
         std::ofstream out(path, std::ios::trunc);
-        ASSERT_TRUE(out) << "cannot write " << path;
-        out << "# Recorded observable history of the replay scenario\n"
-               "# (see test_replay_equivalence.cc). Values are hex;\n"
-               "# doubles are stored as IEEE-754 bit patterns.\n";
+        EXPECT_TRUE(out) << "cannot write " << path;
+        out << header;
         char buf[64];
         for (const auto &[key, value] : print) {
             std::snprintf(buf, sizeof(buf), "%s=%" PRIx64 "\n",
                           key.c_str(), value);
             out << buf;
         }
-        GTEST_SKIP() << "golden regenerated at " << path;
+        return true;
     }
 
     Fingerprint golden = readGolden(path);
-    ASSERT_FALSE(golden.empty())
+    EXPECT_FALSE(golden.empty())
         << "missing golden " << path
         << " (generate with PDDL_REPLAY_REGOLD=1)";
     for (const auto &[key, value] : golden) {
-        ASSERT_TRUE(print.count(key)) << "scenario lost key " << key;
+        if (!print.count(key)) {
+            ADD_FAILURE() << "scenario lost key " << key;
+            continue;
+        }
         EXPECT_EQ(print[key], value) << "history diverged at " << key;
     }
     EXPECT_EQ(print.size(), golden.size());
+    return false;
+}
+
+TEST(ReplayEquivalence, MixedFaultScenarioMatchesGolden)
+{
+    if (compareOrRegold(
+            runScenario(), "replay_scenario.txt",
+            "# Recorded observable history of the replay scenario\n"
+            "# (see test_replay_equivalence.cc). Values are hex;\n"
+            "# doubles are stored as IEEE-754 bit patterns.\n")) {
+        GTEST_SKIP() << "golden regenerated";
+    }
 }
 
 /**
@@ -235,6 +375,41 @@ TEST(ReplayEquivalence, MixedFaultScenarioMatchesGolden)
 TEST(ReplayEquivalence, ScenarioIsDeterministic)
 {
     EXPECT_EQ(runScenario(), runScenario());
+}
+
+TEST(ReplayEquivalence, VolumeScenarioMatchesGolden)
+{
+    if (compareOrRegold(
+            runVolumeScenario(1), "replay_volume.txt",
+            "# Recorded observable history of the 4-shard volume\n"
+            "# scenario on the parallel engine at 1 worker thread\n"
+            "# (see test_replay_equivalence.cc). Values are hex;\n"
+            "# doubles are stored as IEEE-754 bit patterns;\n"
+            "# *_digest keys are per-lane dispatch-history hashes.\n")) {
+        GTEST_SKIP() << "golden regenerated";
+    }
+}
+
+/**
+ * The cross-thread replay assertion: 2 and 8 worker threads must
+ * reproduce the single-threaded event schedule exactly -- per-lane
+ * dispatch digests included, so not one lane may fire one event in
+ * a different order or at a different backlog depth.
+ */
+TEST(ReplayEquivalence, VolumeScenarioIdenticalAcrossWorkerThreads)
+{
+    Fingerprint single = runVolumeScenario(1);
+    for (int threads : {2, 8}) {
+        Fingerprint parallel = runVolumeScenario(threads);
+        for (const auto &[key, value] : single) {
+            ASSERT_TRUE(parallel.count(key))
+                << threads << " threads lost " << key;
+            EXPECT_EQ(parallel[key], value)
+                << "history diverged at " << key << " with "
+                << threads << " worker threads";
+        }
+        EXPECT_EQ(parallel.size(), single.size());
+    }
 }
 
 } // namespace
