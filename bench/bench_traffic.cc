@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Production-traffic benchmark: tail latency under skewed and bursty
+ * load, with and without the write-back cache tier, over a 2-shard
+ * PDDL volume (healthy / degraded / rebuilding).
+ *
+ * Two panels:
+ *
+ *  - traffic: offset skew {uniform, zipf, hot-spot} x arrival process
+ *    {poisson, diurnal, mmpp} against the raw volume -- how much of
+ *    the tail is burstiness, how much is skew;
+ *  - slo: the write-heavy SLO sweep -- skew {zipf, hot-spot} x
+ *    {no cache, write-back cache} x {healthy, degraded, rebuilding}.
+ *
+ * Every row reports p50/p95/p99/p99.9 from the client.latency_ms
+ * histogram as first-class JSON columns, plus the cache counters
+ * (hit rate, absorbed writes, destage runs, stalls). Rows contain
+ * only simulated quantities, so BENCH_traffic.json is byte-identical
+ * across --threads and --sim-threads; CI diffs the raw files.
+ *
+ * --skew <spec> narrows the traffic panel to one validated offset
+ * spec ("uniform", "zipf:<theta>", "hot:<fraction>,<weight>").
+ * --capture <file> records the zipf/poisson row's offered accesses
+ * as a replayable text trace; --replay <file> appends a row that
+ * replays such a trace against the healthy uncached volume.
+ *
+ * --check enforces the CI floors: the hot-spot cached row must hit
+ * at least 50% of reads in cache, the cached zipf write-heavy row
+ * must beat the uncached row's p99, and the rebuilding rows must
+ * complete their rebuild without data loss.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "cache/cache_tier.hh"
+#include "fault/fault_scheduler.hh"
+#include "sim/parallel_engine.hh"
+#include "traffic/arrival.hh"
+#include "traffic/offset_dist.hh"
+#include "traffic/trace.hh"
+#include "volume/volume_manager.hh"
+#include "workload/open_loop.hh"
+
+namespace pddl {
+namespace {
+
+constexpr int kShards = 2;
+constexpr double kDispatchMs = 2.0;
+
+/** Write-back tier geometry for every cached row. */
+constexpr int64_t kCacheUnits = 4096;
+
+/**
+ * The hot-spot spec both panels use. The volume addresses ~2.3M
+ * units, so 0.05% is ~1.1K units -- a hot set that fits the cache
+ * with room to spare, the regime where a write-back tier earns its
+ * keep (a hot set much larger than the cache just streams misses).
+ */
+constexpr double kHotFraction = 0.0005;
+constexpr double kHotWeight = 0.95;
+
+enum class Health
+{
+    Healthy,
+    Degraded,  ///< shard 0 runs in degraded mode throughout
+    Rebuilding ///< shard 0 loses a disk at 40 ms and rebuilds
+};
+
+const char *
+healthName(Health health)
+{
+    switch (health) {
+    case Health::Healthy:
+        return "healthy";
+    case Health::Degraded:
+        return "degraded";
+    case Health::Rebuilding:
+        return "rebuilding";
+    }
+    return "healthy";
+}
+
+/** One row of either panel. */
+struct Scenario
+{
+    std::string label;
+    traffic::OffsetSpec offsets;
+    traffic::ArrivalSpec arrival;
+    double arrivals_per_s = 150.0;
+    int64_t samples = 0;  ///< 0 selects the panel default
+    int64_t warmup = 200; ///< arrivals before measurement
+    bool write_heavy = false;
+    bool cached = false;
+    Health health = Health::Healthy;
+    /** Replay this trace instead of synthetic traffic (may be empty). */
+    std::vector<traffic::TraceRecord> replay;
+    /** Capture the offered accesses into this file (may be empty). */
+    std::string capture_path;
+};
+
+std::vector<AccessMixEntry>
+mixFor(const Scenario &scenario)
+{
+    if (scenario.write_heavy) {
+        // The cache panel's SLO mix: small writes dominate, a few
+        // multi-unit accesses exercise run coalescing.
+        return {{1, AccessType::Write, 0.60},
+                {4, AccessType::Write, 0.10},
+                {1, AccessType::Read, 0.25},
+                {4, AccessType::Read, 0.05}};
+    }
+    return {{1, AccessType::Read, 0.70},
+            {1, AccessType::Write, 0.20},
+            {3, AccessType::Read, 0.10}};
+}
+
+/**
+ * Run one scenario on the parallel engine and report the simulated
+ * outcome. Every number pushed into `extras` is a pure function of
+ * the simulated history, so rows never depend on host timing.
+ */
+SimResult
+runScenario(const Scenario &scenario, uint64_t seed,
+            harness::Extras &extras)
+{
+    ParallelEngine::Config engine_config;
+    engine_config.threads = bench::options().sim_threads;
+    engine_config.lookahead = kDispatchMs;
+    ParallelEngine engine(kShards, engine_config);
+
+    PddlLayout layout = PddlLayout::make(13, 4);
+    DiskModel model = DiskModel::hp2247();
+    std::vector<ShardSpec> specs(kShards);
+    for (ShardSpec &spec : specs) {
+        spec.layout = &layout;
+        spec.model = &model;
+    }
+    if (scenario.health == Health::Degraded) {
+        specs[0].array.mode = ArrayMode::Degraded;
+        specs[0].array.failed_disk = 2;
+    }
+    VolumeConfig vconfig;
+    vconfig.chunk_units = 8;
+    vconfig.dispatch_ms = kDispatchMs;
+    VolumeManager volume(engine, std::move(specs), vconfig);
+
+    std::unique_ptr<FaultScheduler> faults;
+    if (scenario.health == Health::Rebuilding) {
+        FaultSchedule schedule;
+        schedule.events.push_back(
+            {40.0, FaultEvent::Kind::DiskFailure, 2, 0});
+        faults = std::make_unique<FaultScheduler>(
+            engine.shardQueue(0), std::move(schedule),
+            FaultScheduler::Options{});
+        faults->bindArray(volume.shard(0));
+        faults->start();
+    }
+
+    // Client latencies and cache counters land in one per-point
+    // registry; everything read out of it below is integer-counted,
+    // so the merge is exact for any lane/thread arrangement.
+    obs::MetricsRegistry registry;
+    obs::Probe probe(&registry, nullptr);
+
+    std::unique_ptr<cache::CacheTier> tier;
+    if (scenario.cached) {
+        cache::CacheConfig cconfig;
+        cconfig.capacity_units = kCacheUnits;
+        // Tight watermarks keep the destage pump visibly active at
+        // this bench's offered load instead of parking every dirty
+        // unit until drain.
+        cconfig.high_water = 0.10;
+        cconfig.low_water = 0.05;
+        cconfig.probe = probe;
+        tier = std::make_unique<cache::CacheTier>(engine.hubQueue(),
+                                                  volume, cconfig);
+    }
+    Target &target = tier ? static_cast<Target &>(*tier)
+                          : static_cast<Target &>(volume);
+
+    std::unique_ptr<traffic::TraceCapture> capture;
+    Target *workload_target = &target;
+    if (!scenario.capture_path.empty()) {
+        capture = std::make_unique<traffic::TraceCapture>(
+            engine.hubQueue(), target);
+        workload_target = capture.get();
+    }
+
+    SimResult result;
+    if (!scenario.replay.empty()) {
+        traffic::TraceReplayConfig rconfig;
+        rconfig.probe = probe;
+        traffic::TraceReplayWorkload replay(scenario.replay, rconfig);
+        startOnHub(replay, engine, *workload_target);
+        engine.run();
+        result.mean_response_ms = replay.latency().mean();
+        result.samples = replay.latency().count();
+        const double sim_s = engine.now() / 1000.0;
+        if (sim_s > 0.0) {
+            result.throughput_per_s =
+                static_cast<double>(replay.completed()) / sim_s;
+        }
+        extras.emplace_back("max_outstanding",
+                            replay.maxOutstanding());
+    } else {
+        OpenLoopConfig config;
+        config.arrivals_per_s = scenario.arrivals_per_s;
+        config.mix = mixFor(scenario);
+        config.samples = scenario.samples != 0
+                             ? scenario.samples
+                             : (bench::fullFidelity() ? 8000 : 2000);
+        config.warmup = scenario.warmup;
+        config.seed = seed;
+        config.offsets = scenario.offsets;
+        config.arrival = scenario.arrival;
+        config.probe = probe;
+
+        OpenLoopClient client(config);
+        startOnHub(client, engine, *workload_target);
+        engine.run();
+
+        OpenLoopResult open = client.result();
+        result.mean_response_ms = open.mean_response_ms;
+        result.throughput_per_s = open.completed_per_s;
+        result.samples = open.samples;
+        extras.emplace_back("max_outstanding", open.max_outstanding);
+    }
+
+    obs::MetricsSnapshot snapshot = registry.snapshot();
+    const obs::HistogramData *latency =
+        snapshot.histogram("client.latency_ms");
+    extras.emplace_back("p50_ms",
+                        latency ? latency->quantile(0.50) : 0.0);
+    extras.emplace_back("p95_ms",
+                        latency ? latency->quantile(0.95) : 0.0);
+    extras.emplace_back("p99_ms",
+                        latency ? latency->quantile(0.99) : 0.0);
+    extras.emplace_back("p999_ms",
+                        latency ? latency->quantile(0.999) : 0.0);
+    extras.emplace_back("backend_accesses",
+                        static_cast<double>(
+                            volume.volumeAccessesIssued()));
+    if (tier) {
+        const cache::CacheStats &stats = tier->stats();
+        extras.emplace_back("hit_rate", tier->hitRate());
+        extras.emplace_back("writes_absorbed",
+                            static_cast<double>(stats.writes_absorbed));
+        extras.emplace_back("write_stalls",
+                            static_cast<double>(stats.write_stalls));
+        extras.emplace_back("destage_runs",
+                            static_cast<double>(stats.destage_runs));
+        extras.emplace_back("destage_units",
+                            static_cast<double>(stats.destage_units));
+        extras.emplace_back("dirty_end",
+                            static_cast<double>(tier->dirtyUnits()));
+        extras.emplace_back("stalled_end",
+                            static_cast<double>(tier->stalledWrites()));
+    }
+    if (faults) {
+        const FaultStats &stats = faults->stats();
+        extras.emplace_back("rebuilds_completed",
+                            stats.rebuilds_completed);
+        extras.emplace_back("data_loss", stats.data_loss ? 1.0 : 0.0);
+    }
+    if (capture) {
+        std::ofstream out(scenario.capture_path, std::ios::trunc);
+        if (out) {
+            traffic::writeTrace(out, capture->records());
+            std::fprintf(stderr, "[Traffic] captured %zu accesses "
+                                 "to %s\n",
+                         capture->records().size(),
+                         scenario.capture_path.c_str());
+        } else {
+            std::fprintf(stderr, "[Traffic] cannot write %s\n",
+                         scenario.capture_path.c_str());
+        }
+    }
+    return result;
+}
+
+double
+extra(const harness::PointResult &point, const char *key)
+{
+    for (const auto &[name, value] : point.extras) {
+        if (name == key)
+            return value;
+    }
+    return 0.0;
+}
+
+const harness::PointResult *
+findRow(const harness::RunSummary &summary, const std::string &label)
+{
+    for (const harness::PointResult &point : summary.points) {
+        if (point.point.layout == label)
+            return &point;
+    }
+    return nullptr;
+}
+
+/** Enforce the traffic/cache acceptance floors. @return exit code. */
+int
+checkFloors(const harness::RunSummary &summary)
+{
+    int failures = 0;
+
+    const harness::PointResult *hot =
+        findRow(summary, "slo/hot:0.0005,0.95/wb/healthy");
+    if (hot == nullptr || extra(*hot, "hit_rate") < 0.5) {
+        std::fprintf(stderr,
+                     "[check] FAIL hot-spot cache: hit rate %.3f "
+                     "below the 0.5 floor\n",
+                     hot ? extra(*hot, "hit_rate") : 0.0);
+        ++failures;
+    } else {
+        std::fprintf(stderr, "[check] hot-spot cache hit rate %.3f\n",
+                     extra(*hot, "hit_rate"));
+    }
+
+    const harness::PointResult *cached =
+        findRow(summary, "slo/zipf:0.99/wb/healthy");
+    const harness::PointResult *raw =
+        findRow(summary, "slo/zipf:0.99/nocache/healthy");
+    if (cached == nullptr || raw == nullptr ||
+        extra(*cached, "p99_ms") >= extra(*raw, "p99_ms")) {
+        std::fprintf(stderr,
+                     "[check] FAIL write-back p99: cached %.2f ms "
+                     "does not beat uncached %.2f ms\n",
+                     cached ? extra(*cached, "p99_ms") : 0.0,
+                     raw ? extra(*raw, "p99_ms") : 0.0);
+        ++failures;
+    } else {
+        std::fprintf(stderr,
+                     "[check] write-back p99 %.2f ms vs uncached "
+                     "%.2f ms\n",
+                     extra(*cached, "p99_ms"), extra(*raw, "p99_ms"));
+    }
+
+    for (const harness::PointResult &point : summary.points) {
+        if (point.point.layout.find("/rebuilding") ==
+            std::string::npos)
+            continue;
+        if (extra(point, "data_loss") != 0.0 ||
+            extra(point, "rebuilds_completed") < 1.0) {
+            std::fprintf(stderr,
+                         "[check] FAIL %s: rebuild incomplete or "
+                         "data lost\n",
+                         point.point.layout.c_str());
+            ++failures;
+        }
+    }
+
+    // Stalled writes must always drain: a stall that outlives the
+    // run would be a wedged cache, not a latency effect.
+    for (const harness::PointResult &point : summary.points) {
+        if (extra(point, "stalled_end") != 0.0) {
+            std::fprintf(stderr,
+                         "[check] FAIL %s: %d writes still stalled "
+                         "at drain\n",
+                         point.point.layout.c_str(),
+                         static_cast<int>(extra(point, "stalled_end")));
+            ++failures;
+        }
+    }
+
+    if (failures == 0)
+        std::fprintf(stderr, "[check] all traffic floors met\n");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+} // namespace pddl
+
+int
+main(int argc, char **argv)
+{
+    using namespace pddl;
+
+    bench::BenchCli cli(
+        argv[0],
+        "Production traffic benchmark: tail latency (p50..p99.9) "
+        "under skewed/bursty load over a 2-shard PDDL volume, with "
+        "and without the write-back cache tier (rows are "
+        "bit-identical for every --threads and --sim-threads "
+        "value).");
+    cli.addString("skew", "spec",
+                  "narrow the traffic panel to one offset spec: "
+                  "uniform, zipf:<theta> or hot:<fraction>,<weight>",
+                  [](const std::string &value) {
+                      traffic::OffsetSpec spec;
+                      std::string error;
+                      return traffic::parseOffsetSpec(value, spec,
+                                                      error)
+                                 ? std::string()
+                                 : error;
+                  });
+    cli.addString("replay", "file",
+                  "append a row replaying this trace file against "
+                  "the healthy uncached volume",
+                  [](const std::string &value) {
+                      std::ifstream in(value);
+                      return in ? std::string()
+                                : std::string("cannot read file");
+                  });
+    cli.addString("capture", "file",
+                  "record the zipf/poisson traffic row's accesses "
+                  "as a replayable trace");
+    cli.addBool("check",
+                "enforce CI floors (hot-spot cache hit rate >= 0.5, "
+                "cached zipf p99 beats uncached, rebuilding rows "
+                "loss-free, stalls drained) and exit 1 on "
+                "regression");
+    cli.parseOrExit(argc, argv);
+    bench::options().deterministic_json = true;
+
+    std::vector<traffic::OffsetSpec> panel_skews;
+    if (cli.has("skew")) {
+        traffic::OffsetSpec spec;
+        std::string error;
+        traffic::parseOffsetSpec(cli.getString("skew"), spec, error);
+        panel_skews.push_back(spec);
+    } else {
+        traffic::OffsetSpec zipf;
+        zipf.kind = traffic::OffsetSpec::Kind::Zipf;
+        zipf.theta = 0.99;
+        traffic::OffsetSpec hot;
+        hot.kind = traffic::OffsetSpec::Kind::HotSpot;
+        hot.hot_fraction = kHotFraction;
+        hot.hot_weight = kHotWeight;
+        panel_skews = {traffic::OffsetSpec{}, zipf, hot};
+    }
+
+    std::vector<Scenario> scenarios;
+
+    // Panel 1 -- traffic: skew x arrival against the raw volume.
+    for (const traffic::OffsetSpec &skew : panel_skews) {
+        for (const char *arrival_name :
+             {"poisson", "diurnal", "mmpp"}) {
+            Scenario scenario;
+            scenario.offsets = skew;
+            if (std::string(arrival_name) == "diurnal") {
+                scenario.arrival.kind =
+                    traffic::ArrivalSpec::Kind::Diurnal;
+                // Quiet / busy / peak / busy, 500 ms phases.
+                scenario.arrival.phase_mult = {0.25, 1.0, 2.5, 1.0};
+                scenario.arrival.phase_ms = 500.0;
+            } else if (std::string(arrival_name) == "mmpp") {
+                scenario.arrival.kind =
+                    traffic::ArrivalSpec::Kind::Mmpp;
+            }
+            scenario.label = std::string("traffic/") +
+                             traffic::offsetSpecName(skew) + "+" +
+                             arrival_name;
+            scenarios.push_back(std::move(scenario));
+        }
+    }
+
+    // Panel 2 -- slo: the write-heavy cache sweep.
+    {
+        traffic::OffsetSpec zipf;
+        zipf.kind = traffic::OffsetSpec::Kind::Zipf;
+        zipf.theta = 0.99;
+        traffic::OffsetSpec hot;
+        hot.kind = traffic::OffsetSpec::Kind::HotSpot;
+        hot.hot_fraction = kHotFraction;
+        hot.hot_weight = kHotWeight;
+        for (const traffic::OffsetSpec &skew : {zipf, hot}) {
+            for (bool cached : {false, true}) {
+                for (Health health :
+                     {Health::Healthy, Health::Degraded,
+                      Health::Rebuilding}) {
+                    Scenario scenario;
+                    scenario.offsets = skew;
+                    scenario.arrivals_per_s = 100.0;
+                    // A long warm-up lets the tier reach steady
+                    // state (hot set resident, pump cycling) before
+                    // the measured window opens.
+                    scenario.samples =
+                        bench::fullFidelity() ? 12000 : 4000;
+                    scenario.warmup =
+                        bench::fullFidelity() ? 3000 : 1500;
+                    scenario.write_heavy = true;
+                    scenario.cached = cached;
+                    scenario.health = health;
+                    scenario.label =
+                        std::string("slo/") +
+                        traffic::offsetSpecName(skew) + "/" +
+                        (cached ? "wb" : "nocache") + "/" +
+                        healthName(health);
+                    scenarios.push_back(std::move(scenario));
+                }
+            }
+        }
+    }
+
+    if (cli.has("capture")) {
+        for (Scenario &scenario : scenarios) {
+            if (scenario.label == "traffic/zipf:0.99+poisson") {
+                scenario.capture_path = cli.getString("capture");
+                break;
+            }
+        }
+    }
+    if (cli.has("replay")) {
+        Scenario scenario;
+        scenario.label = "replay/" + cli.getString("replay");
+        scenario.replay = traffic::loadTrace(cli.getString("replay"));
+        scenarios.push_back(std::move(scenario));
+    }
+
+    std::vector<harness::Experiment> experiments;
+    for (const Scenario &scenario : scenarios) {
+        harness::Experiment experiment;
+        experiment.point = {
+            "Traffic", scenario.label, 8,
+            static_cast<int>(scenario.arrivals_per_s),
+            scenario.write_heavy ? AccessType::Write
+                                 : AccessType::Read,
+            scenario.health == Health::Healthy
+                ? ArrayMode::FaultFree
+                : ArrayMode::Degraded};
+        experiment.custom = [&scenario](uint64_t seed,
+                                        harness::Extras &extras) {
+            return runScenario(scenario, seed, extras);
+        };
+        experiments.push_back(std::move(experiment));
+    }
+
+    harness::RunSummary summary = bench::runGrid(
+        "Traffic",
+        "Tail latency under production traffic: skew x burstiness x "
+        "write-back cache x shard health (p50/p95/p99/p99.9 ms)",
+        experiments);
+
+    std::printf("Production traffic (2-shard PDDL volume, %d "
+                "sim-thread(s))\n",
+                bench::options().sim_threads);
+    std::printf("%-34s %8s %8s %8s %8s %8s %8s %7s\n", "scenario",
+                "req/s", "p50", "p95", "p99", "p99.9", "hit", "stall");
+    bench::printRule(10);
+    for (const harness::PointResult &point : summary.points) {
+        const bool cached =
+            point.point.layout.find("/wb") != std::string::npos;
+        std::printf("%-34s %8.1f %8.2f %8.2f %8.2f %8.2f",
+                    point.point.layout.c_str(),
+                    point.result.throughput_per_s,
+                    extra(point, "p50_ms"), extra(point, "p95_ms"),
+                    extra(point, "p99_ms"), extra(point, "p999_ms"));
+        if (cached) {
+            std::printf(" %8.3f %7.0f\n", extra(point, "hit_rate"),
+                        extra(point, "write_stalls"));
+        } else {
+            std::printf(" %8s %7s\n", "-", "-");
+        }
+    }
+
+    if (cli.getBool("check"))
+        return checkFloors(summary);
+    return 0;
+}

@@ -230,6 +230,16 @@ class BenchCli
         parser_.addString(name, value_name, help);
     }
 
+    /** String flag rejected at parse time when `validator` objects. */
+    void
+    addString(const std::string &name, const std::string &value_name,
+              const std::string &help,
+              harness::ArgParser::Validator validator)
+    {
+        parser_.addString(name, value_name, help, false,
+                          std::move(validator));
+    }
+
     /**
      * Parse argv and fill options(). Owns the process-exit contract:
      * --help exits 0 after printing usage, any parse error exits 2.

@@ -29,6 +29,16 @@ ArgParser::addString(const std::string &name,
 }
 
 void
+ArgParser::addString(const std::string &name,
+                     const std::string &value_name,
+                     const std::string &help, bool required,
+                     Validator validator)
+{
+    addString(name, value_name, help, required);
+    flags_.back().validator = std::move(validator);
+}
+
+void
 ArgParser::addInt(const std::string &name,
                   const std::string &value_name,
                   const std::string &help, long long min_value,
@@ -141,6 +151,13 @@ ArgParser::parse(int argc, char *const *argv)
                             std::to_string(flag->min_value));
             }
             flag->int_value = parsed;
+        }
+        if (flag->kind == Kind::String && flag->validator) {
+            std::string complaint = flag->validator(value);
+            if (!complaint.empty()) {
+                return fail("invalid value '" + value + "' for '--" +
+                            name + "': " + complaint);
+            }
         }
         flag->seen = true;
         flag->value = std::move(value);

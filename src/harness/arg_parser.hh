@@ -14,6 +14,7 @@
 #ifndef PDDL_HARNESS_ARG_PARSER_HH
 #define PDDL_HARNESS_ARG_PARSER_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,10 +31,25 @@ class ArgParser
      */
     ArgParser(std::string program, std::string description);
 
+    /**
+     * Value check for string flags: return the empty string to
+     * accept, or a short complaint ("expected zipf:<theta> with
+     * theta in (0,1)") that parse() folds into error(). Validators
+     * run during parse(), so a malformed `--skew` or `--trace` is
+     * rejected before any work starts.
+     */
+    using Validator = std::function<std::string(const std::string &)>;
+
     /** Declare a string flag (`--name <value>` or `--name=value`). */
     void addString(const std::string &name,
                    const std::string &value_name,
                    const std::string &help, bool required = false);
+
+    /** Declare a validated string flag (see Validator). */
+    void addString(const std::string &name,
+                   const std::string &value_name,
+                   const std::string &help, bool required,
+                   Validator validator);
 
     /** Declare an integer flag with an inclusive minimum. */
     void addInt(const std::string &name,
@@ -85,6 +101,8 @@ class ArgParser
         Kind kind = Kind::String;
         bool required = false;
         long long min_value = 0;
+
+        Validator validator;
 
         bool seen = false;
         std::string value;

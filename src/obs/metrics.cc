@@ -37,6 +37,42 @@ HistogramData::merge(const HistogramData &other)
     max = std::max(max, other.max);
 }
 
+double
+HistogramData::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    // Target cumulative rank in (0, count]; q == 0 pins to min.
+    const double rank = q * static_cast<double>(count);
+    if (rank <= 0.0)
+        return min;
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        const double before = static_cast<double>(cumulative);
+        cumulative += counts[i];
+        if (static_cast<double>(cumulative) < rank)
+            continue;
+        // The rank lands in bucket i, which spans (bounds[i-1],
+        // bounds[i]] (the overflow bucket reaches max). Interpolate
+        // linearly within the bucket, clamped to the observed
+        // extremes: samples can only live in [min, max], and the
+        // estimate must too.
+        double lower = i == 0 ? min : bounds[i - 1];
+        double upper = i < bounds.size() ? bounds[i] : max;
+        lower = std::max(lower, min);
+        upper = std::min(upper, max);
+        if (upper < lower)
+            upper = lower;
+        const double fraction =
+            (rank - before) / static_cast<double>(counts[i]);
+        return lower + (upper - lower) * fraction;
+    }
+    return max;
+}
+
 Json
 HistogramData::toJson() const
 {

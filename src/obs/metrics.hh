@@ -49,6 +49,18 @@ struct HistogramData
     double max = 0.0;
 
     void merge(const HistogramData &other);
+
+    /**
+     * Interpolated quantile of the recorded samples, `q` in [0, 1]
+     * (clamped). The target rank is located in the cumulative bucket
+     * counts and interpolated linearly within its bucket's bounds,
+     * clamped to the observed [min, max] so a sparse histogram never
+     * reports a value outside what was recorded. This is the one
+     * quantile estimator the bench tail-latency columns (p50/p95/
+     * p99/p99.9) report through. Returns 0 when empty.
+     */
+    double quantile(double q) const;
+
     Json toJson() const;
 };
 

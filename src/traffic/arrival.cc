@@ -1,0 +1,114 @@
+#include "traffic/arrival.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace pddl {
+namespace traffic {
+
+const char *
+arrivalSpecName(const ArrivalSpec &spec)
+{
+    switch (spec.kind) {
+    case ArrivalSpec::Kind::Poisson:
+        return "poisson";
+    case ArrivalSpec::Kind::Diurnal:
+        return "diurnal";
+    case ArrivalSpec::Kind::Mmpp:
+        return "mmpp";
+    }
+    return "poisson";
+}
+
+ArrivalSampler::ArrivalSampler(const ArrivalSpec &spec,
+                               double base_per_s)
+    : spec_(spec), base_per_ms_(base_per_s / 1000.0)
+{
+    assert(base_per_ms_ > 0.0);
+    if (spec_.kind == ArrivalSpec::Kind::Diurnal) {
+        assert(spec_.phase_ms > 0.0 && !spec_.phase_mult.empty());
+        double total = 0.0;
+        for (double mult : spec_.phase_mult) {
+            assert(mult >= 0.0);
+            total += mult;
+        }
+        assert(total > 0.0 && "diurnal schedule must offer load");
+    }
+    if (spec_.kind == ArrivalSpec::Kind::Mmpp) {
+        assert(spec_.burst_mult > 0.0 && spec_.calm_ms > 0.0 &&
+               spec_.burst_ms > 0.0);
+    }
+}
+
+double
+ArrivalSampler::diurnalRateAt(double t) const
+{
+    const double period =
+        spec_.phase_ms * static_cast<double>(spec_.phase_mult.size());
+    const double in_period = std::fmod(t, period);
+    size_t phase = static_cast<size_t>(in_period / spec_.phase_ms);
+    if (phase >= spec_.phase_mult.size())
+        phase = spec_.phase_mult.size() - 1;
+    return base_per_ms_ * spec_.phase_mult[phase];
+}
+
+double
+ArrivalSampler::nextGapMs(Rng &rng, double now)
+{
+    switch (spec_.kind) {
+    case ArrivalSpec::Kind::Poisson:
+        // The pre-traffic client's exact draw: one exponential at
+        // the base rate.
+        return rng.exponential(1.0 / base_per_ms_);
+
+    case ArrivalSpec::Kind::Diurnal: {
+        // Exact inversion of the inhomogeneous Poisson process:
+        // draw the unit-exponential target area, then walk the
+        // piecewise-constant rate until the integral reaches it.
+        double remaining = rng.exponential(1.0);
+        double cursor = now;
+        for (;;) {
+            const double rate = diurnalRateAt(cursor);
+            const double phase_end =
+                (std::floor(cursor / spec_.phase_ms) + 1.0) *
+                spec_.phase_ms;
+            if (rate > 0.0) {
+                const double capacity = rate * (phase_end - cursor);
+                if (remaining <= capacity)
+                    return cursor + remaining / rate - now;
+                remaining -= capacity;
+            }
+            cursor = phase_end;
+        }
+    }
+
+    case ArrivalSpec::Kind::Mmpp: {
+        // Competing exponentials: an arrival at the current regime's
+        // rate races the pre-drawn regime switch; crossing the
+        // switch discards the candidate (memorylessness makes the
+        // redraw exact) and flips the rate.
+        if (switch_at_ < 0.0) {
+            burst_ = false;
+            switch_at_ = now + rng.exponential(spec_.calm_ms);
+        }
+        double cursor = now;
+        for (;;) {
+            const double rate =
+                base_per_ms_ * (burst_ ? spec_.burst_mult : 1.0);
+            const double candidate =
+                cursor + rng.exponential(1.0 / rate);
+            if (candidate <= switch_at_)
+                return candidate - now;
+            cursor = switch_at_;
+            burst_ = !burst_;
+            switch_at_ =
+                cursor + rng.exponential(burst_ ? spec_.burst_ms
+                                                : spec_.calm_ms);
+        }
+    }
+    }
+    return rng.exponential(1.0 / base_per_ms_);
+}
+
+} // namespace traffic
+} // namespace pddl

@@ -1,0 +1,184 @@
+#include "traffic/offset_dist.hh"
+
+#include <cassert>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pddl {
+namespace traffic {
+
+namespace {
+
+/** Strict double parse of the whole string. */
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return errno == 0 && end == text.c_str() + text.size();
+}
+
+/**
+ * Rank -> unit scramble seed. Fixed, not per-workload: two clients
+ * with the same spec share one hot set, the way real tenants share
+ * hot objects.
+ */
+constexpr uint64_t kScrambleSeed = 0x7ea75c4a1b0ffeedULL;
+
+} // namespace
+
+bool
+parseOffsetSpec(const std::string &text, OffsetSpec &spec,
+                std::string &error)
+{
+    if (text == "uniform") {
+        spec = OffsetSpec{};
+        return true;
+    }
+    if (text.rfind("zipf:", 0) == 0) {
+        double theta = 0.0;
+        if (!parseDouble(text.substr(5), theta) || theta <= 0.0 ||
+            theta >= 1.0) {
+            error = "expected zipf:<theta> with theta in (0,1)";
+            return false;
+        }
+        spec = OffsetSpec{};
+        spec.kind = OffsetSpec::Kind::Zipf;
+        spec.theta = theta;
+        return true;
+    }
+    if (text.rfind("hot:", 0) == 0) {
+        const std::string rest = text.substr(4);
+        const size_t comma = rest.find(',');
+        double fraction = 0.0;
+        double weight = 0.0;
+        if (comma == std::string::npos ||
+            !parseDouble(rest.substr(0, comma), fraction) ||
+            !parseDouble(rest.substr(comma + 1), weight) ||
+            fraction <= 0.0 || fraction >= 1.0 || weight <= 0.0 ||
+            weight > 1.0) {
+            error = "expected hot:<fraction>,<weight> with fraction "
+                    "in (0,1) and weight in (0,1]";
+            return false;
+        }
+        spec = OffsetSpec{};
+        spec.kind = OffsetSpec::Kind::HotSpot;
+        spec.hot_fraction = fraction;
+        spec.hot_weight = weight;
+        return true;
+    }
+    error = "expected uniform, zipf:<theta> or "
+            "hot:<fraction>,<weight>";
+    return false;
+}
+
+std::string
+offsetSpecName(const OffsetSpec &spec)
+{
+    char buffer[64];
+    switch (spec.kind) {
+    case OffsetSpec::Kind::Uniform:
+        return "uniform";
+    case OffsetSpec::Kind::Zipf:
+        std::snprintf(buffer, sizeof(buffer), "zipf:%g", spec.theta);
+        return buffer;
+    case OffsetSpec::Kind::HotSpot:
+        std::snprintf(buffer, sizeof(buffer), "hot:%g,%g",
+                      spec.hot_fraction, spec.hot_weight);
+        return buffer;
+    }
+    return "uniform";
+}
+
+OffsetSampler::OffsetSampler(const OffsetSpec &spec,
+                             int64_t domain_units)
+    : spec_(spec), domain_(domain_units)
+{
+    assert(domain_ >= 1);
+    if (spec_.kind != OffsetSpec::Kind::Zipf)
+        return;
+    assert(spec_.theta > 0.0 && spec_.theta < 1.0);
+    // Gray et al. "Quickly generating billion-record synthetic
+    // databases" (the YCSB ZipfianGenerator): one O(n) harmonic
+    // precompute, then one uniform draw per sample.
+    const double theta = spec_.theta;
+    const double n = static_cast<double>(domain_);
+    double zeta = 0.0;
+    for (int64_t i = 1; i <= domain_; ++i)
+        zeta += 1.0 / std::pow(static_cast<double>(i), theta);
+    zeta_n_ = zeta;
+    alpha_ = 1.0 / (1.0 - theta);
+    const double zeta2 = 1.0 + std::pow(0.5, theta);
+    eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
+           (1.0 - zeta2 / zeta_n_);
+    half_pow_theta_ = std::pow(0.5, theta);
+}
+
+int64_t
+OffsetSampler::zipfRank(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const double uz = u * zeta_n_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + half_pow_theta_)
+        return 1;
+    int64_t rank = static_cast<int64_t>(
+        static_cast<double>(domain_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= domain_)
+        rank = domain_ - 1;
+    return rank;
+}
+
+int64_t
+OffsetSampler::sample(Rng &rng, int64_t span) const
+{
+    assert(span >= 0 && span < domain_ + 1);
+    switch (spec_.kind) {
+    case OffsetSpec::Kind::Uniform:
+        return static_cast<int64_t>(
+            rng.below(static_cast<uint64_t>(span + 1)));
+    case OffsetSpec::Kind::Zipf: {
+        // Popularity lives on ranks; the stateless scramble spreads
+        // hot ranks over the whole domain (and therefore over a
+        // volume's shards). Clamp to the valid start span -- the few
+        // units past it land on the edge.
+        const int64_t rank = zipfRank(rng);
+        const int64_t unit = static_cast<int64_t>(
+            hashMix64(static_cast<uint64_t>(rank), kScrambleSeed) %
+            static_cast<uint64_t>(domain_));
+        return unit < span ? unit : span;
+    }
+    case OffsetSpec::Kind::HotSpot: {
+        int64_t hot_units = static_cast<int64_t>(
+            spec_.hot_fraction * static_cast<double>(domain_));
+        if (hot_units < 1)
+            hot_units = 1;
+        if (hot_units > domain_)
+            hot_units = domain_;
+        int64_t unit;
+        if (rng.uniform() < spec_.hot_weight) {
+            unit = static_cast<int64_t>(
+                rng.below(static_cast<uint64_t>(hot_units)));
+        } else if (hot_units < domain_) {
+            unit = hot_units +
+                   static_cast<int64_t>(rng.below(
+                       static_cast<uint64_t>(domain_ - hot_units)));
+        } else {
+            unit = static_cast<int64_t>(
+                rng.below(static_cast<uint64_t>(domain_)));
+        }
+        return unit < span ? unit : span;
+    }
+    }
+    return 0;
+}
+
+} // namespace traffic
+} // namespace pddl

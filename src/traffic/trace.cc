@@ -1,0 +1,161 @@
+#include "traffic/trace.hh"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pddl {
+namespace traffic {
+
+namespace {
+
+[[noreturn]] void
+badLine(size_t line, const std::string &why)
+{
+    throw std::runtime_error("trace line " + std::to_string(line) +
+                             ": " + why);
+}
+
+} // namespace
+
+std::vector<TraceRecord>
+parseTrace(std::istream &in)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    size_t line_no = 0;
+    double last_when = 0.0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        double when;
+        std::string op;
+        int64_t unit;
+        long long units;
+        if (!(fields >> when)) {
+            // Blank or comment-only line.
+            continue;
+        }
+        if (!(fields >> op >> unit >> units))
+            badLine(line_no, "expected 'when op offset units'");
+        std::string trailing;
+        if (fields >> trailing)
+            badLine(line_no, "trailing field '" + trailing + "'");
+        if (op != "r" && op != "w")
+            badLine(line_no, "op must be 'r' or 'w', got '" + op +
+                                 "'");
+        if (when < 0.0)
+            badLine(line_no, "negative time");
+        if (!records.empty() && when < last_when)
+            badLine(line_no, "time decreases (trace must be sorted)");
+        if (unit < 0)
+            badLine(line_no, "negative offset");
+        if (units < 1 || units > INT32_MAX)
+            badLine(line_no, "units must be a positive int");
+        records.push_back({when,
+                           op == "r" ? AccessType::Read
+                                     : AccessType::Write,
+                           unit, static_cast<int>(units)});
+        last_when = when;
+    }
+    return records;
+}
+
+std::vector<TraceRecord>
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot read trace file '" + path +
+                                 "'");
+    return parseTrace(in);
+}
+
+void
+writeTrace(std::ostream &out,
+           const std::vector<TraceRecord> &records)
+{
+    out << "# when_ms op offset units\n";
+    char line[96];
+    for (const TraceRecord &record : records) {
+        // %.17g round-trips doubles, so parse(write(x)) == x.
+        std::snprintf(line, sizeof(line), "%.17g %c %lld %d\n",
+                      record.when_ms,
+                      record.type == AccessType::Read ? 'r' : 'w',
+                      static_cast<long long>(record.unit),
+                      record.units);
+        out << line;
+    }
+}
+
+TraceReplayWorkload::TraceReplayWorkload(
+    std::vector<TraceRecord> records, TraceReplayConfig config)
+    : records_(std::move(records)), config_(config)
+{
+    assert(config_.discard >= 0);
+}
+
+void
+TraceReplayWorkload::start(EventQueue &events, Target &target)
+{
+    assert(events_ == nullptr && "a workload starts once");
+    events_ = &events;
+    target_ = &target;
+    epoch_ms_ = events.now();
+    const int64_t data_units = target.dataUnits();
+    for (size_t i = 0; i < records_.size(); ++i) {
+        const TraceRecord &record = records_[i];
+        if (record.unit + record.units > data_units) {
+            throw std::runtime_error(
+                "trace record " + std::to_string(i + 1) +
+                " reaches unit " +
+                std::to_string(record.unit + record.units) +
+                " but the target has " + std::to_string(data_units));
+        }
+    }
+    if (!records_.empty())
+        issueReady();
+}
+
+void
+TraceReplayWorkload::issueReady()
+{
+    // Issue every record due now, then sleep until the next one; a
+    // run of same-time records issues back-to-back in file order.
+    while (next_ < records_.size()) {
+        const TraceRecord &record = records_[next_];
+        const double due = epoch_ms_ + record.when_ms;
+        if (due > events_->now()) {
+            events_->schedule(due, [this] { issueReady(); });
+            return;
+        }
+        ++next_;
+        const double issued = events_->now();
+        ++outstanding_;
+        if (outstanding_ > max_outstanding_)
+            max_outstanding_ = outstanding_;
+        target_->access(
+            record.unit, record.units, record.type,
+            [this, issued] {
+                --outstanding_;
+                ++completed_;
+                if (completed_ > config_.discard) {
+                    const double response = events_->now() - issued;
+                    latency_.add(response);
+                    config_.probe.observe("client.latency_ms",
+                                          response);
+                }
+            });
+    }
+}
+
+} // namespace traffic
+} // namespace pddl

@@ -32,8 +32,7 @@ ClosedLoopClient::issueOne()
 {
     int64_t span = target_->dataUnits() - config_.access_units;
     assert(span >= 0);
-    int64_t start = static_cast<int64_t>(
-        rng_.below(static_cast<uint64_t>(span + 1)));
+    int64_t start = offsets_->sample(rng_, span);
     SimTime issued = events_->now();
     target_->access(start, config_.access_units, config_.type,
                     [this, issued] {
@@ -44,8 +43,22 @@ ClosedLoopClient::issueOne()
                             tally_at_start_ = target_->aggregateTally();
                             accesses_at_start_ = static_cast<int64_t>(
                                 target_->accessesIssued());
+                        } else if (measuring_ &&
+                                   discarded_ < config_.discard) {
+                            // Warm-up discard: drop this measured
+                            // completion and restart the window, so
+                            // a cache tier's cold-start misses never
+                            // reach the steady-state tallies.
+                            ++discarded_;
+                            measure_start_ = events_->now();
+                            tally_at_start_ = target_->aggregateTally();
+                            accesses_at_start_ = static_cast<int64_t>(
+                                target_->accessesIssued());
                         } else if (measuring_) {
-                            response_.add(events_->now() - issued);
+                            double response = events_->now() - issued;
+                            response_.add(response);
+                            config_.probe.observe("client.latency_ms",
+                                                  response);
                             measure_end_ = events_->now();
                         }
                         if (finished())
@@ -66,6 +79,7 @@ ClosedLoopClient::start(EventQueue &events, Target &target)
     assert(events_ == nullptr && "a workload starts once");
     events_ = &events;
     target_ = &target;
+    offsets_.emplace(config_.offsets, target.dataUnits());
     if (config_.warmup <= 0)
         measuring_ = true;
     for (int c = 0; c < config_.clients; ++c)

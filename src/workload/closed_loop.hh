@@ -21,12 +21,14 @@
 #define PDDL_WORKLOAD_CLOSED_LOOP_HH
 
 #include <cstdint>
+#include <optional>
 
 #include "array/request_mapper.hh"
 #include "disk/disk.hh"
 #include "layout/layout.hh"
 #include "obs/probe.hh"
 #include "stats/welford.hh"
+#include "traffic/offset_dist.hh"
 #include "util/rng.hh"
 #include "workload/workload.hh"
 
@@ -56,7 +58,25 @@ struct ClosedLoopConfig
     int64_t max_samples = 200000;
     /** Completions discarded before measurement starts. */
     int64_t warmup = 200;
+    /**
+     * Additional measured completions discarded from the measurement
+     * tallies (response statistics, latency histogram, seek-tally
+     * window) after `warmup` -- the warm-up a cache tier needs so
+     * cold-start misses don't pollute steady-state tail numbers.
+     * Default 0 keeps every existing bench byte-identical.
+     */
+    int64_t discard = 0;
     uint64_t seed = 42;
+
+    /** Where accesses land (uniform reproduces the paper). */
+    traffic::OffsetSpec offsets;
+
+    /**
+     * Instrumentation: each measured response also feeds the
+     * client.latency_ms histogram (the bench tail-latency columns).
+     * Default off; the sinks must outlive the run.
+     */
+    obs::Probe probe;
 };
 
 /** Measured outcome of one closed-loop experiment. */
@@ -106,9 +126,12 @@ class ClosedLoopClient : public Workload
     EventQueue *events_ = nullptr;
     Target *target_ = nullptr;
     Rng rng_{0};
+    /** Built in start() (the domain is the target's dataUnits). */
+    std::optional<traffic::OffsetSampler> offsets_;
 
     Welford response_;
     int64_t completions_ = 0;
+    int64_t discarded_ = 0;
     bool measuring_ = false;
     bool done_ = false;
     SimTime measure_start_ = 0.0;

@@ -20,7 +20,7 @@ OpenLoopClient::OpenLoopClient(OpenLoopConfig config)
         total_weight_ += entry.weight;
     }
     assert(total_weight_ > 0.0);
-    mean_gap_ms_ = 1000.0 / config_.arrivals_per_s;
+    arrival_.emplace(config_.arrival, config_.arrivals_per_s);
     responses_.reserve(static_cast<size_t>(config_.samples));
 }
 
@@ -43,8 +43,7 @@ OpenLoopClient::arrive()
     }
 
     int64_t span = target_->dataUnits() - chosen->units;
-    int64_t start = static_cast<int64_t>(
-        rng_.below(static_cast<uint64_t>(span + 1)));
+    int64_t start = offsets_->sample(rng_, span);
     SimTime issued = events_->now();
     ++outstanding_;
     max_outstanding_ = std::max(max_outstanding_, outstanding_);
@@ -54,12 +53,14 @@ OpenLoopClient::arrive()
                         if (index == config_.warmup)
                             measure_start_ = events_->now();
                         if (index >= config_.warmup) {
-                            responses_.push_back(events_->now() -
-                                                 issued);
+                            double response = events_->now() - issued;
+                            responses_.push_back(response);
+                            config_.probe.observe("client.latency_ms",
+                                                  response);
                             last_completion_ = events_->now();
                         }
                     });
-    events_->scheduleAfter(rng_.exponential(mean_gap_ms_),
+    events_->scheduleAfter(arrival_->nextGapMs(rng_, events_->now()),
                            [this] { arrive(); });
 }
 
@@ -69,7 +70,8 @@ OpenLoopClient::start(EventQueue &events, Target &target)
     assert(events_ == nullptr && "a workload starts once");
     events_ = &events;
     target_ = &target;
-    events_->scheduleAfter(rng_.exponential(mean_gap_ms_),
+    offsets_.emplace(config_.offsets, target.dataUnits());
+    events_->scheduleAfter(arrival_->nextGapMs(rng_, events_->now()),
                            [this] { arrive(); });
 }
 

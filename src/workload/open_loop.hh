@@ -19,12 +19,16 @@
 #define PDDL_WORKLOAD_OPEN_LOOP_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "array/request_mapper.hh"
 #include "disk/disk.hh"
 #include "layout/layout.hh"
+#include "obs/probe.hh"
 #include "stats/welford.hh"
+#include "traffic/arrival.hh"
+#include "traffic/offset_dist.hh"
 #include "util/rng.hh"
 #include "workload/workload.hh"
 
@@ -52,6 +56,18 @@ struct OpenLoopConfig
     int64_t samples = 2000;
     int64_t warmup = 200;
     uint64_t seed = 42;
+
+    /** Where accesses land (uniform reproduces the paper). */
+    traffic::OffsetSpec offsets;
+    /** When accesses arrive (Poisson reproduces the paper). */
+    traffic::ArrivalSpec arrival;
+
+    /**
+     * Instrumentation: each measured response also feeds the
+     * client.latency_ms histogram (the bench tail-latency columns).
+     * Default off; the sinks must outlive the run.
+     */
+    obs::Probe probe;
 };
 
 /** Measured outcome of an open-loop experiment. */
@@ -92,7 +108,10 @@ class OpenLoopClient : public Workload
     Target *target_ = nullptr;
     Rng rng_{0};
     double total_weight_ = 0.0;
-    double mean_gap_ms_ = 0.0;
+    /** Built in the constructor (no Rng consumed). */
+    std::optional<traffic::ArrivalSampler> arrival_;
+    /** Built in start() (the domain is the target's dataUnits). */
+    std::optional<traffic::OffsetSampler> offsets_;
 
     std::vector<double> responses_;
     int64_t arrivals_ = 0;

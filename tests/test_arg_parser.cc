@@ -106,6 +106,77 @@ TEST(ArgParser, HelpShortCircuitsRequiredChecks)
     EXPECT_TRUE(parser2.helpRequested());
 }
 
+TEST(ArgParser, ValidatorAcceptsAndExposesValue)
+{
+    ArgParser parser("prog", "test parser");
+    parser.addString("skew", "SPEC", "offset spec", false,
+                     [](const std::string &value) {
+                         return value.rfind("zipf:", 0) == 0
+                                    ? std::string()
+                                    : std::string(
+                                          "expected zipf:<theta>");
+                     });
+    ASSERT_TRUE(parseArgs(parser, {"--skew", "zipf:0.99"}));
+    EXPECT_EQ(parser.getString("skew"), "zipf:0.99");
+}
+
+TEST(ArgParser, ValidatorRejectsWithFlagAndComplaint)
+{
+    ArgParser parser("prog", "test parser");
+    parser.addString("skew", "SPEC", "offset spec", false,
+                     [](const std::string &value) {
+                         return value.rfind("zipf:", 0) == 0
+                                    ? std::string()
+                                    : std::string(
+                                          "expected zipf:<theta>");
+                     });
+    EXPECT_FALSE(parseArgs(parser, {"--skew", "bogus"}));
+    // The error names the flag, echoes the value and carries the
+    // validator's complaint.
+    EXPECT_NE(parser.error().find("--skew"), std::string::npos);
+    EXPECT_NE(parser.error().find("bogus"), std::string::npos);
+    EXPECT_NE(parser.error().find("expected zipf:<theta>"),
+              std::string::npos);
+}
+
+TEST(ArgParser, ValidatorRunsOnEqualsSpellingToo)
+{
+    ArgParser parser("prog", "test parser");
+    parser.addString("trace", "PATH", "trace file", false,
+                     [](const std::string &value) {
+                         return value.empty()
+                                    ? std::string("path is empty")
+                                    : std::string();
+                     });
+    EXPECT_FALSE(parseArgs(parser, {"--trace="}));
+    EXPECT_NE(parser.error().find("path is empty"),
+              std::string::npos);
+
+    ArgParser parser2("prog", "test parser");
+    parser2.addString("trace", "PATH", "trace file", false,
+                      [](const std::string &value) {
+                          return value.empty()
+                                     ? std::string("path is empty")
+                                     : std::string();
+                      });
+    EXPECT_TRUE(parseArgs(parser2, {"--trace=t.txt"}));
+    EXPECT_EQ(parser2.getString("trace"), "t.txt");
+}
+
+TEST(ArgParser, ValidatorNotConsultedWhenFlagAbsent)
+{
+    bool ran = false;
+    ArgParser parser("prog", "test parser");
+    parser.addString("skew", "SPEC", "offset spec", false,
+                     [&ran](const std::string &) {
+                         ran = true;
+                         return std::string("never valid");
+                     });
+    parser.addBool("verbose", "chatty output");
+    ASSERT_TRUE(parseArgs(parser, {"--verbose"}));
+    EXPECT_FALSE(ran);
+}
+
 TEST(ArgParser, UsageListsFlagsAndEpilog)
 {
     ArgParser parser = benchLikeParser();

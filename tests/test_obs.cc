@@ -142,6 +142,95 @@ TEST(MetricsSnapshot, MergeSumsCountersAndKeepsGaugeMax)
     EXPECT_DOUBLE_EQ(h->max, 10.0);
 }
 
+TEST(HistogramQuantile, EmptyAndSingleSample)
+{
+    HistogramData empty;
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+    MetricsRegistry registry;
+    registry.observe("h", 7.0);
+    MetricsSnapshot snapshot = registry.snapshot();
+    const HistogramData *h = snapshot.histogram("h");
+    ASSERT_NE(h, nullptr);
+    // One sample: every quantile is that sample (min/max clamp).
+    EXPECT_DOUBLE_EQ(h->quantile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(h->quantile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(h->quantile(1.0), 7.0);
+}
+
+TEST(HistogramQuantile, ClampsOutOfRangeQ)
+{
+    MetricsRegistry registry;
+    registry.observe("h", 1.0);
+    registry.observe("h", 100.0);
+    MetricsSnapshot snapshot = registry.snapshot();
+    const HistogramData *h = snapshot.histogram("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_DOUBLE_EQ(h->quantile(-1.0), 1.0);
+    EXPECT_DOUBLE_EQ(h->quantile(2.0), 100.0);
+}
+
+TEST(HistogramQuantile, MonotoneAndBoundedByObservedRange)
+{
+    MetricsRegistry registry;
+    for (int i = 1; i <= 100; ++i)
+        registry.observe("h", static_cast<double>(i));
+    MetricsSnapshot snapshot = registry.snapshot();
+    const HistogramData *h = snapshot.histogram("h");
+    ASSERT_NE(h, nullptr);
+    double previous = h->quantile(0.0);
+    EXPECT_DOUBLE_EQ(previous, 1.0);
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+        const double value = h->quantile(q);
+        EXPECT_GE(value, previous) << "q=" << q;
+        EXPECT_GE(value, h->min);
+        EXPECT_LE(value, h->max);
+        previous = value;
+    }
+    EXPECT_DOUBLE_EQ(h->quantile(1.0), 100.0);
+}
+
+TEST(HistogramQuantile, InterpolatesWithinTheTargetBucket)
+{
+    // 10 samples land in one known bucket; the quantile must move
+    // through that bucket's span as q sweeps, never jumping to a
+    // neighboring bucket.
+    const std::vector<double> &bounds = defaultLatencyBoundsMs();
+    ASSERT_GE(bounds.size(), 3u);
+    const double lo = bounds[1];
+    const double hi = bounds[2];
+    MetricsRegistry registry;
+    for (int i = 0; i < 10; ++i)
+        registry.observe("h", (lo + hi) / 2.0);
+    MetricsSnapshot snapshot = registry.snapshot();
+    const HistogramData *h = snapshot.histogram("h");
+    ASSERT_NE(h, nullptr);
+    for (double q : {0.1, 0.5, 0.9}) {
+        const double value = h->quantile(q);
+        EXPECT_GT(value, lo) << "q=" << q;
+        EXPECT_LE(value, hi) << "q=" << q;
+    }
+}
+
+TEST(HistogramQuantile, OverflowBucketClampsToMax)
+{
+    const std::vector<double> &bounds = defaultLatencyBoundsMs();
+    const double beyond = bounds.back() * 4.0;
+    MetricsRegistry registry;
+    registry.observe("h", 1.0);
+    for (int i = 0; i < 9; ++i)
+        registry.observe("h", beyond);
+    MetricsSnapshot snapshot = registry.snapshot();
+    const HistogramData *h = snapshot.histogram("h");
+    ASSERT_NE(h, nullptr);
+    // Ranks in the overflow bucket interpolate between the last
+    // bound and the observed max -- never an unbounded
+    // extrapolation past what was actually seen.
+    EXPECT_GT(h->quantile(0.99), bounds.back());
+    EXPECT_LE(h->quantile(0.99), beyond);
+    EXPECT_DOUBLE_EQ(h->quantile(1.0), beyond);
+}
+
 /**
  * The Tracer tests drive record() directly: the Probe facade is a
  * no-op under PDDL_OBS=OFF, but the sink classes build and work in

@@ -1,0 +1,539 @@
+/**
+ * @file
+ * Tests for the traffic subsystem: offset-distribution and
+ * arrival-process spec parsing and sampling (including the exact
+ * draw-equivalence that keeps default workloads byte-identical to
+ * the pre-traffic clients), the trace format round-trip, trace
+ * capture/replay through the Target interface, and determinism of
+ * skewed/bursty workloads across parallel-engine thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "array/controller.hh"
+#include "core/pddl_layout.hh"
+#include "layout/raid5.hh"
+#include "sim/parallel_engine.hh"
+#include "traffic/arrival.hh"
+#include "traffic/offset_dist.hh"
+#include "traffic/trace.hh"
+#include "util/rng.hh"
+#include "volume/volume_manager.hh"
+#include "workload/closed_loop.hh"
+#include "workload/open_loop.hh"
+
+namespace pddl {
+namespace {
+
+using traffic::ArrivalSampler;
+using traffic::ArrivalSpec;
+using traffic::OffsetSampler;
+using traffic::OffsetSpec;
+using traffic::TraceRecord;
+
+TEST(OffsetSpecParse, AcceptsKnownFormsAndRoundTripsNames)
+{
+    OffsetSpec spec;
+    std::string error;
+
+    ASSERT_TRUE(traffic::parseOffsetSpec("uniform", spec, error));
+    EXPECT_EQ(spec.kind, OffsetSpec::Kind::Uniform);
+    EXPECT_EQ(traffic::offsetSpecName(spec), "uniform");
+
+    ASSERT_TRUE(traffic::parseOffsetSpec("zipf:0.99", spec, error));
+    EXPECT_EQ(spec.kind, OffsetSpec::Kind::Zipf);
+    EXPECT_DOUBLE_EQ(spec.theta, 0.99);
+    EXPECT_EQ(traffic::offsetSpecName(spec), "zipf:0.99");
+
+    ASSERT_TRUE(traffic::parseOffsetSpec("hot:0.1,0.9", spec, error));
+    EXPECT_EQ(spec.kind, OffsetSpec::Kind::HotSpot);
+    EXPECT_DOUBLE_EQ(spec.hot_fraction, 0.1);
+    EXPECT_DOUBLE_EQ(spec.hot_weight, 0.9);
+    EXPECT_EQ(traffic::offsetSpecName(spec), "hot:0.1,0.9");
+
+    // The canonical names parse back to the same spec.
+    OffsetSpec again;
+    ASSERT_TRUE(traffic::parseOffsetSpec(
+        traffic::offsetSpecName(spec), again, error));
+    EXPECT_EQ(again.kind, spec.kind);
+    EXPECT_DOUBLE_EQ(again.hot_fraction, spec.hot_fraction);
+    EXPECT_DOUBLE_EQ(again.hot_weight, spec.hot_weight);
+}
+
+TEST(OffsetSpecParse, RejectsMalformedSpecsWithAnExplanation)
+{
+    const char *bad[] = {
+        "zipf:1.5",  // theta out of (0,1)
+        "zipf:0",    // boundary excluded
+        "zipf:abc",  // not a number
+        "hot:0.5",   // missing comma
+        "hot:0.5,1.5", // weight out of (0,1]
+        "hot:,0.9",  // empty fraction
+        "gaussian",  // unknown kind
+        "",
+    };
+    for (const char *text : bad) {
+        OffsetSpec spec;
+        std::string error;
+        EXPECT_FALSE(traffic::parseOffsetSpec(text, spec, error))
+            << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(OffsetSamplerTest, UniformMatchesTheLegacyClientDraw)
+{
+    // The compatibility contract: the uniform sampler consumes
+    // exactly one rng.below(span + 1) per sample, so pre-traffic
+    // client histories replay bit-for-bit.
+    const int64_t domain = 100000;
+    OffsetSampler sampler(OffsetSpec{}, domain);
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t span = domain - 1 - (i % 13);
+        EXPECT_EQ(sampler.sample(a, span),
+                  static_cast<int64_t>(b.below(
+                      static_cast<uint64_t>(span + 1))));
+    }
+}
+
+TEST(OffsetSamplerTest, ZipfIsSkewedBoundedAndDeterministic)
+{
+    const int64_t domain = 100000;
+    const int64_t span = domain - 1;
+    OffsetSpec spec;
+    spec.kind = OffsetSpec::Kind::Zipf;
+    spec.theta = 0.99;
+    OffsetSampler sampler(spec, domain);
+
+    const int draws = 20000;
+    std::set<int64_t> zipf_distinct;
+    Rng rng(11);
+    Rng replay(11);
+    for (int i = 0; i < draws; ++i) {
+        const int64_t unit = sampler.sample(rng, span);
+        ASSERT_GE(unit, 0);
+        ASSERT_LE(unit, span);
+        EXPECT_EQ(unit, sampler.sample(replay, span));
+        zipf_distinct.insert(unit);
+    }
+
+    std::set<int64_t> uniform_distinct;
+    OffsetSampler uniform(OffsetSpec{}, domain);
+    Rng urng(11);
+    for (int i = 0; i < draws; ++i)
+        uniform_distinct.insert(uniform.sample(urng, span));
+
+    // Skew concentrates the draws: far fewer distinct units than a
+    // uniform workload touches in the same number of draws.
+    EXPECT_LT(zipf_distinct.size() * 2, uniform_distinct.size());
+}
+
+TEST(OffsetSamplerTest, HotSpotPutsTheWeightOnTheHotRegion)
+{
+    const int64_t domain = 100000;
+    const int64_t span = domain - 1;
+    OffsetSpec spec;
+    spec.kind = OffsetSpec::Kind::HotSpot;
+    spec.hot_fraction = 0.01; // hot region = units [0, 1000)
+    spec.hot_weight = 0.9;
+    OffsetSampler sampler(spec, domain);
+
+    const int draws = 40000;
+    int hot = 0;
+    Rng rng(3);
+    for (int i = 0; i < draws; ++i) {
+        const int64_t unit = sampler.sample(rng, span);
+        ASSERT_GE(unit, 0);
+        ASSERT_LE(unit, span);
+        if (unit < 1000)
+            ++hot;
+    }
+    EXPECT_NEAR(static_cast<double>(hot) / draws, 0.9, 0.02);
+}
+
+TEST(ArrivalSamplerTest, PoissonMatchesTheLegacyClientDraw)
+{
+    // Same contract as the uniform offsets: one exponential at the
+    // base rate per arrival, identical to the pre-traffic open loop.
+    const double rate_per_s = 150.0;
+    ArrivalSampler sampler(ArrivalSpec{}, rate_per_s);
+    Rng a(21);
+    Rng b(21);
+    double now = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        const double gap = sampler.nextGapMs(a, now);
+        EXPECT_DOUBLE_EQ(gap, b.exponential(1000.0 / rate_per_s));
+        now += gap;
+    }
+}
+
+TEST(ArrivalSamplerTest, SinglePhaseDiurnalReducesToPoisson)
+{
+    // With one phase at multiplier 1 the inversion integrates a
+    // constant rate, so the gap is the same single draw Poisson
+    // would produce.
+    const double rate_per_s = 80.0;
+    ArrivalSpec spec;
+    spec.kind = ArrivalSpec::Kind::Diurnal;
+    spec.phase_mult = {1.0};
+    spec.phase_ms = 250.0;
+    ArrivalSampler diurnal(spec, rate_per_s);
+    ArrivalSampler poisson(ArrivalSpec{}, rate_per_s);
+    Rng a(5);
+    Rng b(5);
+    double now = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        const double gap_d = diurnal.nextGapMs(a, now);
+        const double gap_p = poisson.nextGapMs(b, now);
+        EXPECT_NEAR(gap_d, gap_p, 1e-9 * (1.0 + gap_p));
+        now += gap_p;
+    }
+}
+
+TEST(ArrivalSamplerTest, DiurnalLoadsBusyPhasesHarder)
+{
+    // Phases {4x, 0.25x}: arrivals land predominantly inside the
+    // heavy phase. Count arrivals by phase over a long horizon.
+    ArrivalSpec spec;
+    spec.kind = ArrivalSpec::Kind::Diurnal;
+    spec.phase_mult = {4.0, 0.25};
+    spec.phase_ms = 500.0;
+    ArrivalSampler sampler(spec, 100.0);
+    Rng rng(17);
+    double now = 0.0;
+    int busy = 0;
+    int total = 0;
+    while (now < 60000.0) {
+        const double gap = sampler.nextGapMs(rng, now);
+        ASSERT_GT(gap, 0.0);
+        now += gap;
+        ++total;
+        if (std::fmod(now, 1000.0) < 500.0)
+            ++busy;
+    }
+    // 4 : 0.25 duty split -> ~94% of arrivals in the busy phase.
+    EXPECT_GT(static_cast<double>(busy) / total, 0.85);
+}
+
+TEST(ArrivalSamplerTest, MmppIsBurstyAndDeterministicPerSeed)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalSpec::Kind::Mmpp;
+    spec.burst_mult = 8.0;
+    spec.calm_ms = 2000.0;
+    spec.burst_ms = 400.0;
+
+    ArrivalSampler sampler(spec, 100.0);
+    ArrivalSampler replay(spec, 100.0);
+    Rng a(9);
+    Rng b(9);
+    double now = 0.0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int draws = 4000;
+    for (int i = 0; i < draws; ++i) {
+        const double gap = sampler.nextGapMs(a, now);
+        ASSERT_GT(gap, 0.0);
+        EXPECT_DOUBLE_EQ(gap, replay.nextGapMs(b, now));
+        now += gap;
+        sum += gap;
+        sum_sq += gap * gap;
+    }
+    const double mean = sum / draws;
+    const double var = sum_sq / draws - mean * mean;
+    // Poisson gaps have CV = 1; regime switching makes the gap
+    // distribution overdispersed.
+    EXPECT_GT(std::sqrt(var) / mean, 1.05);
+}
+
+TEST(TraceFormat, WriteThenParseRoundTripsExactly)
+{
+    std::vector<TraceRecord> records = {
+        {0.0, AccessType::Read, 0, 1},
+        {0.125, AccessType::Write, 12345, 6},
+        {0.125, AccessType::Read, 7, 3}, // equal times are legal
+        {9000.5, AccessType::Write, 99999999, 64},
+    };
+    std::ostringstream out;
+    traffic::writeTrace(out, records);
+    std::istringstream in(out.str());
+    EXPECT_EQ(traffic::parseTrace(in), records);
+}
+
+TEST(TraceFormat, SkipsCommentsAndBlankLines)
+{
+    std::istringstream in("# preamble\n"
+                          "\n"
+                          "0.5 r 10 2  # trailing comment\n"
+                          "   \n"
+                          "1.5 w 20 1\n");
+    std::vector<TraceRecord> records = traffic::parseTrace(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0], (TraceRecord{0.5, AccessType::Read, 10, 2}));
+    EXPECT_EQ(records[1],
+              (TraceRecord{1.5, AccessType::Write, 20, 1}));
+}
+
+TEST(TraceFormat, RejectsMalformedLinesNamingTheLine)
+{
+    const char *bad[] = {
+        "0 r 10\n",          // missing units
+        "0 x 10 1\n",        // unknown op
+        "0 r -1 1\n",        // negative offset
+        "0 r 10 0\n",        // non-positive length
+        "5 r 10 1\n1 r 0 1\n", // decreasing time
+        "0 r 10 1 extra\n",  // trailing field
+        "-1 r 10 1\n",       // negative time
+    };
+    for (const char *text : bad) {
+        std::istringstream in(text);
+        EXPECT_THROW(traffic::parseTrace(in), std::runtime_error)
+            << text;
+    }
+
+    // Errors carry the offending line number.
+    std::istringstream in("# header\n0.5 r 10 2\n1.0 q 3 1\n");
+    try {
+        traffic::parseTrace(in);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what()).find("line 3"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(TraceReplay, RejectsRecordsBeyondTheTarget)
+{
+    EventQueue events;
+    Raid5Layout raid5(13);
+    DiskModel model = DiskModel::hp2247();
+    ArrayController array(events, raid5, model, ArrayConfig{});
+    traffic::TraceReplayWorkload replay(
+        {{0.0, AccessType::Read, array.dataUnits(), 1}});
+    EXPECT_THROW(replay.start(events, array), std::runtime_error);
+}
+
+/**
+ * The loop the module exists to close: run a synthetic workload over
+ * a captured array, format and re-parse the trace, replay it against
+ * an identical fresh array, and land on the identical simulation --
+ * same access count, same seek tallies.
+ */
+TEST(TraceReplay, CaptureFormatParseReplayReproducesTheSimulation)
+{
+    Raid5Layout raid5(13);
+    DiskModel model = DiskModel::hp2247();
+
+    EventQueue record_events;
+    ArrayController recorded(record_events, raid5, model,
+                             ArrayConfig{});
+    traffic::TraceCapture capture(record_events, recorded);
+    OpenLoopConfig workload_config;
+    workload_config.arrivals_per_s = 120.0;
+    workload_config.warmup = 20;
+    workload_config.samples = 180;
+    workload_config.mix = {{1, AccessType::Read, 0.6},
+                           {4, AccessType::Write, 0.3},
+                           {8, AccessType::Read, 0.1}};
+    OpenLoopClient producer(workload_config);
+    producer.start(record_events, capture);
+    record_events.runUntilEmpty();
+    ASSERT_FALSE(capture.records().empty());
+
+    std::ostringstream out;
+    traffic::writeTrace(out, capture.records());
+    std::istringstream in(out.str());
+    std::vector<TraceRecord> parsed = traffic::parseTrace(in);
+    ASSERT_EQ(parsed, capture.records());
+
+    EventQueue replay_events;
+    ArrayController fresh(replay_events, raid5, model, ArrayConfig{});
+    traffic::TraceReplayWorkload replay(parsed);
+    replay.start(replay_events, fresh);
+    replay_events.runUntilEmpty();
+
+    EXPECT_EQ(replay.completed(),
+              static_cast<int64_t>(parsed.size()));
+    EXPECT_EQ(fresh.accessesIssued(), recorded.accessesIssued());
+    const SeekTally original = recorded.aggregateTally();
+    const SeekTally replayed = fresh.aggregateTally();
+    EXPECT_EQ(replayed.non_local, original.non_local);
+    EXPECT_EQ(replayed.cylinder_switch, original.cylinder_switch);
+    EXPECT_EQ(replayed.track_switch, original.track_switch);
+    EXPECT_EQ(replayed.no_switch, original.no_switch);
+    EXPECT_EQ(replay.latency().count(),
+              static_cast<int64_t>(parsed.size()));
+}
+
+TEST(TraceReplay, DiscardSkipsTheColdStartFromMeasurement)
+{
+    EventQueue events;
+    Raid5Layout raid5(13);
+    DiskModel model = DiskModel::hp2247();
+    ArrayController array(events, raid5, model, ArrayConfig{});
+
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 50; ++i)
+        records.push_back(
+            {static_cast<double>(i) * 40.0, AccessType::Read,
+             i * 100, 1});
+    traffic::TraceReplayConfig config;
+    config.discard = 10;
+    traffic::TraceReplayWorkload replay(records, config);
+    replay.start(events, array);
+    events.runUntilEmpty();
+    EXPECT_EQ(replay.completed(), 50);
+    EXPECT_EQ(replay.latency().count(), 40);
+}
+
+TEST(ClosedLoopTraffic, DiscardDelaysMeasurementByExactlyThatMany)
+{
+    // One client, fixed sample count: every completion is either
+    // warmup, discarded, or measured, so total accesses issued is
+    // warmup + discard + samples on the nose.
+    Raid5Layout raid5(13);
+    DiskModel model = DiskModel::hp2247();
+    auto run = [&](int64_t discard) {
+        EventQueue events;
+        ArrayController array(events, raid5, model, ArrayConfig{});
+        ClosedLoopConfig config;
+        config.clients = 1;
+        config.relative_tolerance = 0.0;
+        config.min_samples = 50;
+        config.max_samples = 50;
+        config.warmup = 10;
+        config.discard = discard;
+        ClosedLoopClient client(config);
+        client.start(events, array);
+        events.runUntilEmpty();
+        EXPECT_EQ(client.result().samples, 50);
+        return array.accessesIssued();
+    };
+    EXPECT_EQ(run(7), run(0) + 7);
+}
+
+/**
+ * Skewed offsets and bursty arrivals must not perturb the parallel
+ * engine's determinism contract: a volume workload produces the
+ * identical result at every worker thread count.
+ */
+struct VolumeRun
+{
+    uint64_t volume_accesses = 0;
+    int64_t samples = 0;
+    double mean_response_ms = 0.0;
+    double extra = 0.0; // workload-specific second statistic
+};
+
+template <typename MakeWorkload, typename Extract>
+VolumeRun
+runTrafficOnVolume(int threads, MakeWorkload make_workload,
+                   Extract extract)
+{
+    const int shards = 2;
+    const double dispatch_ms = 2.0;
+    PddlLayout layout = PddlLayout::make(13, 4);
+    DiskModel model = DiskModel::hp2247();
+    std::vector<ShardSpec> specs(shards);
+    for (ShardSpec &spec : specs) {
+        spec.layout = &layout;
+        spec.model = &model;
+    }
+    VolumeConfig vconfig;
+    vconfig.chunk_units = 16;
+    vconfig.dispatch_ms = dispatch_ms;
+    ParallelEngine::Config engine_config;
+    engine_config.threads = threads;
+    engine_config.lookahead = dispatch_ms;
+    ParallelEngine engine(shards, engine_config);
+    VolumeManager volume(engine, std::move(specs), vconfig);
+
+    auto workload = make_workload();
+    startOnHub(*workload, engine, volume);
+    engine.run();
+
+    VolumeRun run;
+    run.volume_accesses = volume.volumeAccessesIssued();
+    extract(*workload, run);
+    return run;
+}
+
+TEST(ParallelTraffic, ZipfClosedLoopIsThreadCountInvariant)
+{
+    auto make = [] {
+        ClosedLoopConfig config;
+        config.clients = 6;
+        config.access_units = 2;
+        config.relative_tolerance = 0.0;
+        config.min_samples = 300;
+        config.max_samples = 300;
+        config.warmup = 40;
+        config.offsets.kind = OffsetSpec::Kind::Zipf;
+        config.offsets.theta = 0.99;
+        return std::make_unique<ClosedLoopClient>(config);
+    };
+    auto extract = [](ClosedLoopClient &client, VolumeRun &run) {
+        SimResult result = client.result();
+        run.samples = result.samples;
+        run.mean_response_ms = result.mean_response_ms;
+        run.extra = result.throughput_per_s;
+    };
+    VolumeRun one = runTrafficOnVolume(1, make, extract);
+    VolumeRun four = runTrafficOnVolume(4, make, extract);
+    EXPECT_EQ(one.volume_accesses, four.volume_accesses);
+    EXPECT_EQ(one.samples, four.samples);
+    EXPECT_EQ(one.mean_response_ms, four.mean_response_ms);
+    EXPECT_EQ(one.extra, four.extra);
+    // The sticky stopping rule measures in-flight completions after
+    // it latches, so the count can exceed max_samples by at most the
+    // client population.
+    EXPECT_GE(one.samples, 300);
+}
+
+TEST(ParallelTraffic, MmppOpenLoopIsThreadCountInvariant)
+{
+    auto make = [] {
+        OpenLoopConfig config;
+        config.arrivals_per_s = 300.0;
+        config.warmup = 40;
+        config.samples = 260;
+        config.mix = {{1, AccessType::Read, 0.7},
+                      {4, AccessType::Write, 0.3}};
+        config.offsets.kind = OffsetSpec::Kind::HotSpot;
+        config.offsets.hot_fraction = 0.01;
+        config.offsets.hot_weight = 0.9;
+        config.arrival.kind = ArrivalSpec::Kind::Mmpp;
+        config.arrival.burst_mult = 8.0;
+        config.arrival.calm_ms = 200.0;
+        config.arrival.burst_ms = 50.0;
+        return std::make_unique<OpenLoopClient>(config);
+    };
+    auto extract = [](OpenLoopClient &client, VolumeRun &run) {
+        OpenLoopResult result = client.result();
+        run.samples = result.samples;
+        run.mean_response_ms = result.mean_response_ms;
+        run.extra = result.p95_response_ms;
+    };
+    VolumeRun one = runTrafficOnVolume(1, make, extract);
+    VolumeRun four = runTrafficOnVolume(4, make, extract);
+    EXPECT_EQ(one.volume_accesses, four.volume_accesses);
+    EXPECT_EQ(one.samples, four.samples);
+    EXPECT_EQ(one.mean_response_ms, four.mean_response_ms);
+    EXPECT_EQ(one.extra, four.extra);
+    EXPECT_EQ(one.samples, 260);
+}
+
+} // namespace
+} // namespace pddl
