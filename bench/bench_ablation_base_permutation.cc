@@ -15,7 +15,7 @@ main(int argc, char **argv)
     using namespace pddl;
     bench::parseArgs(argc, argv,
                      "Ablation: satisfactory vs unsatisfactory base permutation");
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
 
     // Satisfactory (Bose) vs identity base permutation, 13 disks.
     PermutationGroup bose = boseConstruction(13, 4);
@@ -62,7 +62,7 @@ main(int argc, char **argv)
             experiment.config.mode = ArrayMode::Degraded;
             experiment.config.failed_disk = 0;
             experiment.layout = layout;
-            experiment.model = &model;
+            experiment.device = &model;
             experiments.push_back(std::move(experiment));
         }
     }

@@ -32,7 +32,7 @@ run(const Layout &layout, int clients, int rebuild_parallel,
     ArrayConfig config;
     config.mode = ArrayMode::Degraded;
     config.failed_disk = 0;
-    ArrayController array(events, layout, DiskModel::hp2247(), config);
+    ArrayController array(events, layout, device::hp2247(), config);
 
     ReconstructionEngine engine(events, array, 0, stripes,
                                 rebuild_parallel);

@@ -14,7 +14,7 @@ main(int argc, char **argv)
     bench::parseArgs(argc, argv,
                      "Ablation: SSTF scan-window depth vs response time");
     PddlLayout layout = PddlLayout::make(13, 4);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
 
     const char *figure = "Ablation sstf";
     const char *caption = "SSTF scan window (PDDL, 13 disks)";
@@ -38,7 +38,7 @@ main(int argc, char **argv)
             experiment.config.type = AccessType::Read;
             experiment.config.sstf_window = window;
             experiment.layout = &layout;
-            experiment.model = &model;
+            experiment.device = &model;
             experiments.push_back(std::move(experiment));
         }
     }

@@ -14,7 +14,7 @@ main(int argc, char **argv)
     bench::parseArgs(argc, argv,
                      "Ablation: stripe-unit size at a fixed 96 KB logical access");
     PddlLayout layout = PddlLayout::make(13, 4);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
 
     const char *figure = "Ablation stripe unit";
     const char *caption = "stripe unit size (PDDL, 96 KB accesses)";
@@ -36,7 +36,7 @@ main(int argc, char **argv)
             experiment.config.unit_sectors = unit_kb * 2; // 512 B
             experiment.config.type = AccessType::Read;
             experiment.layout = &layout;
-            experiment.model = &model;
+            experiment.device = &model;
             experiments.push_back(std::move(experiment));
         }
     }

@@ -18,7 +18,7 @@ main(int argc, char **argv)
     bench::parseArgs(argc, argv,
                      "Extension: open-loop OLTP-ish workload mix across offered loads");
     auto layouts = bench::evaluatedLayouts();
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
     const bool full = bench::fullFidelity();
 
     const char *figure = "Ablation workload mix";

@@ -222,7 +222,7 @@ runEventMesh(int timers, harness::Extras &extras)
  * time measures only the engine.
  */
 SimResult
-runRequestRate(const Layout &layout, const DiskModel &model,
+runRequestRate(const Layout &layout, const DeviceModel &model,
                AccessType type, uint64_t seed, harness::Extras &extras)
 {
     SimConfig config;
@@ -355,7 +355,7 @@ main(int argc, char **argv)
     // Timing rows run serially by default; --threads overrides.
     cli.parseOrExit(argc, argv, /*default_threads=*/1);
 
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
     auto layouts = bench::evaluatedLayouts();
 
     std::vector<harness::Experiment> experiments;

@@ -14,7 +14,7 @@ main(int argc, char **argv)
     bench::parseArgs(argc, argv,
                      "Figure 18: PDDL reads in fault-free, reconstruction and post-reconstruction modes");
     PddlLayout layout = PddlLayout::make(13, 4);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
 
     const char *figure = "Figure 18";
     const char *caption = "PDDL read response times: fault free, "
@@ -45,7 +45,7 @@ main(int argc, char **argv)
                 experiment.config.mode = mode.mode;
                 experiment.config.failed_disk = 0;
                 experiment.layout = &layout;
-                experiment.model = &model;
+                experiment.device = &model;
                 experiments.push_back(std::move(experiment));
             }
         }

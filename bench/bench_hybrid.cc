@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Heterogeneous-volume benchmark: mixed-tier (flash mirror + PDDL
+ * rotating disks) against homogeneous configurations of equal
+ * hardware cost, under the hot-spot traffic of the traffic bench.
+ *
+ * Every configuration spends the same cost budget (sum over shards
+ * of disks x DeviceModel::costUnits()):
+ *
+ *  - hdd-pddl:    2 shards x 13 HP 2247 drives, PDDL width 4 -- the
+ *                 paper's array, scaled out (the incumbent);
+ *  - hdd-mirror:  one RAID-1/0 shard over 26 HP 2247 drives -- no
+ *                 parity RMW, but every access is mechanical;
+ *  - ssd-mirror:  one RAID-1/0 shard over 8 flash devices -- fast
+ *                 but an order of magnitude short on capacity, so
+ *                 it is reported yet excluded from the --check
+ *                 floors (capacity-infeasible at this budget);
+ *  - hybrid:      a 4-device flash mirror tier fronting a 13-drive
+ *                 PDDL shard under Tiered allocation -- the hot
+ *                 address prefix lands on the mirror, cold capacity
+ *                 on parity-protected disks.
+ *
+ * The workload is the PR-7 hot-spot profile: hot:0.02,0.90 (2% of
+ * the address space takes 90% of the traffic), in a write-heavy and
+ * a read-heavy mix. Under Tiered allocation the hot prefix is
+ * exactly the flash tier's span, so the hybrid serves ~90% of
+ * accesses from flash while every cold access pays the mechanical
+ * price -- the class-aware placement the heterogeneous-array
+ * literature argues for.
+ *
+ * Rows report p50/p95/p99/p99.9 from the client.latency_ms
+ * histogram, whose bucket bounds come from the device registry
+ * (device::latencyBoundsForDevices): flash-class rows keep
+ * sub-millisecond resolution instead of collapsing into bucket 0.
+ * Rows contain only simulated quantities, so BENCH_hybrid.json is
+ * byte-identical across --threads and --sim-threads; CI diffs the
+ * raw files.
+ *
+ * --check enforces the CI floors: every configuration spends the
+ * same cost budget, and the hybrid beats every capacity-feasible
+ * homogeneous configuration (mean and p99, both mixes).
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/parallel_engine.hh"
+#include "traffic/offset_dist.hh"
+#include "volume/volume_manager.hh"
+#include "workload/open_loop.hh"
+
+namespace pddl {
+namespace {
+
+constexpr double kDispatchMs = 2.0;
+
+/** The hot-spot profile: 2% of addresses take 90% of the traffic. */
+constexpr double kHotFraction = 0.02;
+constexpr double kHotWeight = 0.90;
+
+/** One equal-cost volume configuration. */
+struct HybridConfig
+{
+    std::string name;
+    std::vector<ShardSpec> shards;
+    VolumeAllocation allocation = VolumeAllocation::Striped;
+    /** Excluded from the --check floors (capacity-infeasible). */
+    bool feasible = true;
+};
+
+ShardSpec
+shard(const std::string &layout_spec, const std::string &device_spec,
+      int disks, const std::string &tier = "")
+{
+    ShardSpec spec;
+    spec.layout_spec = layout_spec;
+    spec.device_spec = device_spec;
+    spec.disks = disks;
+    spec.tier = tier;
+    return spec;
+}
+
+/**
+ * The evaluated configurations. The flash device's default cost
+ * (3.25 units vs the HP 2247's 1.0) makes the budgets line up:
+ * 26 = 2x13 hdd = 26 hdd = 8 x 3.25 ssd = 4 x 3.25 ssd + 13 hdd.
+ */
+std::vector<HybridConfig>
+configurations()
+{
+    std::vector<HybridConfig> configs;
+
+    HybridConfig hdd_pddl;
+    hdd_pddl.name = "hdd-pddl";
+    hdd_pddl.shards = {shard("pddl:width=4", "hp2247", 13),
+                       shard("pddl:width=4", "hp2247", 13)};
+    configs.push_back(std::move(hdd_pddl));
+
+    HybridConfig hdd_mirror;
+    hdd_mirror.name = "hdd-mirror";
+    hdd_mirror.shards = {
+        shard("mirror:copies=2,sched=round_robin", "hp2247", 26)};
+    configs.push_back(std::move(hdd_mirror));
+
+    HybridConfig ssd_mirror;
+    ssd_mirror.name = "ssd-mirror";
+    ssd_mirror.shards = {
+        shard("mirror:copies=2,sched=round_robin", "ssd", 8)};
+    ssd_mirror.feasible = false; // ~10x short on capacity
+    configs.push_back(std::move(ssd_mirror));
+
+    HybridConfig hybrid;
+    hybrid.name = "hybrid";
+    hybrid.shards = {
+        shard("mirror:copies=2,sched=round_robin", "ssd", 4, "fast"),
+        shard("pddl:width=4", "hp2247", 13, "bulk")};
+    hybrid.allocation = VolumeAllocation::Tiered;
+    configs.push_back(std::move(hybrid));
+
+    // The hybrid again with the shortest-queue replica scheduler:
+    // same hardware, the read path load-balances on live queue
+    // depth instead of round-robin.
+    HybridConfig hybrid_sq;
+    hybrid_sq.name = "hybrid-sq";
+    hybrid_sq.shards = {
+        shard("mirror:copies=2,sched=shortest_queue", "ssd", 4,
+              "fast"),
+        shard("pddl:width=4", "hp2247", 13, "bulk")};
+    hybrid_sq.allocation = VolumeAllocation::Tiered;
+    configs.push_back(std::move(hybrid_sq));
+
+    return configs;
+}
+
+std::vector<AccessMixEntry>
+mixFor(bool write_heavy)
+{
+    if (write_heavy) {
+        return {{1, AccessType::Write, 0.60},
+                {4, AccessType::Write, 0.10},
+                {1, AccessType::Read, 0.25},
+                {4, AccessType::Read, 0.05}};
+    }
+    return {{1, AccessType::Read, 0.70},
+            {1, AccessType::Write, 0.20},
+            {3, AccessType::Read, 0.10}};
+}
+
+/** One scenario = one configuration under one mix. */
+struct Scenario
+{
+    std::string label;
+    const HybridConfig *config = nullptr;
+    bool write_heavy = false;
+};
+
+SimResult
+runScenario(const Scenario &scenario, uint64_t seed,
+            harness::Extras &extras)
+{
+    const HybridConfig &config = *scenario.config;
+    const int shard_count = static_cast<int>(config.shards.size());
+
+    ParallelEngine::Config engine_config;
+    engine_config.threads = bench::options().sim_threads;
+    engine_config.lookahead = kDispatchMs;
+    ParallelEngine engine(shard_count, engine_config);
+
+    VolumeConfig vconfig;
+    vconfig.chunk_units = 8;
+    vconfig.dispatch_ms = kDispatchMs;
+    vconfig.allocation = config.allocation;
+    VolumeManager volume(engine, config.shards, vconfig);
+
+    // Histogram resolution is a property of the device classes
+    // present: a flash row keeps sub-ms buckets, a pure-hdd row the
+    // default mechanical bounds.
+    std::vector<const DeviceModel *> devices;
+    double cost = 0.0;
+    for (int s = 0; s < volume.shardCount(); ++s) {
+        devices.push_back(&volume.shardDevice(s));
+        cost += config.shards[s].disks *
+                volume.shardDevice(s).costUnits();
+    }
+    obs::MetricsRegistry registry;
+    registry.setHistogramBounds(
+        device::latencyBoundsForDevices(devices));
+    obs::Probe probe(&registry, nullptr);
+
+    OpenLoopConfig workload;
+    workload.arrivals_per_s = 120.0;
+    workload.mix = mixFor(scenario.write_heavy);
+    workload.samples = bench::fullFidelity() ? 12000 : 4000;
+    workload.warmup = bench::fullFidelity() ? 1500 : 600;
+    workload.seed = seed;
+    workload.offsets.kind = traffic::OffsetSpec::Kind::HotSpot;
+    workload.offsets.hot_fraction = kHotFraction;
+    workload.offsets.hot_weight = kHotWeight;
+    workload.probe = probe;
+
+    OpenLoopClient client(workload);
+    startOnHub(client, engine, volume);
+    engine.run();
+
+    OpenLoopResult open = client.result();
+    SimResult result;
+    result.mean_response_ms = open.mean_response_ms;
+    result.throughput_per_s = open.completed_per_s;
+    result.samples = open.samples;
+
+    obs::MetricsSnapshot snapshot = registry.snapshot();
+    const obs::HistogramData *latency =
+        snapshot.histogram("client.latency_ms");
+    extras.emplace_back("p50_ms",
+                        latency ? latency->quantile(0.50) : 0.0);
+    extras.emplace_back("p95_ms",
+                        latency ? latency->quantile(0.95) : 0.0);
+    extras.emplace_back("p99_ms",
+                        latency ? latency->quantile(0.99) : 0.0);
+    extras.emplace_back("p999_ms",
+                        latency ? latency->quantile(0.999) : 0.0);
+    extras.emplace_back("max_outstanding", open.max_outstanding);
+    extras.emplace_back("cost_units", cost);
+    extras.emplace_back("capacity_units",
+                        static_cast<double>(volume.dataUnits()));
+    extras.emplace_back("feasible", config.feasible ? 1.0 : 0.0);
+    // How the tiering actually split the traffic.
+    for (int s = 0; s < volume.shardCount(); ++s) {
+        extras.emplace_back("shard" + std::to_string(s) + "_accesses",
+                            static_cast<double>(
+                                volume.shard(s).accessesIssued()));
+    }
+    return result;
+}
+
+double
+extra(const harness::PointResult &point, const char *key)
+{
+    for (const auto &[name, value] : point.extras) {
+        if (name == key)
+            return value;
+    }
+    return 0.0;
+}
+
+const harness::PointResult *
+findRow(const harness::RunSummary &summary, const std::string &label)
+{
+    for (const harness::PointResult &point : summary.points) {
+        if (point.point.layout == label)
+            return &point;
+    }
+    return nullptr;
+}
+
+/** Enforce the equal-cost floors. @return exit code. */
+int
+checkFloors(const harness::RunSummary &summary)
+{
+    int failures = 0;
+
+    // Every configuration spends the same budget.
+    const double budget = extra(summary.points.front(), "cost_units");
+    for (const harness::PointResult &point : summary.points) {
+        if (extra(point, "cost_units") != budget) {
+            std::fprintf(stderr,
+                         "[check] FAIL %s: cost %.2f != budget %.2f\n",
+                         point.point.layout.c_str(),
+                         extra(point, "cost_units"), budget);
+            ++failures;
+        }
+    }
+
+    // The hybrid beats every capacity-feasible homogeneous config.
+    for (const char *mix : {"write-heavy", "read-heavy"}) {
+        const harness::PointResult *hybrid =
+            findRow(summary, std::string("hybrid/") + mix);
+        if (hybrid == nullptr) {
+            std::fprintf(stderr, "[check] FAIL missing hybrid/%s\n",
+                         mix);
+            ++failures;
+            continue;
+        }
+        for (const char *rival : {"hdd-pddl", "hdd-mirror"}) {
+            const harness::PointResult *row =
+                findRow(summary, std::string(rival) + "/" + mix);
+            if (row == nullptr) {
+                std::fprintf(stderr,
+                             "[check] FAIL missing %s/%s\n", rival,
+                             mix);
+                ++failures;
+                continue;
+            }
+            const bool mean_ok = hybrid->result.mean_response_ms <
+                                 row->result.mean_response_ms;
+            const bool p99_ok =
+                extra(*hybrid, "p99_ms") <= extra(*row, "p99_ms");
+            if (!mean_ok || !p99_ok) {
+                std::fprintf(
+                    stderr,
+                    "[check] FAIL hybrid/%s vs %s: mean %.2f vs "
+                    "%.2f ms, p99 %.2f vs %.2f ms\n",
+                    mix, rival, hybrid->result.mean_response_ms,
+                    row->result.mean_response_ms,
+                    extra(*hybrid, "p99_ms"), extra(*row, "p99_ms"));
+                ++failures;
+            } else {
+                std::fprintf(
+                    stderr,
+                    "[check] hybrid/%s beats %s: mean %.2f vs %.2f "
+                    "ms, p99 %.2f vs %.2f ms\n",
+                    mix, rival, hybrid->result.mean_response_ms,
+                    row->result.mean_response_ms,
+                    extra(*hybrid, "p99_ms"), extra(*row, "p99_ms"));
+            }
+        }
+    }
+
+    if (failures == 0)
+        std::fprintf(stderr, "[check] all hybrid floors met\n");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+} // namespace pddl
+
+int
+main(int argc, char **argv)
+{
+    using namespace pddl;
+
+    bench::BenchCli cli(
+        argv[0],
+        "Heterogeneous-volume benchmark: a flash-mirror tier "
+        "fronting PDDL rotating disks vs homogeneous configurations "
+        "of equal hardware cost, under hot-spot traffic (rows are "
+        "bit-identical for every --threads and --sim-threads "
+        "value).");
+    cli.addBool("check",
+                "enforce CI floors (equal cost budgets; the hybrid "
+                "beats every capacity-feasible homogeneous config on "
+                "mean and p99) and exit 1 on regression");
+    cli.parseOrExit(argc, argv);
+    bench::options().deterministic_json = true;
+
+    const std::vector<HybridConfig> configs = configurations();
+
+    std::vector<Scenario> scenarios;
+    for (const HybridConfig &config : configs) {
+        for (bool write_heavy : {true, false}) {
+            Scenario scenario;
+            scenario.label = config.name + "/" +
+                             (write_heavy ? "write-heavy"
+                                          : "read-heavy");
+            scenario.config = &config;
+            scenario.write_heavy = write_heavy;
+            scenarios.push_back(std::move(scenario));
+        }
+    }
+
+    std::vector<harness::Experiment> experiments;
+    for (const Scenario &scenario : scenarios) {
+        harness::Experiment experiment;
+        experiment.point = {"Hybrid", scenario.label, 8, 120,
+                            scenario.write_heavy ? AccessType::Write
+                                                 : AccessType::Read,
+                            ArrayMode::FaultFree};
+        experiment.custom = [&scenario](uint64_t seed,
+                                        harness::Extras &extras) {
+            return runScenario(scenario, seed, extras);
+        };
+        experiments.push_back(std::move(experiment));
+    }
+
+    harness::RunSummary summary = bench::runGrid(
+        "Hybrid",
+        "Mixed-tier vs homogeneous volumes at equal cost: hot-spot "
+        "traffic, write-heavy and read-heavy mixes "
+        "(p50/p95/p99/p99.9 ms)",
+        experiments);
+
+    std::printf("Heterogeneous volumes at equal cost (%d "
+                "sim-thread(s))\n",
+                bench::options().sim_threads);
+    std::printf("%-24s %8s %8s %8s %8s %8s %10s %6s\n",
+                "configuration", "req/s", "p50", "p95", "p99",
+                "p99.9", "capacity", "cost");
+    bench::printRule(9);
+    for (const harness::PointResult &point : summary.points) {
+        std::printf("%-24s %8.1f %8.2f %8.2f %8.2f %8.2f %10.0f "
+                    "%6.1f%s\n",
+                    point.point.layout.c_str(),
+                    point.result.throughput_per_s,
+                    extra(point, "p50_ms"), extra(point, "p95_ms"),
+                    extra(point, "p99_ms"), extra(point, "p999_ms"),
+                    extra(point, "capacity_units"),
+                    extra(point, "cost_units"),
+                    extra(point, "feasible") != 0.0
+                        ? ""
+                        : "  (capacity-infeasible)");
+    }
+
+    if (cli.getBool("check"))
+        return checkFloors(summary);
+    return 0;
+}

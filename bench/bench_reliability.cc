@@ -33,7 +33,7 @@ main(int argc, char **argv)
                      "Reliability: Monte-Carlo sweep of failure rate "
                      "x rebuild aggressiveness x layout");
     const bool full = bench::fullFidelity();
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = pddl::device::hp2247();
 
     PddlLayout pddl = PddlLayout::make(13, 4);
     WrappedLayout wrapped = WrappedLayout::make(14, 4);

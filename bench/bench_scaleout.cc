@@ -73,12 +73,12 @@ runScaleout(int shard_count, bool faulted, uint64_t seed,
     ParallelEngine engine(shard_count, engine_config);
 
     PddlLayout layout = PddlLayout::make(13, 4);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
 
     std::vector<ShardSpec> specs(static_cast<size_t>(shard_count));
     for (ShardSpec &spec : specs) {
         spec.layout = &layout;
-        spec.model = &model;
+        spec.device = &model;
     }
     VolumeConfig vconfig;
     vconfig.chunk_units = 8;
@@ -174,11 +174,11 @@ runWallScenario(int shard_count, int sim_threads)
     ParallelEngine engine(shard_count, engine_config);
 
     PddlLayout layout = PddlLayout::make(13, 4);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
     std::vector<ShardSpec> specs(static_cast<size_t>(shard_count));
     for (ShardSpec &spec : specs) {
         spec.layout = &layout;
-        spec.model = &model;
+        spec.device = &model;
     }
     VolumeConfig vconfig;
     vconfig.chunk_units = 8;

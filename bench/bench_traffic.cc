@@ -134,11 +134,11 @@ runScenario(const Scenario &scenario, uint64_t seed,
     ParallelEngine engine(kShards, engine_config);
 
     PddlLayout layout = PddlLayout::make(13, 4);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
     std::vector<ShardSpec> specs(kShards);
     for (ShardSpec &spec : specs) {
         spec.layout = &layout;
-        spec.model = &model;
+        spec.device = &model;
     }
     if (scenario.health == Health::Degraded) {
         specs[0].array.mode = ArrayMode::Degraded;

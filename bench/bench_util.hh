@@ -30,7 +30,9 @@
 #include <string>
 #include <vector>
 
+#include "core/layout_spec.hh"
 #include "core/pddl_layout.hh"
+#include "disk/device_model.hh"
 #include "harness/arg_parser.hh"
 #include "harness/runner.hh"
 #include "harness/thread_pool.hh"
@@ -87,21 +89,6 @@ defaultSimConfig()
     return config;
 }
 
-/** The five evaluated layouts on the 13-disk array of Table 2. */
-inline std::vector<std::unique_ptr<Layout>>
-evaluatedLayouts()
-{
-    std::vector<std::unique_ptr<Layout>> layouts;
-    layouts.push_back(std::make_unique<DatumLayout>(13, 4));
-    layouts.push_back(std::make_unique<ParityDeclusterLayout>(
-        ParityDeclusterLayout::make(13, 4)));
-    layouts.push_back(std::make_unique<Raid5Layout>(13));
-    layouts.push_back(
-        std::make_unique<PddlLayout>(PddlLayout::make(13, 4)));
-    layouts.push_back(std::make_unique<PrimeLayout>(13, 4));
-    return layouts;
-}
-
 /** Print a row separator sized to `width` columns of 10 chars. */
 inline void
 printRule(int width)
@@ -130,6 +117,10 @@ struct BenchOptions
     std::string trace_path;
     /** The tracer observes only the first figure's first point. */
     bool trace_attached = false;
+    /** --device spec; empty selects hp2247 (the paper's drive). */
+    std::string device_spec;
+    /** --layout spec; empty keeps each bench's evaluated set. */
+    std::string layout_spec;
     /**
      * Zero the informational host-wall fields (wall_time_s, wall_ms,
      * threads) in BENCH_<figure>.json so the file is literally
@@ -145,6 +136,39 @@ options()
 {
     static BenchOptions instance;
     return instance;
+}
+
+/**
+ * The evaluated layout set on the 13-disk array of Table 2: the five
+ * paper layouts, or just the --layout override when one was given.
+ */
+inline std::vector<std::unique_ptr<Layout>>
+evaluatedLayouts()
+{
+    std::vector<std::unique_ptr<Layout>> layouts;
+    if (!options().layout_spec.empty()) {
+        layouts.push_back(
+            pddl::layouts::makeLayout(options().layout_spec, 13));
+        return layouts;
+    }
+    layouts.push_back(std::make_unique<DatumLayout>(13, 4));
+    layouts.push_back(std::make_unique<ParityDeclusterLayout>(
+        ParityDeclusterLayout::make(13, 4)));
+    layouts.push_back(std::make_unique<Raid5Layout>(13));
+    layouts.push_back(
+        std::make_unique<PddlLayout>(PddlLayout::make(13, 4)));
+    layouts.push_back(std::make_unique<PrimeLayout>(13, 4));
+    return layouts;
+}
+
+/** The drive every bench simulates: --device, or the paper's drive. */
+inline const DeviceModel &
+benchDevice()
+{
+    static std::shared_ptr<const DeviceModel> owned;
+    if (!options().device_spec.empty() && owned == nullptr)
+        owned = device::makeDevice(options().device_spec);
+    return owned != nullptr ? *owned : device::hp2247();
 }
 
 /** The shared flight recorder behind --trace. */
@@ -200,13 +224,51 @@ class BenchCli
                           "record the first grid point as Chrome "
                           "trace_event JSON (load in Perfetto or "
                           "chrome://tracing)");
-        parser_.setEpilog(
+        parser_.addString(
+            "device", "spec",
+            "drive model for every simulated disk (default: hp2247, "
+            "the paper's drive; see the spec grammar below)", false,
+            [](const std::string &value) {
+                std::shared_ptr<const DeviceModel> model;
+                std::string error;
+                if (!device::parseDeviceSpec(value, model, error))
+                    return error;
+                return std::string();
+            });
+        parser_.addString(
+            "layout", "spec",
+            "replace each bench's evaluated layout set with this one "
+            "layout (see the spec grammar below)", false,
+            [](const std::string &value) {
+                layouts::ParsedLayoutSpec spec;
+                std::string error;
+                if (!layouts::parseLayoutSpec(value, spec, error))
+                    return error;
+                // The evaluated set lives on the 13-disk Table 2
+                // array; a spec that parses but cannot build there
+                // (mirror copies not dividing 13, width > 13) must
+                // fail at the flag, not mid-bench.
+                try {
+                    layouts::buildLayout(spec, 13);
+                } catch (const std::exception &e) {
+                    return std::string(e.what());
+                }
+                return std::string();
+            });
+        std::string epilog =
             "environment:\n"
             "  PDDL_BENCH_FULL=1     paper-fidelity stopping rule "
             "(slower)\n"
             "  PDDL_BENCH_THREADS=n  default worker count\n"
             "  PDDL_SIM_THREADS=n    default intra-scenario worker "
-            "count\n");
+            "count\n"
+            "\nregistered device specs:\n";
+        for (const std::string &name : device::deviceSpecNames())
+            epilog += "  " + name + "\n";
+        epilog += "\nregistered layout specs:\n";
+        for (const std::string &name : layouts::layoutSpecNames())
+            epilog += "  " + name + "\n";
+        parser_.setEpilog(epilog);
     }
 
     /** Register binary-specific flags before parseOrExit(). */
@@ -268,6 +330,8 @@ class BenchCli
             options().sim_threads = harness::defaultSimThreads();
         options().metrics_path = parser_.getString("metrics");
         options().trace_path = parser_.getString("trace");
+        options().device_spec = parser_.getString("device");
+        options().layout_spec = parser_.getString("layout");
     }
 
     bool has(const std::string &name) const { return parser_.has(name); }
@@ -418,7 +482,7 @@ runResponseTimeFigure(const char *figure, const char *caption,
                       ArrayMode mode)
 {
     auto layouts = evaluatedLayouts();
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = benchDevice();
 
     auto skip = [&](const Layout &layout) {
         return mode == ArrayMode::PostReconstruction &&
@@ -441,7 +505,7 @@ runResponseTimeFigure(const char *figure, const char *caption,
                 experiment.config.mode = mode;
                 experiment.config.failed_disk = 0;
                 experiment.layout = layout.get();
-                experiment.model = &model;
+                experiment.device = &model;
                 experiments.push_back(std::move(experiment));
             }
         }
@@ -489,7 +553,7 @@ runSeekCountFigure(const char *figure, const char *caption,
                    AccessType type, ArrayMode mode)
 {
     auto layouts = evaluatedLayouts();
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = benchDevice();
 
     std::vector<harness::Experiment> experiments;
     for (const auto &layout : layouts) {
@@ -506,7 +570,7 @@ runSeekCountFigure(const char *figure, const char *caption,
             experiment.config.mode = mode;
             experiment.config.failed_disk = 0;
             experiment.layout = layout.get();
-            experiment.model = &model;
+            experiment.device = &model;
             experiments.push_back(std::move(experiment));
         }
     }

@@ -34,7 +34,7 @@ measure(const Layout &layout, ArrayMode mode, int clients, int units,
     config.min_samples = 300;
     config.max_samples = 6000;
     config.warmup = 150;
-    return runClosedLoop(layout, DiskModel::hp2247(), config);
+    return runClosedLoop(layout, device::hp2247(), config);
 }
 
 void

@@ -24,21 +24,43 @@ arrayStateName(ArrayState state)
 
 ArrayController::ArrayController(EventQueue &events,
                                  const Layout &layout,
-                                 const DiskModel &disk_model,
+                                 const DeviceModel &device,
                                  const ArrayConfig &config)
     : events_(events), layout_(layout), config_(config),
       mapper_(layout, config.mode, config.failed_disk)
 {
+    init(device);
+}
+
+ArrayController::ArrayController(EventQueue &events,
+                                 const Layout &layout,
+                                 const DiskModel &disk_model,
+                                 const ArrayConfig &config)
+    : events_(events), layout_(layout),
+      owned_device_(wrapLegacyModel(disk_model)), config_(config),
+      mapper_(layout, config.mode, config.failed_disk)
+{
+    init(*owned_device_);
+}
+
+void
+ArrayController::init(const DeviceModel &device)
+{
     for (int d = 0; d < layout_.numDisks(); ++d) {
-        disks_.push_back(std::make_unique<Disk>(events_, disk_model,
+        disks_.push_back(std::make_unique<Disk>(events_, device,
                                                 config_.sstf_window,
                                                 d, config_.probe));
     }
     mapper_.setProbe(config_.probe);
+    if (layout_.replicaSched() == ReplicaSched::ShortestQueue) {
+        mapper_.setQueueDepthHook([this](int d) {
+            return static_cast<int>(disks_[d]->queueDepth()) +
+                   (disks_[d]->busy() ? 1 : 0);
+        });
+    }
     config_.probe.lane(obs::kLaneArray, "array");
     // Usable client space: whole layout patterns that fit the media.
-    int64_t rows = disk_model.geometry.totalSectors() /
-                   config_.unit_sectors;
+    int64_t rows = device.totalSectors() / config_.unit_sectors;
     int64_t patterns = rows / layout_.unitsPerDiskPerPeriod();
     assert(patterns >= 1 && "disk too small for one layout pattern");
     data_units_ = patterns * layout_.dataUnitsPerPeriod();

@@ -66,9 +66,16 @@ class ArrayController : public Target
     /**
      * @param events shared simulation event queue
      * @param layout data layout (must outlive the controller)
-     * @param disk_model mechanics of every (identical) drive
+     * @param device mechanics of every (identical) drive; must
+     *        outlive the controller
      * @param config controller configuration
      */
+    ArrayController(EventQueue &events, const Layout &layout,
+                    const DeviceModel &device,
+                    const ArrayConfig &config);
+
+    /** Legacy-model shim; forwards to the DeviceModel constructor. */
+    [[deprecated("construct with a DeviceModel")]]
     ArrayController(EventQueue &events, const Layout &layout,
                     const DiskModel &disk_model,
                     const ArrayConfig &config);
@@ -157,6 +164,9 @@ class ArrayController : public Target
         PendingHandle next_free = kNilPending;
     };
 
+    /** Shared constructor tail: disks, hooks, capacity. */
+    void init(const DeviceModel &device);
+
     PendingHandle allocPending();
     void freePending(PendingHandle handle);
 
@@ -166,6 +176,8 @@ class ArrayController : public Target
 
     EventQueue &events_;
     const Layout &layout_;
+    /** Keeps a legacy-shim-built model alive; usually empty. */
+    std::shared_ptr<const DeviceModel> owned_device_;
     ArrayConfig config_;
     RequestMapper mapper_;
     std::vector<std::unique_ptr<Disk>> disks_;

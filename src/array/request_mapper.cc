@@ -89,11 +89,65 @@ RequestMapper::expandInto(int64_t start_unit, int count,
     ops.resize(kept);
 }
 
+int
+RequestMapper::pickReplica(int64_t stripe) const
+{
+    // Collect the surviving copies (every position of a mirrored
+    // stripe replicates its single data unit).
+    const int width = layout_.stripeWidth();
+    int survivors[16];
+    int count = 0;
+    for (int pos = 0; pos < width && count < 16; ++pos) {
+        if (layout_.map({stripe, pos}).disk != failed_disk_)
+            survivors[count++] = pos;
+    }
+    assert(count >= 1 && "mirror group entirely failed");
+
+    switch (layout_.replicaSched()) {
+      case ReplicaSched::Primary:
+        return survivors[0];
+      case ReplicaSched::RoundRobin:
+        return survivors[replica_cursor_++ % count];
+      case ReplicaSched::ShortestQueue: {
+        if (!queue_depth_hook_)
+            return survivors[0];
+        // Least-loaded copy; strict < keeps ties on the lowest
+        // surviving position (deterministic across runs).
+        int best = survivors[0];
+        int best_depth =
+            queue_depth_hook_(layout_.map({stripe, best}).disk);
+        for (int i = 1; i < count; ++i) {
+            int depth = queue_depth_hook_(
+                layout_.map({stripe, survivors[i]}).disk);
+            if (depth < best_depth) {
+                best = survivors[i];
+                best_depth = depth;
+            }
+        }
+        return best;
+      }
+    }
+    return survivors[0];
+}
+
 void
 RequestMapper::expandStripeRead(int64_t stripe, int lo, int hi,
                                 std::vector<PhysOp> &ops) const
 {
     const int width = layout_.stripeWidth();
+
+    if (layout_.mirrorCopies() > 1) {
+        // RAID-1/0: serve the stripe's one data unit from whichever
+        // surviving replica the scheduler picks. A failed copy never
+        // forces reconstruction -- reads stay degraded-free.
+        (void)lo;
+        (void)hi;
+        int pos = pickReplica(stripe);
+        ops.push_back(
+            PhysOp{resolve(layout_.map({stripe, pos})), false, 0});
+        probe_.count("mapper.mirror_reads");
+        return;
+    }
     bool reconstruct = false;
     for (int pos = lo; pos < hi; ++pos) {
         PhysAddr addr = layout_.map({stripe, pos});

@@ -26,6 +26,7 @@
 #define PDDL_ARRAY_REQUEST_MAPPER_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "layout/layout.hh"
@@ -117,7 +118,21 @@ class RequestMapper
     /** Attach instrumentation (mapping-decision counters). */
     void setProbe(obs::Probe probe) { probe_ = probe; }
 
+    /**
+     * Live queue depth of a disk (in-service + waiting), consulted by
+     * the mirror shortest-queue replica scheduler. ArrayController
+     * installs it; without a hook the scheduler falls back to the
+     * primary copy.
+     */
+    void
+    setQueueDepthHook(std::function<int(int disk)> hook)
+    {
+        queue_depth_hook_ = std::move(hook);
+    }
+
   private:
+    /** Surviving replica position serving a mirrored stripe read. */
+    int pickReplica(int64_t stripe) const;
     /** Apply the post-reconstruction spare redirection. */
     PhysAddr resolve(PhysAddr addr) const;
 
@@ -130,6 +145,9 @@ class RequestMapper
     ArrayMode mode_;
     int failed_disk_;
     obs::Probe probe_;
+    std::function<int(int)> queue_depth_hook_;
+    /** Round-robin replica cursor; advanced per mirrored read. */
+    mutable uint64_t replica_cursor_ = 0;
 };
 
 } // namespace pddl

@@ -8,11 +8,31 @@
 
 namespace pddl {
 
-Disk::Disk(EventQueue &events, const DiskModel &model, int sstf_window,
-           int id, obs::Probe probe)
-    : events_(events), model_(model), window_(sstf_window), id_(id),
+std::shared_ptr<const DeviceModel>
+wrapLegacyModel(const DiskModel &model)
+{
+    return std::make_shared<HddDeviceModel>("hdd", "hdd:legacy",
+                                            model.geometry, model.seek,
+                                            model.rpm, 1.0);
+}
+
+Disk::Disk(EventQueue &events, const DeviceModel &device,
+           int sstf_window, int id, obs::Probe probe)
+    : events_(events), device_(&device), window_(sstf_window), id_(id),
       probe_(probe), lane_(obs::kLaneDisk0 + id)
 {
+    assert(window_ >= 1);
+    if (probe_.tracing())
+        probe_.lane(lane_, "disk " + std::to_string(id_));
+}
+
+Disk::Disk(EventQueue &events, const DiskModel &model, int sstf_window,
+           int id, obs::Probe probe)
+    : events_(events), owned_device_(wrapLegacyModel(model)),
+      window_(sstf_window), id_(id), probe_(probe),
+      lane_(obs::kLaneDisk0 + id)
+{
+    device_ = owned_device_.get();
     assert(window_ >= 1);
     if (probe_.tracing())
         probe_.lane(lane_, "disk " + std::to_string(id_));
@@ -23,8 +43,7 @@ Disk::submit(DiskRequest request)
 {
     assert(request.sectors >= 1);
     assert(request.lba >= 0 &&
-           request.lba + request.sectors <=
-               model_.geometry.totalSectors());
+           request.lba + request.sectors <= device_->totalSectors());
     request.submit_ms = events_.now();
     queue_.push_back(std::move(request));
     probe_.counterSample("queue depth", lane_, events_.now(), "depth",
@@ -36,7 +55,7 @@ Disk::submit(DiskRequest request)
 void
 Disk::injectLatentError(int64_t lba)
 {
-    assert(lba >= 0 && lba < model_.geometry.totalSectors());
+    assert(lba >= 0 && lba < device_->totalSectors());
     latent_lbas_.insert(lba);
 }
 
@@ -77,18 +96,18 @@ Disk::startNext()
 {
     assert(!busy_ && !queue_.empty());
 
-    // SSTF over the scan window: nearest cylinder wins, earliest
-    // arrival breaks ties (keeps the policy starvation-resistant for
-    // the closed-loop workloads we simulate).
+    // SSTF over the scan window: nearest seek position (the cylinder
+    // on mechanical drives; position-free devices degenerate to FCFS)
+    // wins, earliest arrival breaks ties (keeps the policy
+    // starvation-resistant for the closed-loop workloads we simulate).
     size_t window = std::min<size_t>(window_, queue_.size());
     size_t best = 0;
     int best_distance =
-        std::abs(model_.geometry.lbaToChs(queue_[0].lba).cylinder -
-                 arm_cylinder_);
+        std::abs(device_->seekPosition(queue_[0].lba) - mech_.cylinder);
     for (size_t i = 1; i < window; ++i) {
         int distance =
-            std::abs(model_.geometry.lbaToChs(queue_[i].lba).cylinder -
-                     arm_cylinder_);
+            std::abs(device_->seekPosition(queue_[i].lba) -
+                     mech_.cylinder);
         if (distance < best_distance) {
             best = i;
             best_distance = distance;
@@ -101,17 +120,9 @@ Disk::startNext()
     const DiskRequest &request = in_service_;
 
     // Classify before the arm moves (section 4's local/non-local).
-    Chs start = model_.geometry.lbaToChs(request.lba);
-    SeekClass cls;
-    if (!has_last_ || request.access_id != last_access_id_) {
-        cls = SeekClass::NonLocal;
-    } else if (start.cylinder != arm_cylinder_) {
-        cls = SeekClass::CylinderSwitch;
-    } else if (start.head != current_head_) {
-        cls = SeekClass::TrackSwitch;
-    } else {
-        cls = SeekClass::NoSwitch;
-    }
+    const bool same_access =
+        has_last_ && request.access_id == last_access_id_;
+    SeekClass cls = device_->classify(mech_, request.lba, same_access);
     tally_.add(cls);
     last_access_id_ = request.access_id;
     has_last_ = true;
@@ -127,7 +138,9 @@ Disk::startNext()
                        dispatch_ms - request.submit_ms);
     }
 
-    SimTime service = serviceTime(request);
+    SimTime service =
+        device_->serviceTime(events_.now(), request.lba,
+                             request.sectors, request.write, mech_);
     busy_ms_ += service;
     if (probe_.on()) {
         probe_.observe("disk.service_ms", service);
@@ -168,65 +181,6 @@ Disk::completeService()
     // The completion callback may have enqueued more work.
     if (!busy_ && !queue_.empty())
         startNext();
-}
-
-SimTime
-Disk::serviceTime(const DiskRequest &request)
-{
-    const DiskGeometry &geo = model_.geometry;
-    const double rev = model_.revolutionMs();
-
-    Chs start = geo.lbaToChs(request.lba);
-
-    // Arm positioning.
-    SimTime t = 0.0;
-    if (start.cylinder != arm_cylinder_) {
-        t += model_.seek.seekTime(std::abs(start.cylinder - arm_cylinder_));
-    } else if (start.head != current_head_) {
-        t += model_.seek.headSwitchMs();
-    }
-
-    // Rotational latency: the platter spins continuously, so the
-    // angular position when the arm settles is determined by absolute
-    // simulated time.
-    int spt = geo.sectorsPerTrack(start.cylinder);
-    double settle_time = events_.now() + t;
-    double angle_now = std::fmod(settle_time, rev) / rev;       // [0,1)
-    double angle_target = double(start.sector) / spt;
-    double wait = angle_target - angle_now;
-    if (wait < 0)
-        wait += 1.0;
-    t += wait * rev;
-
-    // Media transfer, walking across track and cylinder boundaries.
-    // Track skew is assumed to hide rotational resynchronization, so
-    // boundary crossings cost only the switch time.
-    int remaining = request.sectors;
-    int cylinder = start.cylinder;
-    int head = start.head;
-    int sector = start.sector;
-    while (remaining > 0) {
-        spt = geo.sectorsPerTrack(cylinder);
-        int chunk = std::min(remaining, spt - sector);
-        t += double(chunk) / spt * rev;
-        remaining -= chunk;
-        sector += chunk;
-        if (remaining > 0) {
-            sector = 0;
-            ++head;
-            if (head == geo.heads()) {
-                head = 0;
-                ++cylinder;
-                t += model_.seek.seekTime(1);
-            } else {
-                t += model_.seek.headSwitchMs();
-            }
-        }
-    }
-
-    arm_cylinder_ = cylinder;
-    current_head_ = head;
-    return t;
 }
 
 } // namespace pddl

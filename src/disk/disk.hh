@@ -2,14 +2,14 @@
  * @file
  * Simulated disk drive with SSTF request scheduling.
  *
- * Service time = seek (two-piece curve) + rotational latency (the
- * platter rotates continuously in simulated time) + zoned media
- * transfer, including head/cylinder switches for multi-track
- * transfers. Each dispatched request is classified the way the paper's
- * Figures 4/7/15/16 tally operations: *local* when the previous
- * operation on this disk belonged to the same logical access (further
- * split into cylinder switch / track switch / no-switch), *non-local*
- * otherwise.
+ * The drive mechanics (seek/rotation/transfer for rotating drives,
+ * flat latency for flash) live behind the DeviceModel interface; the
+ * Disk owns the queue, the SSTF scan window, and the per-drive
+ * mechanical state the model advances. Each dispatched request is
+ * classified the way the paper's Figures 4/7/15/16 tally operations:
+ * *local* when the previous operation on this disk belonged to the
+ * same logical access (further split into cylinder switch / track
+ * switch / no-switch), *non-local* otherwise.
  */
 
 #ifndef PDDL_DISK_DISK_HH
@@ -18,8 +18,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <set>
 
+#include "disk/device_model.hh"
 #include "disk/geometry.hh"
 #include "disk/seek_model.hh"
 #include "obs/probe.hh"
@@ -28,7 +30,12 @@
 
 namespace pddl {
 
-/** Mechanical + geometric description of one drive. */
+/**
+ * Mechanical + geometric description of one drive.
+ *
+ * Superseded by the DeviceModel interface (disk/device_model.hh);
+ * kept for one PR as a shim for call sites not yet ported.
+ */
 struct DiskModel
 {
     DiskGeometry geometry;
@@ -38,58 +45,21 @@ struct DiskModel
     double revolutionMs() const { return 60000.0 / rpm; }
 
     /** HP 2247-class drive (Table 2): 5400 RPM, 10 ms average seek. */
+    [[deprecated("use device::hp2247() / device::makeDevice()")]]
     static DiskModel
     hp2247()
     {
-        return DiskModel{DiskGeometry::hp2247(), SeekModel::hp2247(),
-                         5400.0};
+        return DiskModel{device::hp2247Geometry(),
+                         device::hp2247SeekModel(), 5400.0};
     }
 };
 
-/** Seek classification of a dispatched operation (paper section 4). */
-enum class SeekClass
-{
-    NonLocal,       ///< previous op on this disk was another access
-    CylinderSwitch, ///< same access, arm moved to another cylinder
-    TrackSwitch,    ///< same access, head switch within the cylinder
-    NoSwitch        ///< same access, rotational positioning only
-};
-
-/** Counts of dispatched operations per seek class. */
-struct SeekTally
-{
-    int64_t non_local = 0;
-    int64_t cylinder_switch = 0;
-    int64_t track_switch = 0;
-    int64_t no_switch = 0;
-
-    void
-    add(SeekClass c)
-    {
-        switch (c) {
-          case SeekClass::NonLocal: ++non_local; break;
-          case SeekClass::CylinderSwitch: ++cylinder_switch; break;
-          case SeekClass::TrackSwitch: ++track_switch; break;
-          case SeekClass::NoSwitch: ++no_switch; break;
-        }
-    }
-
-    SeekTally &
-    operator+=(const SeekTally &o)
-    {
-        non_local += o.non_local;
-        cylinder_switch += o.cylinder_switch;
-        track_switch += o.track_switch;
-        no_switch += o.no_switch;
-        return *this;
-    }
-
-    int64_t
-    total() const
-    {
-        return non_local + cylinder_switch + track_switch + no_switch;
-    }
-};
+/**
+ * Wrap a legacy DiskModel as an owning DeviceModel (the bridge the
+ * deprecated DiskModel constructors ride on; goes away with them).
+ */
+std::shared_ptr<const DeviceModel>
+wrapLegacyModel(const DiskModel &model);
 
 /** One physical I/O request handed to a disk. */
 struct DiskRequest
@@ -114,12 +84,17 @@ class Disk
   public:
     /**
      * @param events shared simulation event queue
-     * @param model drive mechanics
+     * @param device drive mechanics; must outlive the Disk
      * @param sstf_window how many queued requests SSTF considers
      *        (1 degenerates to FCFS; the paper uses 20)
      * @param id array slot of this drive (selects its trace lane)
      * @param probe instrumentation sinks (default: none)
      */
+    Disk(EventQueue &events, const DeviceModel &device,
+         int sstf_window = 20, int id = 0, obs::Probe probe = {});
+
+    /** Legacy-model shim; forwards to the DeviceModel constructor. */
+    [[deprecated("construct with a DeviceModel")]]
     Disk(EventQueue &events, const DiskModel &model,
          int sstf_window = 20, int id = 0, obs::Probe probe = {});
 
@@ -170,7 +145,7 @@ class Disk
 
     bool busy() const { return busy_; }
 
-    const DiskModel &model() const { return model_; }
+    const DeviceModel &device() const { return *device_; }
 
   private:
     /** Pick the next request (SSTF within the window) and serve it. */
@@ -179,14 +154,13 @@ class Disk
     /** Service completion of `in_service_` (scheduled by startNext). */
     void completeService();
 
-    /** Compute service time and update arm/head position. */
-    SimTime serviceTime(const DiskRequest &request);
-
     /** Surface (reads) or heal (writes) latent errors under a span. */
     void touchLatentErrors(int64_t lba, int sectors, bool write);
 
     EventQueue &events_;
-    DiskModel model_;
+    const DeviceModel *device_ = nullptr;
+    /** Keeps a legacy-shim-built model alive; usually empty. */
+    std::shared_ptr<const DeviceModel> owned_device_;
     int window_;
     int id_;
     obs::Probe probe_;
@@ -197,8 +171,7 @@ class Disk
     /** The request the arm is serving; valid only while busy_. */
     DiskRequest in_service_;
 
-    int arm_cylinder_ = 0;
-    int current_head_ = 0;
+    MechState mech_;
     uint64_t last_access_id_ = ~0ULL;
     bool has_last_ = false;
 

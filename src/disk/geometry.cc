@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstddef>
 
+#include "disk/device_model.hh"
+
 namespace pddl {
 
 DiskGeometry::DiskGeometry(int heads, std::vector<Zone> zones,
@@ -73,18 +75,7 @@ DiskGeometry::chsToLba(const Chs &chs) const
 DiskGeometry
 DiskGeometry::hp2247()
 {
-    // 1981 cylinders in 8 zones; sector counts synthesized so total
-    // capacity lands at ~1.03 GB (the paper publishes the capacity
-    // and cylinder/head/zone counts but not per-zone densities).
-    std::vector<Zone> zones;
-    const int spt[8] = {89, 86, 83, 80, 77, 74, 71, 68};
-    int cyl = 0;
-    for (int i = 0; i < 8; ++i) {
-        int count = (i < 5) ? 248 : 247; // 5*248 + 3*247 = 1981
-        zones.push_back(Zone{cyl, count, spt[i]});
-        cyl += count;
-    }
-    return DiskGeometry(13, std::move(zones), 512);
+    return device::hp2247Geometry();
 }
 
 } // namespace pddl

@@ -88,6 +88,7 @@ class DiskGeometry
     int64_t chsToLba(const Chs &chs) const;
 
     /** HP 2247-class geometry (Table 2 of the paper). */
+    [[deprecated("use device::hp2247Geometry()")]]
     static DiskGeometry hp2247();
 
   private:

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "disk/device_model.hh"
+
 namespace pddl {
 
 SeekModel::SeekModel(double sqrt_base, double sqrt_coeff,
@@ -44,10 +46,7 @@ SeekModel::averageSeek(int cylinders) const
 SeekModel
 SeekModel::hp2247()
 {
-    // Calibrated against Table 2 and the service times quoted in
-    // section 4: seekTime(1) = 2.90 ms (cylinder switch), random
-    // average ~10 ms over 1981 cylinders, full sweep < 18 ms.
-    return SeekModel(2.54, 0.36, 400, 0.0052, 0.8);
+    return device::hp2247SeekModel();
 }
 
 } // namespace pddl

@@ -10,7 +10,7 @@
 namespace pddl {
 
 ReliabilityTrialResult
-runReliabilityTrial(const Layout &layout, const DiskModel &model,
+runReliabilityTrial(const Layout &layout, const DeviceModel &device,
                     const ReliabilityTrialConfig &config)
 {
     assert(config.mission_ms > 0.0 && config.clients >= 0);
@@ -19,7 +19,7 @@ runReliabilityTrial(const Layout &layout, const DiskModel &model,
     ArrayConfig array_config;
     array_config.unit_sectors = config.unit_sectors;
     array_config.sstf_window = config.sstf_window;
-    ArrayController array(events, layout, model, array_config);
+    ArrayController array(events, layout, device, array_config);
 
     // Latent errors land on rows the client stripes cover, i.e. the
     // region the scrubber sweeps (spare rows stay pristine until a
@@ -96,7 +96,7 @@ runReliabilityTrial(const Layout &layout, const DiskModel &model,
 
 std::vector<harness::Experiment>
 buildReliabilityExperiments(const ReliabilityGridConfig &grid,
-                            const DiskModel &model)
+                            const DeviceModel &device)
 {
     std::vector<harness::Experiment> experiments;
     experiments.reserve(grid.cells.size());
@@ -114,7 +114,7 @@ buildReliabilityExperiments(const ReliabilityGridConfig &grid,
                             grid.base.access_units * 8,
                             grid.base.clients, grid.base.type,
                             ArrayMode::FaultFree};
-        experiment.custom = [cell, &model, trials = grid.trials,
+        experiment.custom = [cell, &device, trials = grid.trials,
                              base = grid.base](
                                 uint64_t seed,
                                 harness::Extras &extras) {
@@ -129,7 +129,7 @@ buildReliabilityExperiments(const ReliabilityGridConfig &grid,
                 config.rebuild_parallel = cell.rebuild_parallel;
                 config.seed = hashMix64(seed, t + 1);
                 ReliabilityTrialResult trial = runReliabilityTrial(
-                    *cell.layout, model, config);
+                    *cell.layout, device, config);
                 response.merge(trial.response_ms);
                 degraded_response.merge(trial.degraded_response_ms);
                 rebuild_ms.merge(trial.rebuild_ms);
@@ -177,6 +177,14 @@ buildReliabilityExperiments(const ReliabilityGridConfig &grid,
         experiments.push_back(std::move(experiment));
     }
     return experiments;
+}
+
+ReliabilityTrialResult
+runReliabilityTrial(const Layout &layout, const DiskModel &model,
+                    const ReliabilityTrialConfig &config)
+{
+    return runReliabilityTrial(layout, *wrapLegacyModel(model),
+                               config);
 }
 
 } // namespace pddl

@@ -87,9 +87,15 @@ struct ReliabilityTrialResult
 };
 
 /**
- * Run one mission. Deterministic: identical (layout, model, config)
+ * Run one mission. Deterministic: identical (layout, device, config)
  * always produces the identical result.
  */
+ReliabilityTrialResult runReliabilityTrial(
+    const Layout &layout, const DeviceModel &device,
+    const ReliabilityTrialConfig &config);
+
+/** Legacy-model shim; forwards to the DeviceModel overload. */
+[[deprecated("pass a DeviceModel (device::hp2247() / makeDevice())")]]
 ReliabilityTrialResult runReliabilityTrial(
     const Layout &layout, const DiskModel &model,
     const ReliabilityTrialConfig &config);
@@ -119,10 +125,10 @@ struct ReliabilityGridConfig
  * identity and reports merged statistics plus a data_loss_fraction
  * extra, so a grid run is bit-identical across thread counts.
  *
- * `layouts` in the grid config (and `model`) must outlive the run.
+ * `layouts` in the grid config (and `device`) must outlive the run.
  */
 std::vector<harness::Experiment> buildReliabilityExperiments(
-    const ReliabilityGridConfig &grid, const DiskModel &model);
+    const ReliabilityGridConfig &grid, const DeviceModel &device);
 
 } // namespace pddl
 

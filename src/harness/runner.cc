@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 
 #include "harness/thread_pool.hh"
@@ -77,13 +78,15 @@ ExperimentRunner::run(const std::vector<Experiment> &experiments) const
         PointResult &out = summary.points[i];
         out.point = experiment.point;
         out.seed = deriveSeed(experiment.point);
+        std::shared_ptr<const DeviceModel> legacy;
         const auto point_start = Clock::now();
         if (experiment.custom) {
             out.result = experiment.custom(out.seed, out.extras);
         } else {
             assert(experiment.layout != nullptr &&
-                   experiment.model != nullptr &&
-                   "experiment needs a layout/model or a custom fn");
+                   (experiment.device != nullptr ||
+                    experiment.model != nullptr) &&
+                   "experiment needs a layout/device or a custom fn");
             SimConfig config = experiment.config;
             config.seed = out.seed;
             // One registry per point, written by exactly one worker:
@@ -96,8 +99,12 @@ ExperimentRunner::run(const std::vector<Experiment> &experiments) const
                     metrics_enabled_ ? &registry : nullptr,
                     i == 0 ? tracer_ : nullptr);
             }
-            out.result = runClosedLoop(*experiment.layout,
-                                       *experiment.model, config);
+            const DeviceModel &dev =
+                experiment.device != nullptr
+                    ? *experiment.device
+                    : *(legacy = wrapLegacyModel(*experiment.model));
+            out.result =
+                runClosedLoop(*experiment.layout, dev, config);
             if (metrics_enabled_)
                 out.metrics = registry.snapshot();
         }

@@ -15,7 +15,7 @@
  *    index, so output order is the submission order regardless of
  *    which worker finished first;
  *  - simulations share nothing but immutable inputs (Layout and
- *    DiskModel are const and thread-safe).
+ *    DeviceModel are const and thread-safe).
  *
  * The thread count comes from PDDL_BENCH_THREADS (default: hardware
  * concurrency); PDDL_BENCH_THREADS=1 is the serial reference.
@@ -73,6 +73,8 @@ struct Experiment
     SimConfig config;
     /** Inputs of the default runClosedLoop execution. */
     const Layout *layout = nullptr;
+    const DeviceModel *device = nullptr;
+    /** Legacy drive mechanics; superseded by `device`. */
     const DiskModel *model = nullptr;
     /**
      * Optional replacement for runClosedLoop (open-loop workloads,

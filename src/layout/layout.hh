@@ -57,6 +57,17 @@ struct PhysAddr
 using PhysicalAddress = PhysAddr;
 
 /**
+ * Replica-selection policy for mirrored (RAID-1/0) layouts: which
+ * surviving copy serves a read.
+ */
+enum class ReplicaSched
+{
+    Primary,       ///< always the first surviving copy
+    RoundRobin,    ///< cycle through surviving copies
+    ShortestQueue, ///< least-loaded copy (ties: lowest disk)
+};
+
+/**
  * Virtual (layout-independent) address of one stripe unit: the
  * stripe index plus the position within the stripe. Positions
  * 0 .. dataUnits-1 address the client data units in client order;
@@ -228,6 +239,20 @@ class Layout
 
     /** True when the layout embeds distributed spare space. */
     virtual bool hasSparing() const { return false; }
+
+    /**
+     * Copies of every data unit (1 = parity-protected, no mirroring).
+     * Mirrored layouts return >= 2; each stripe's positions are then
+     * full replicas of its single data unit, and reads may be served
+     * from any surviving copy.
+     */
+    virtual int mirrorCopies() const { return 1; }
+
+    /** Replica-selection policy (meaningful when mirrorCopies() > 1). */
+    virtual ReplicaSched replicaSched() const
+    {
+        return ReplicaSched::Primary;
+    }
 
     /**
      * Post-reconstruction home of a failed disk's unit.

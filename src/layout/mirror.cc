@@ -1,0 +1,28 @@
+#include "layout/mirror.hh"
+
+#include <cassert>
+#include <string>
+
+namespace pddl {
+
+MirrorLayout::MirrorLayout(int disks, int copies, ReplicaSched sched)
+    : Layout("RAID-1/0 (" + std::to_string(copies) + "-way) on " +
+                 std::to_string(disks) + " disks",
+             disks, copies, copies - 1),
+      groups_(disks / copies), sched_(sched)
+{
+    assert(copies >= 2);
+    assert(disks >= copies && disks % copies == 0 &&
+           "disk count must be a multiple of the copy count");
+}
+
+PhysAddr
+MirrorLayout::mapUnit(int64_t stripe, int pos) const
+{
+    const int64_t group = stripe % groups_;
+    const int64_t row = stripe / groups_;
+    return PhysAddr{static_cast<int>(group) * stripeWidth() + pos,
+                    row};
+}
+
+} // namespace pddl

@@ -235,7 +235,9 @@ MetricsRegistry::observe(const char *name, double value_ms)
 {
     HistogramData &histogram = localShard().histograms[name];
     if (histogram.bounds.empty()) {
-        histogram.bounds = defaultLatencyBoundsMs();
+        histogram.bounds = histogram_bounds_.empty()
+                               ? defaultLatencyBoundsMs()
+                               : histogram_bounds_;
         histogram.counts.assign(histogram.bounds.size() + 1, 0);
     }
     size_t bucket =
@@ -252,6 +254,13 @@ MetricsRegistry::observe(const char *name, double value_ms)
     }
     ++histogram.count;
     histogram.sum += value_ms;
+}
+
+void
+MetricsRegistry::setHistogramBounds(std::vector<double> bounds)
+{
+    assert(std::is_sorted(bounds.begin(), bounds.end()));
+    histogram_bounds_ = std::move(bounds);
 }
 
 MetricsSnapshot

@@ -114,6 +114,18 @@ class MetricsRegistry
     /** Record one latency sample into histogram `name`. */
     void observe(const char *name, double value_ms);
 
+    /**
+     * Bucket upper bounds (ms, ascending) assigned to histograms
+     * created after this call; empty restores the default bounds.
+     * The device registry supplies the appropriate resolution --
+     * defaultLatencyBoundsMs() starts at 0.25 ms, which collapses
+     * ssd-class microsecond latencies into bucket 0 (see
+     * device::latencyBoundsForDevices). Call before the first
+     * observe(); already-created histograms keep their bounds, and
+     * histograms only merge when their bounds agree.
+     */
+    void setHistogramBounds(std::vector<double> bounds);
+
     /** Merge every shard into one name-sorted snapshot. */
     MetricsSnapshot snapshot() const;
 
@@ -134,6 +146,8 @@ class MetricsRegistry
     const uint64_t id_; ///< instance identity for shard caching
     mutable std::mutex mutex_; ///< guards shards_ layout only
     std::vector<std::unique_ptr<Shard>> shards_;
+    /** Bounds for new histograms; empty = defaultLatencyBoundsMs(). */
+    std::vector<double> histogram_bounds_;
 };
 
 /**

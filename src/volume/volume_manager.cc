@@ -1,8 +1,12 @@
 #include "volume/volume_manager.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
+#include "core/layout_spec.hh"
+#include "disk/disk.hh"
 #include "sim/parallel_engine.hh"
 
 namespace pddl {
@@ -55,29 +59,102 @@ VolumeManager::init(std::vector<ShardSpec> &shards)
         throw std::logic_error("volume dispatch_ms must be >= 0");
 
     shards_.reserve(shards.size());
+    devices_.reserve(shards.size());
+    tiers_.reserve(shards.size());
     for (size_t s = 0; s < shards.size(); ++s) {
         const ShardSpec &spec = shards[s];
-        assert(spec.layout != nullptr && "shard needs a layout");
+
+        // Resolve the layout: prebuilt pointer wins, else the spec
+        // registry builds one the volume owns.
+        const Layout *layout = spec.layout;
+        if (layout == nullptr) {
+            owned_layouts_.push_back(layouts::makeLayout(
+                spec.layout_spec.empty() ? "pddl:width=4"
+                                         : spec.layout_spec,
+                spec.disks));
+            layout = owned_layouts_.back().get();
+        }
+
+        // Resolve the device: prebuilt pointer, legacy DiskModel
+        // shim, spec registry, or the HP 2247 default -- in that
+        // order.
+        const DeviceModel *device = spec.device;
+        if (device == nullptr && spec.model != nullptr) {
+            owned_devices_.push_back(wrapLegacyModel(*spec.model));
+            device = owned_devices_.back().get();
+        }
+        if (device == nullptr && !spec.device_spec.empty()) {
+            owned_devices_.push_back(
+                pddl::device::makeDevice(spec.device_spec));
+            device = owned_devices_.back().get();
+        }
+        if (device == nullptr)
+            device = &pddl::device::hp2247();
+
         shards_.push_back(std::make_unique<ArrayController>(
-            *shard_events_[s], *spec.layout,
-            spec.model != nullptr ? *spec.model
-                                  : DiskModel::hp2247(),
-            spec.array));
+            *shard_events_[s], *layout, *device, spec.array));
+        devices_.push_back(device);
+        tiers_.push_back(
+            !spec.tier.empty()
+                ? spec.tier
+                : (std::strcmp(device->kind(), "ssd") == 0 ? "fast"
+                                                           : "bulk"));
     }
 
-    // Level the address space to the smallest shard, chunk-aligned:
-    // every shard then holds exactly one chunk per period and the
-    // bijection needs no per-shard capacity cases.
-    per_shard_units_ = shards_[0]->dataUnits();
-    for (const auto &shard : shards_)
-        per_shard_units_ = std::min(per_shard_units_,
-                                    shard->dataUnits());
-    per_shard_units_ -= per_shard_units_ % chunk_units_;
-    if (per_shard_units_ < chunk_units_)
-        throw std::logic_error(
-            "volume shards too small for one chunk");
-    data_units_ =
-        per_shard_units_ * static_cast<int64_t>(shards_.size());
+    // Assemble allocation groups. Striped: one group of everything
+    // (the legacy address math, byte-for-byte). Tiered: group by
+    // tier label, ordered by first appearance, address space =
+    // concatenated group spans.
+    group_of_shard_.assign(shards_.size(), -1);
+    index_in_group_.assign(shards_.size(), -1);
+    if (config_.allocation == VolumeAllocation::Striped) {
+        Group all;
+        all.tier = "all";
+        for (int s = 0; s < static_cast<int>(shards_.size()); ++s)
+            all.shards.push_back(s);
+        groups_.push_back(std::move(all));
+    } else {
+        for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+            int g = -1;
+            for (size_t i = 0; i < groups_.size(); ++i) {
+                if (groups_[i].tier == tiers_[s]) {
+                    g = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (g < 0) {
+                g = static_cast<int>(groups_.size());
+                groups_.push_back(Group{tiers_[s], {}, 0, 0});
+            }
+            groups_[static_cast<size_t>(g)].shards.push_back(s);
+        }
+    }
+    for (size_t g = 0; g < groups_.size(); ++g) {
+        Group &group = groups_[g];
+        // Level each group to its smallest member, chunk-aligned:
+        // every member then holds exactly one chunk per group period
+        // and the bijection needs no per-shard capacity cases.
+        group.per_shard_units =
+            shards_[static_cast<size_t>(group.shards[0])]->dataUnits();
+        for (int s : group.shards) {
+            group.per_shard_units =
+                std::min(group.per_shard_units,
+                         shards_[static_cast<size_t>(s)]->dataUnits());
+        }
+        group.per_shard_units -= group.per_shard_units % chunk_units_;
+        if (group.per_shard_units < chunk_units_)
+            throw std::logic_error(
+                "volume shards too small for one chunk");
+        group.base = data_units_;
+        data_units_ += group.per_shard_units *
+                       static_cast<int64_t>(group.shards.size());
+        for (size_t i = 0; i < group.shards.size(); ++i) {
+            group_of_shard_[static_cast<size_t>(group.shards[i])] =
+                static_cast<int>(g);
+            index_in_group_[static_cast<size_t>(group.shards[i])] =
+                static_cast<int>(i);
+        }
+    }
 
     in_flight_.assign(shards_.size(), 0);
     max_in_flight_.assign(shards_.size(), 0);
@@ -88,39 +165,58 @@ VolumeManager::init(std::vector<ShardSpec> &shards)
     }
 }
 
+int
+VolumeManager::groupOf(int64_t unit) const
+{
+    // A handful of tiers at most: linear scan.
+    for (size_t g = groups_.size(); g-- > 1;) {
+        if (unit >= groups_[g].base)
+            return static_cast<int>(g);
+    }
+    return 0;
+}
+
 VolumeAddress
 VolumeManager::route(int64_t unit) const
 {
     assert(unit >= 0 && unit < data_units_);
-    const int shard_count = shardCount();
-    const int64_t chunk = unit / chunk_units_;
-    const int64_t offset = unit % chunk_units_;
-    const int64_t period = chunk / shard_count;
-    const int slot = static_cast<int>(chunk % shard_count);
+    const Group &group = groups_[static_cast<size_t>(groupOf(unit))];
+    const int members = static_cast<int>(group.shards.size());
+    const int64_t local = unit - group.base;
+    const int64_t chunk = local / chunk_units_;
+    const int64_t offset = local % chunk_units_;
+    const int64_t period = chunk / members;
+    const int slot = static_cast<int>(chunk % members);
     int perm[kMaxShards];
-    placement_->permutation(period, shard_count, perm);
-    return {perm[slot], period * chunk_units_ + offset};
+    placement_->permutation(period, members, perm);
+    return {group.shards[static_cast<size_t>(perm[slot])],
+            period * chunk_units_ + offset};
 }
 
 int64_t
 VolumeManager::volumeUnitOf(VolumeAddress addr) const
 {
     assert(addr.shard >= 0 && addr.shard < shardCount());
-    assert(addr.unit >= 0 && addr.unit < per_shard_units_);
-    const int shard_count = shardCount();
+    const Group &group = groups_[static_cast<size_t>(
+        group_of_shard_[static_cast<size_t>(addr.shard)])];
+    assert(addr.unit >= 0 && addr.unit < group.per_shard_units);
+    const int members = static_cast<int>(group.shards.size());
+    const int member =
+        index_in_group_[static_cast<size_t>(addr.shard)];
     const int64_t period = addr.unit / chunk_units_;
     const int64_t offset = addr.unit % chunk_units_;
     int perm[kMaxShards];
-    placement_->permutation(period, shard_count, perm);
+    placement_->permutation(period, members, perm);
     int slot = -1;
-    for (int i = 0; i < shard_count; ++i) {
-        if (perm[i] == addr.shard) {
+    for (int i = 0; i < members; ++i) {
+        if (perm[i] == member) {
             slot = i;
             break;
         }
     }
     assert(slot >= 0 && "placement emitted a non-permutation");
-    return (period * shard_count + slot) * chunk_units_ + offset;
+    return group.base +
+           (period * members + slot) * chunk_units_ + offset;
 }
 
 uint32_t
@@ -197,7 +293,8 @@ VolumeManager::access(int64_t start_unit, int count, AccessType type,
         const VolumeAddress head = route(unit);
         // A run extends to the end of the current chunk: consecutive
         // volume units within one chunk are consecutive shard-local
-        // units on one shard.
+        // units on one shard. Group spans are chunk-aligned, so a
+        // run never crosses a tier boundary either.
         const int64_t chunk_left =
             chunk_units_ - (unit % chunk_units_);
         const int run = static_cast<int>(

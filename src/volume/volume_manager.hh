@@ -6,29 +6,50 @@
  * system composes many such arrays behind one volume, the way
  * heterogeneous-disk-array work (Thomasian & Xu) allocates virtual
  * arrays across shards. The VolumeManager owns S independent shards
- * -- each its own ArrayController with its own layout, disks and
- * fault state -- on one shared event queue (serial) or one engine
+ * -- each its own ArrayController with its own layout, device class
+ * and fault state -- on one shared event queue (serial) or one engine
  * lane per shard (parallel, see sim/parallel_engine.hh), and routes
- * a flat volume address space across them:
+ * a flat volume address space across them.
  *
- *   chunk   = unit / chunk_units          (striping granularity)
- *   period  = chunk / S,  slot = chunk mod S
- *   shard   = perm_period[slot]           (placement policy)
- *   local   = period * chunk_units + unit mod chunk_units
+ * Shards are declared by spec strings (ShardSpec::layout_spec /
+ * device_spec, see core/layout_spec.hh and disk/device_model.hh) plus
+ * a per-shard disk count, so one volume can mix a RAID-1/0 flash
+ * shard with PDDL rotating-disk shards. Two allocation policies
+ * govern how addresses meet shards:
+ *
+ *  - Striped (default, the legacy behavior): all shards form one
+ *    group; capacity levels to the smallest shard and chunks
+ *    round-robin across all of them via the placement permutation:
+ *
+ *      chunk   = unit / chunk_units          (striping granularity)
+ *      period  = chunk / S,  slot = chunk mod S
+ *      shard   = perm_period[slot]           (placement policy)
+ *      local   = period * chunk_units + unit mod chunk_units
+ *
+ *  - Tiered: shards group by tier label (ShardSpec::tier; defaults
+ *    to "fast" for ssd-class devices, "bulk" otherwise), groups
+ *    ordered by first appearance in the shard list, and the volume
+ *    address space is the concatenation of the group spans -- the
+ *    first-listed tier owns the address prefix. Pointing a hot-spot
+ *    workload's hot range (traffic::OffsetSpec places it at the
+ *    prefix) at a fast mirrored tier is exactly the class-aware
+ *    placement the heterogeneous-array literature argues for:
+ *    write-heavy hot addresses land on mirrors (no RMW parity
+ *    penalty), cold capacity lands on parity-protected disks.
+ *    Within a group the Striped math applies over the group's
+ *    members.
  *
  * Because the placement policy emits one shard permutation per
- * period (see placement.hh), every shard receives exactly one chunk
- * per period and the route is a bijection with an O(S) inverse --
- * the property the routing tests sweep.
+ * period, every shard receives exactly one chunk per group period
+ * and the route is a bijection with an O(S) inverse -- the property
+ * the routing tests sweep (both policies).
  *
- * Degraded-mode policy: striping is static, so a shard in rebuild
+ * Degraded-mode policy: placement is static, so a shard in rebuild
  * cannot shed its chunks -- it keeps serving them through its own
  * degraded-mode machinery while the router keeps routing. What the
  * volume adds is visibility and containment accounting: per-shard
  * in-flight depth (live and high-water), counts of sub-accesses sent
- * into degraded shards, and volume-rolled-up Probe metrics, so
- * experiments can see one rebuilding shard's spillover against the
- * healthy remainder instead of a single blended number.
+ * into degraded shards, and volume-rolled-up Probe metrics.
  *
  * A logical access that crosses a chunk boundary fans out into one
  * sub-access per chunk run; the access completes when its last
@@ -47,21 +68,56 @@
 
 #include "array/controller.hh"
 #include "array/target.hh"
+#include "disk/device_model.hh"
 #include "obs/probe.hh"
 #include "sim/event_queue.hh"
 #include "volume/placement.hh"
 
 namespace pddl {
 
-/** One shard of a volume: a layout plus its controller knobs. */
+/**
+ * One shard of a volume: what to build it from, plus controller
+ * knobs. Specs are the primary interface; the pointer fields exist
+ * for callers that prebuilt objects (and `model` only as a legacy
+ * shim -- prefer `device`).
+ */
 struct ShardSpec
 {
-    /** The shard's data layout (must outlive the volume). */
+    /**
+     * Layout spec (core/layout_spec.hh), built over `disks` drives;
+     * empty selects "pddl:width=4". Ignored when `layout` is set.
+     */
+    std::string layout_spec;
+    /**
+     * Device spec (disk/device_model.hh); empty selects "hp2247".
+     * Ignored when `device` (or legacy `model`) is set.
+     */
+    std::string device_spec;
+    /** Drives in this shard; used when building from layout_spec. */
+    int disks = 13;
+    /**
+     * Tier label grouping shards under Tiered allocation; empty
+     * derives "fast" for ssd-class devices and "bulk" otherwise.
+     */
+    std::string tier;
+
+    /** Prebuilt layout (must outlive the volume); wins over specs. */
     const Layout *layout = nullptr;
-    /** Drive mechanics; nullptr selects the paper's HP 2247. */
+    /** Prebuilt device model (must outlive the volume). */
+    const DeviceModel *device = nullptr;
+    /** Legacy drive mechanics; superseded by `device`/device_spec. */
     const DiskModel *model = nullptr;
     /** Controller construction knobs (per-shard probe included). */
     ArrayConfig array;
+};
+
+/** How the volume address space meets the shards. */
+enum class VolumeAllocation
+{
+    /** One group of all shards, capacity leveled to the smallest. */
+    Striped,
+    /** Concatenated tier groups; first-listed tier owns the prefix. */
+    Tiered,
 };
 
 /** Volume-level configuration. */
@@ -69,6 +125,8 @@ struct VolumeConfig
 {
     /** Striping chunk in stripe units (contiguity within a shard). */
     int chunk_units = 64;
+    /** Address-to-shard-class policy (see file comment). */
+    VolumeAllocation allocation = VolumeAllocation::Striped;
     /** Chunk placement; nullptr selects staticPlacement(). */
     const PlacementPolicy *placement = nullptr;
     /** Volume-level rollup metrics (independent of shard probes). */
@@ -110,8 +168,8 @@ class VolumeManager : public Target
      * Serial volume: every shard shares one event queue.
      *
      * @param events shared simulation event queue
-     * @param shards one spec per shard (layouts must outlive the
-     *        volume); capacity is leveled to the smallest shard
+     * @param shards one spec per shard (prebuilt layouts/devices must
+     *        outlive the volume; spec-built ones are owned here)
      * @param config volume-level knobs
      */
     VolumeManager(EventQueue &events, std::vector<ShardSpec> shards,
@@ -133,8 +191,45 @@ class VolumeManager : public Target
     ArrayController &shard(int s) { return *shards_[s]; }
     const ArrayController &shard(int s) const { return *shards_[s]; }
 
-    /** Uniform per-shard capacity (chunk-aligned, leveled). */
-    int64_t shardDataUnits() const { return per_shard_units_; }
+    /** Device class backing shard `s`. */
+    const DeviceModel &shardDevice(int s) const { return *devices_[s]; }
+
+    /** Tier label of shard `s` (as grouped by Tiered allocation). */
+    const std::string &shardTier(int s) const { return tiers_[s]; }
+
+    /**
+     * Uniform per-shard capacity (chunk-aligned). Meaningful under
+     * Striped allocation, where every shard holds the same span;
+     * under Tiered use shardDataUnits(s).
+     */
+    int64_t shardDataUnits() const
+    {
+        return groups_[0].per_shard_units;
+    }
+
+    /** Addressable capacity of shard `s` (chunk-aligned, leveled). */
+    int64_t
+    shardDataUnits(int s) const
+    {
+        return groups_[group_of_shard_[s]].per_shard_units;
+    }
+
+    /** Allocation groups (1 under Striped; tiers under Tiered). */
+    int allocationGroups() const
+    {
+        return static_cast<int>(groups_.size());
+    }
+
+    /** Tier label of allocation group `g`. */
+    const std::string &groupTier(int g) const { return groups_[g].tier; }
+
+    /** Volume units owned by allocation group `g` (its span). */
+    int64_t
+    groupUnits(int g) const
+    {
+        return groups_[g].per_shard_units *
+               static_cast<int64_t>(groups_[g].shards.size());
+    }
 
     int64_t chunkUnits() const { return chunk_units_; }
     const PlacementPolicy &placement() const { return *placement_; }
@@ -168,6 +263,18 @@ class VolumeManager : public Target
     int degradedShards() const;
 
   private:
+    /** One allocation group: a tier's shards plus its address span. */
+    struct Group
+    {
+        std::string tier;
+        /** Volume shard indices, in declaration order. */
+        std::vector<int> shards;
+        /** Leveled chunk-aligned capacity of each member shard. */
+        int64_t per_shard_units = 0;
+        /** First volume unit of the group's span. */
+        int64_t base = 0;
+    };
+
     /** Arena slot of one in-flight logical volume access. */
     struct Flight
     {
@@ -183,6 +290,9 @@ class VolumeManager : public Target
     void subComplete(uint32_t handle, int shard);
     void subAccessDone(uint32_t handle, int shard);
 
+    /** Allocation group owning volume unit `unit`. */
+    int groupOf(int64_t unit) const;
+
     /** Cross-shard lane: clients, joins, completion callbacks. */
     EventQueue &events_;
     /** Engine behind shard_events_, nullptr in a serial volume. */
@@ -192,8 +302,19 @@ class VolumeManager : public Target
     VolumeConfig config_;
     const PlacementPolicy *placement_;
     int64_t chunk_units_;
+
+    /** Spec-built layouts/devices; must outlive shards_. */
+    std::vector<std::unique_ptr<Layout>> owned_layouts_;
+    std::vector<std::shared_ptr<const DeviceModel>> owned_devices_;
+
     std::vector<std::unique_ptr<ArrayController>> shards_;
-    int64_t per_shard_units_ = 0;
+    std::vector<const DeviceModel *> devices_;
+    std::vector<std::string> tiers_;
+    std::vector<Group> groups_;
+    /** Shard -> its allocation group. */
+    std::vector<int> group_of_shard_;
+    /** Shard -> its index within its group's member list. */
+    std::vector<int> index_in_group_;
     int64_t data_units_ = 0;
 
     uint64_t issued_ = 0;

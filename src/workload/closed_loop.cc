@@ -144,7 +144,7 @@ SimConfig::workload() const
 }
 
 SimResult
-runClosedLoop(const Layout &layout, const DiskModel &disk_model,
+runClosedLoop(const Layout &layout, const DeviceModel &device,
               const SimConfig &config)
 {
     EventQueue events;
@@ -157,12 +157,20 @@ runClosedLoop(const Layout &layout, const DiskModel &disk_model,
         config.mode == ArrayMode::FaultFree ? -1 : config.failed_disk;
     array_config.sstf_window = config.sstf_window;
     array_config.probe = config.probe;
-    ArrayController array(events, layout, disk_model, array_config);
+    ArrayController array(events, layout, device, array_config);
 
     ClosedLoopClient client(config.workload());
     client.start(events, array);
     events.runUntilEmpty();
     return client.result();
+}
+
+SimResult
+runClosedLoop(const Layout &layout, const DiskModel &disk_model,
+              const SimConfig &config)
+{
+    return runClosedLoop(layout, *wrapLegacyModel(disk_model),
+                         config);
 }
 
 } // namespace pddl

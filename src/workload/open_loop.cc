@@ -104,7 +104,7 @@ OpenLoopClient::result() const
 }
 
 OpenLoopResult
-runOpenLoop(const Layout &layout, const DiskModel &disk_model,
+runOpenLoop(const Layout &layout, const DeviceModel &device,
             const OpenLoopSimConfig &config)
 {
     EventQueue events;
@@ -114,12 +114,19 @@ runOpenLoop(const Layout &layout, const DiskModel &disk_model,
     array_config.failed_disk =
         config.mode == ArrayMode::FaultFree ? -1 : config.failed_disk;
     array_config.sstf_window = config.sstf_window;
-    ArrayController array(events, layout, disk_model, array_config);
+    ArrayController array(events, layout, device, array_config);
 
     OpenLoopClient client(config.workload);
     client.start(events, array);
     events.runUntilEmpty();
     return client.result();
+}
+
+OpenLoopResult
+runOpenLoop(const Layout &layout, const DiskModel &disk_model,
+            const OpenLoopSimConfig &config)
+{
+    return runOpenLoop(layout, *wrapLegacyModel(disk_model), config);
 }
 
 } // namespace pddl

@@ -140,6 +140,12 @@ struct OpenLoopSimConfig
  * Deterministic per configuration.
  */
 OpenLoopResult runOpenLoop(const Layout &layout,
+                           const DeviceModel &device,
+                           const OpenLoopSimConfig &config);
+
+/** Legacy-model shim; forwards to the DeviceModel overload. */
+[[deprecated("pass a DeviceModel (device::hp2247() / makeDevice())")]]
+OpenLoopResult runOpenLoop(const Layout &layout,
                            const DiskModel &disk_model,
                            const OpenLoopSimConfig &config);
 

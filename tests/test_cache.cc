@@ -296,11 +296,11 @@ runCachedVolume(int threads)
     const int shards = 2;
     const double dispatch_ms = 2.0;
     PddlLayout layout = PddlLayout::make(13, 4);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
     std::vector<ShardSpec> specs(shards);
     for (ShardSpec &spec : specs) {
         spec.layout = &layout;
-        spec.model = &model;
+        spec.device = &model;
     }
     VolumeConfig vconfig;
     vconfig.chunk_units = 16;

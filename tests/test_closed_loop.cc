@@ -31,7 +31,7 @@ TEST(ClosedLoop, ProducesConvergedEstimate)
     SimConfig config = fastConfig();
     config.clients = 4;
     config.access_units = 1;
-    SimResult result = runClosedLoop(raid5, DiskModel::hp2247(), config);
+    SimResult result = runClosedLoop(raid5, device::hp2247(), config);
     EXPECT_GE(result.samples, config.min_samples);
     EXPECT_GT(result.mean_response_ms, 5.0);  // at least positioning
     EXPECT_LT(result.mean_response_ms, 200.0);
@@ -43,12 +43,12 @@ TEST(ClosedLoop, DeterministicPerSeed)
     Raid5Layout raid5(13);
     SimConfig config = fastConfig();
     config.clients = 2;
-    SimResult a = runClosedLoop(raid5, DiskModel::hp2247(), config);
-    SimResult b = runClosedLoop(raid5, DiskModel::hp2247(), config);
+    SimResult a = runClosedLoop(raid5, device::hp2247(), config);
+    SimResult b = runClosedLoop(raid5, device::hp2247(), config);
     EXPECT_DOUBLE_EQ(a.mean_response_ms, b.mean_response_ms);
     EXPECT_EQ(a.samples, b.samples);
     config.seed += 1;
-    SimResult c = runClosedLoop(raid5, DiskModel::hp2247(), config);
+    SimResult c = runClosedLoop(raid5, device::hp2247(), config);
     EXPECT_NE(a.mean_response_ms, c.mean_response_ms);
 }
 
@@ -58,9 +58,9 @@ TEST(ClosedLoop, ResponseTimeGrowsWithLoad)
     SimConfig config = fastConfig();
     config.access_units = 6;
     config.clients = 1;
-    SimResult light = runClosedLoop(raid5, DiskModel::hp2247(), config);
+    SimResult light = runClosedLoop(raid5, device::hp2247(), config);
     config.clients = 20;
-    SimResult heavy = runClosedLoop(raid5, DiskModel::hp2247(), config);
+    SimResult heavy = runClosedLoop(raid5, device::hp2247(), config);
     EXPECT_GT(heavy.mean_response_ms, light.mean_response_ms * 1.5);
     EXPECT_GT(heavy.throughput_per_s, light.throughput_per_s);
 }
@@ -72,7 +72,7 @@ TEST(ClosedLoop, ThroughputIdentityHolds)
     SimConfig config = fastConfig();
     config.clients = 8;
     config.access_units = 3;
-    SimResult result = runClosedLoop(raid5, DiskModel::hp2247(), config);
+    SimResult result = runClosedLoop(raid5, device::hp2247(), config);
     double predicted =
         config.clients / (result.mean_response_ms / 1000.0);
     EXPECT_NEAR(result.throughput_per_s, predicted,
@@ -87,7 +87,7 @@ TEST(ClosedLoop, NonLocalSeeksApproximateWorkingSet)
     SimConfig config = fastConfig();
     config.clients = 4;
     config.access_units = 12; // one full RAID-5 stripe of data
-    SimResult result = runClosedLoop(raid5, DiskModel::hp2247(), config);
+    SimResult result = runClosedLoop(raid5, device::hp2247(), config);
     EXPECT_NEAR(result.non_local_seeks, 12.0, 0.6);
 }
 
@@ -99,10 +99,10 @@ TEST(ClosedLoop, DegradedRaid5SlowerThanFaultFree)
     SimConfig config = fastConfig();
     config.clients = 10;
     config.access_units = 6;
-    SimResult ff = runClosedLoop(raid5, DiskModel::hp2247(), config);
+    SimResult ff = runClosedLoop(raid5, device::hp2247(), config);
     config.mode = ArrayMode::Degraded;
     config.failed_disk = 0;
-    SimResult f1 = runClosedLoop(raid5, DiskModel::hp2247(), config);
+    SimResult f1 = runClosedLoop(raid5, device::hp2247(), config);
     EXPECT_GT(f1.mean_response_ms, ff.mean_response_ms * 1.15);
 }
 
@@ -117,9 +117,9 @@ TEST(ClosedLoop, PddlPostReconstructionBeatsReconstructionForSmallReads)
     config.mode = ArrayMode::Degraded;
     config.failed_disk = 0;
     SimResult reconstruction =
-        runClosedLoop(pddl, DiskModel::hp2247(), config);
+        runClosedLoop(pddl, device::hp2247(), config);
     config.mode = ArrayMode::PostReconstruction;
-    SimResult post = runClosedLoop(pddl, DiskModel::hp2247(), config);
+    SimResult post = runClosedLoop(pddl, device::hp2247(), config);
     EXPECT_LT(post.mean_response_ms,
               reconstruction.mean_response_ms);
 }

@@ -20,14 +20,14 @@ namespace {
 struct ControllerFixture : ::testing::Test
 {
     EventQueue events;
-    DiskModel model = DiskModel::hp2247();
+    const HddDeviceModel &model = device::hp2247();
 };
 
 TEST_F(ControllerFixture, CapacityCoversWholePatterns)
 {
     Raid5Layout raid5(13);
     ArrayController array(events, raid5, model, ArrayConfig{});
-    int64_t rows = model.geometry.totalSectors() / 16;
+    int64_t rows = model.totalSectors() / 16;
     EXPECT_EQ(array.dataUnits() % raid5.dataUnitsPerPeriod(), 0);
     EXPECT_LE(array.dataUnits() / raid5.dataUnitsPerStripe(),
               rows); // stripes fit the media

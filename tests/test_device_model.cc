@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the device-model registry: spec round-trips
+ * (parse(describe(m)) rebuilds an identical model), bit-exact
+ * equivalence of the hp2247 instance with the legacy construction
+ * points, hdd seek-curve calibration, the flat ssd service-time
+ * model, histogram-bound selection and spec-string error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/device_model.hh"
+#include "obs/metrics.hh"
+
+namespace pddl {
+namespace {
+
+/** One representative spec per family, defaulted and fully keyed. */
+const char *const kSpecs[] = {
+    "hp2247",
+    "hdd",
+    "hdd:rpm=5400,cylinders=2000,heads=10,spt=96,min_seek_ms=2,"
+    "avg_seek_ms=9,head_switch_ms=1,cost=0.8",
+    "ssd",
+    "ssd:read_us=100,write_us=300,sector_us=0.4,sectors=1048576,"
+    "cost=5",
+};
+
+/** Identical observable behaviour over a deterministic op sample. */
+void
+expectSameModel(const DeviceModel &a, const DeviceModel &b)
+{
+    ASSERT_STREQ(a.kind(), b.kind());
+    EXPECT_EQ(a.describe(), b.describe());
+    EXPECT_EQ(a.totalSectors(), b.totalSectors());
+    EXPECT_EQ(a.sectorBytes(), b.sectorBytes());
+    EXPECT_EQ(a.costUnits(), b.costUnits());
+    EXPECT_EQ(&a.latencyBoundsMs(), &b.latencyBoundsMs());
+
+    MechState ma, mb;
+    double now = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        const int64_t lba =
+            (i * 7919) % a.totalSectors() & ~int64_t{15};
+        const bool write = (i % 3) == 0;
+        EXPECT_EQ(a.seekPosition(lba), b.seekPosition(lba));
+        EXPECT_EQ(a.classify(ma, lba, i % 2 == 0),
+                  b.classify(mb, lba, i % 2 == 0));
+        const double ta = a.serviceTime(now, lba, 16, write, ma);
+        const double tb = b.serviceTime(now, lba, 16, write, mb);
+        EXPECT_EQ(ta, tb) << "op " << i;
+        EXPECT_EQ(ma.cylinder, mb.cylinder);
+        EXPECT_EQ(ma.head, mb.head);
+        now += ta;
+    }
+}
+
+TEST(DeviceSpec, ParseDescribeRoundTripsEveryFamily)
+{
+    for (const char *text : kSpecs) {
+        std::shared_ptr<const DeviceModel> first =
+            device::makeDevice(text);
+        std::shared_ptr<const DeviceModel> second =
+            device::makeDevice(first->describe());
+        SCOPED_TRACE(text);
+        expectSameModel(*first, *second);
+        // describe() is a fixed point: canonical in, canonical out.
+        EXPECT_EQ(first->describe(), second->describe());
+    }
+}
+
+TEST(DeviceSpec, Hp2247MatchesLegacyConstructionPoints)
+{
+    const HddDeviceModel &model = device::hp2247();
+    EXPECT_STREQ(model.kind(), "hp2247");
+    EXPECT_EQ(model.describe(), "hp2247");
+    EXPECT_EQ(model.costUnits(), 1.0);
+
+    const DiskGeometry geometry = device::hp2247Geometry();
+    EXPECT_EQ(model.totalSectors(), geometry.totalSectors());
+    EXPECT_EQ(model.geometry().cylinders(), geometry.cylinders());
+    EXPECT_EQ(model.geometry().heads(), geometry.heads());
+
+    // The paper's drive: 2.9 ms single-cylinder seek, ~10 ms random
+    // average, 4000 rpm -> 15 ms revolution.
+    const SeekModel seek = device::hp2247SeekModel();
+    EXPECT_EQ(model.seek().seekTime(1), seek.seekTime(1));
+    EXPECT_EQ(model.seek().averageSeek(geometry.cylinders()),
+              seek.averageSeek(geometry.cylinders()));
+
+    // The registry's "hp2247" is the same singleton object, so every
+    // default-device code path shares one model.
+    EXPECT_EQ(device::makeDevice("hp2247").get(),
+              static_cast<const DeviceModel *>(&model));
+}
+
+TEST(DeviceSpec, HddCalibrationHitsRequestedAverageSeek)
+{
+    for (double target : {6.0, 8.0, 12.0}) {
+        std::shared_ptr<const DeviceModel> model = device::makeDevice(
+            "hdd:avg_seek_ms=" + std::to_string(target));
+        const auto *hdd =
+            dynamic_cast<const HddDeviceModel *>(model.get());
+        ASSERT_NE(hdd, nullptr);
+        EXPECT_NEAR(
+            hdd->seek().averageSeek(hdd->geometry().cylinders()),
+            target, 1e-6)
+            << "target " << target;
+    }
+    // And the single-cylinder constraint holds.
+    std::shared_ptr<const DeviceModel> model =
+        device::makeDevice("hdd:min_seek_ms=2,avg_seek_ms=9");
+    const auto *hdd =
+        dynamic_cast<const HddDeviceModel *>(model.get());
+    ASSERT_NE(hdd, nullptr);
+    EXPECT_NEAR(hdd->seek().seekTime(1), 2.0, 1e-9);
+}
+
+TEST(DeviceSpec, SsdServiceTimeIsFlatAndPositionFree)
+{
+    std::shared_ptr<const DeviceModel> model = device::makeDevice(
+        "ssd:read_us=100,write_us=300,sector_us=0.5");
+    MechState state;
+    // Position-independent: the same op costs the same at any LBA
+    // and any time, and never moves the (vestigial) mech state.
+    const double read16 =
+        model->serviceTime(0.0, 0, 16, false, state);
+    EXPECT_EQ(model->serviceTime(123.0, model->totalSectors() - 16,
+                                 16, false, state),
+              read16);
+    EXPECT_EQ(state.cylinder, 0);
+    EXPECT_EQ(state.head, 0);
+    // read_us + 16 sectors * sector_us = 100us + 8us = 0.108 ms.
+    EXPECT_NEAR(read16, 0.108, 1e-12);
+    EXPECT_NEAR(model->serviceTime(0.0, 0, 16, true, state), 0.308,
+                1e-12);
+    // SSTF degenerates to arrival order.
+    EXPECT_EQ(model->seekPosition(0),
+              model->seekPosition(model->totalSectors() - 1));
+    EXPECT_EQ(model->classify(state, 0, true), SeekClass::NoSwitch);
+    EXPECT_EQ(model->classify(state, 0, false),
+              SeekClass::NonLocal);
+}
+
+TEST(DeviceSpec, ErrorsNameTheProblem)
+{
+    std::shared_ptr<const DeviceModel> model;
+    std::string error;
+    EXPECT_FALSE(device::parseDeviceSpec("floppy", model, error));
+    EXPECT_NE(error.find("unknown device family"), std::string::npos);
+    EXPECT_FALSE(device::parseDeviceSpec("ssd:bogus=1", model, error));
+    EXPECT_NE(error.find("bogus"), std::string::npos);
+    EXPECT_FALSE(
+        device::parseDeviceSpec("hdd:rpm=fast", model, error));
+    EXPECT_FALSE(device::parseDeviceSpec("ssd:read_us=-5", model,
+                                         error));
+    EXPECT_FALSE(device::parseDeviceSpec(
+        "hdd:min_seek_ms=9,avg_seek_ms=8", model, error));
+    EXPECT_THROW(device::makeDevice("floppy"), std::runtime_error);
+    EXPECT_GE(device::deviceSpecNames().size(), 3u);
+}
+
+TEST(DeviceSpec, LatencyBoundsPickTheFinestDeviceClass)
+{
+    const HddDeviceModel &hdd = device::hp2247();
+    std::shared_ptr<const DeviceModel> ssd =
+        device::makeDevice("ssd");
+
+    // Mechanical drives keep the registry default.
+    EXPECT_EQ(&device::latencyBoundsForDevices({&hdd}),
+              &obs::defaultLatencyBoundsMs());
+
+    // Any flash member switches the volume to the finer bounds.
+    const std::vector<double> &mixed =
+        device::latencyBoundsForDevices({&hdd, ssd.get()});
+    EXPECT_EQ(&mixed, &ssd->latencyBoundsMs());
+    ASSERT_FALSE(mixed.empty());
+    EXPECT_LT(mixed.front(), obs::defaultLatencyBoundsMs().front());
+    // ...while still covering the mechanical tail.
+    EXPECT_GE(mixed.back(), obs::defaultLatencyBoundsMs().back());
+}
+
+} // namespace
+} // namespace pddl

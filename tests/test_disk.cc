@@ -15,7 +15,7 @@ namespace {
 struct DiskFixture : ::testing::Test
 {
     EventQueue events;
-    DiskModel model = DiskModel::hp2247();
+    const HddDeviceModel &model = device::hp2247();
 
     DiskRequest
     request(int64_t lba, int sectors, uint64_t access_id,
@@ -81,7 +81,7 @@ TEST_F(DiskFixture, SstfPicksNearestCylinder)
     // serve the near one first once the disk is busy with a third.
     Disk disk(events, model, 20);
     std::vector<int> completion_order;
-    const auto &geo = model.geometry;
+    const DiskGeometry &geo = model.geometry();
     int64_t near_lba = geo.chsToLba({10, 0, 0});
     int64_t far_lba = geo.chsToLba({1900, 0, 0});
     // First request makes the disk busy at cylinder 0.
@@ -101,7 +101,7 @@ TEST_F(DiskFixture, FcfsWindowOneIgnoresDistance)
 {
     Disk disk(events, model, 1); // degenerate SSTF = FCFS
     std::vector<int> completion_order;
-    const auto &geo = model.geometry;
+    const DiskGeometry &geo = model.geometry();
     int64_t near_lba = geo.chsToLba({10, 0, 0});
     int64_t far_lba = geo.chsToLba({1900, 0, 0});
     disk.submit(request(0, 1, 1, [&] { completion_order.push_back(0); }));
@@ -118,7 +118,7 @@ TEST_F(DiskFixture, FcfsWindowOneIgnoresDistance)
 TEST_F(DiskFixture, SeekClassificationFollowsAccessIdentity)
 {
     Disk disk(events, model);
-    const auto &geo = model.geometry;
+    const DiskGeometry &geo = model.geometry();
     // Same access, same track -> no-switch; same access new cylinder
     // -> cylinder switch; new access -> non-local.
     disk.submit(request(0, 1, 7));

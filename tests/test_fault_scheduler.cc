@@ -22,7 +22,7 @@ struct FaultFixture : ::testing::Test
 {
     EventQueue events;
     PddlLayout layout{boseConstruction(13, 4)};
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
 
     FaultSchedule
     scripted(std::vector<FaultEvent> timeline)

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "disk/device_model.hh"
 #include "disk/geometry.hh"
 
 namespace pddl {
@@ -12,7 +13,7 @@ namespace {
 
 TEST(Hp2247Geometry, MatchesTable2)
 {
-    DiskGeometry geo = DiskGeometry::hp2247();
+    DiskGeometry geo = device::hp2247Geometry();
     EXPECT_EQ(geo.cylinders(), 1981);
     EXPECT_EQ(geo.heads(), 13);
     EXPECT_EQ(geo.zones().size(), 8u);
@@ -24,7 +25,7 @@ TEST(Hp2247Geometry, MatchesTable2)
 
 TEST(Hp2247Geometry, ZonesDescendInDensity)
 {
-    DiskGeometry geo = DiskGeometry::hp2247();
+    DiskGeometry geo = device::hp2247Geometry();
     const auto &zones = geo.zones();
     for (size_t i = 1; i < zones.size(); ++i) {
         EXPECT_LT(zones[i].sectors_per_track,
@@ -49,7 +50,7 @@ TEST(Geometry, LbaChsRoundTripExhaustiveSmallDisk)
 
 TEST(Geometry, LbaChsRoundTripSampledHp2247)
 {
-    DiskGeometry geo = DiskGeometry::hp2247();
+    DiskGeometry geo = device::hp2247Geometry();
     for (int64_t lba = 0; lba < geo.totalSectors(); lba += 997) {
         Chs chs = geo.lbaToChs(lba);
         EXPECT_EQ(geo.chsToLba(chs), lba) << "lba " << lba;
@@ -62,7 +63,7 @@ TEST(Geometry, LbaChsRoundTripSampledHp2247)
 
 TEST(Geometry, ConsecutiveLbasAdvanceAlongTrackThenHeadThenCylinder)
 {
-    DiskGeometry geo = DiskGeometry::hp2247();
+    DiskGeometry geo = device::hp2247Geometry();
     Chs prev = geo.lbaToChs(0);
     for (int64_t lba = 1; lba < 5000; ++lba) {
         Chs cur = geo.lbaToChs(lba);
@@ -82,7 +83,7 @@ TEST(Geometry, ConsecutiveLbasAdvanceAlongTrackThenHeadThenCylinder)
 
 TEST(Geometry, ZoneOfFindsCorrectZone)
 {
-    DiskGeometry geo = DiskGeometry::hp2247();
+    DiskGeometry geo = device::hp2247Geometry();
     EXPECT_EQ(geo.zoneOf(0), 0);
     EXPECT_EQ(geo.zoneOf(geo.cylinders() - 1), 7);
     int prev_zone = 0;

@@ -142,7 +142,7 @@ TEST(DeriveSeed, DistinctAcrossAGrid)
 
 /** A small but real simulation grid over a 5-disk RAID-5. */
 std::vector<Experiment>
-smallGrid(const Layout &layout, const DiskModel &model)
+smallGrid(const Layout &layout, const DeviceModel &model)
 {
     std::vector<Experiment> experiments;
     for (int clients : {1, 4, 8}) {
@@ -157,7 +157,7 @@ smallGrid(const Layout &layout, const DiskModel &model)
             experiment.config.max_samples = 200;
             experiment.config.warmup = 20;
             experiment.layout = &layout;
-            experiment.model = &model;
+            experiment.device = &model;
             experiments.push_back(std::move(experiment));
         }
     }
@@ -167,7 +167,7 @@ smallGrid(const Layout &layout, const DiskModel &model)
 TEST(ExperimentRunner, ParallelRunMatchesSerialBitForBit)
 {
     Raid5Layout layout(5);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
     auto experiments = smallGrid(layout, model);
 
     RunSummary serial = ExperimentRunner(1).run(experiments);
@@ -264,7 +264,7 @@ TEST(Json, ObjectsKeepInsertionOrderAndReplaceKeys)
 TEST(WriteFigureJson, EmitsAParsableDocument)
 {
     Raid5Layout layout(5);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
     auto experiments = smallGrid(layout, model);
     RunSummary summary = ExperimentRunner(2).run(experiments);
 

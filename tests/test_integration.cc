@@ -50,7 +50,7 @@ TEST_P(AnalyzerVsSimulator, NonLocalSeeksMatchWorkingSet)
     config.max_samples = 3000;
     config.warmup = 150;
     SimResult measured =
-        runClosedLoop(layout, DiskModel::hp2247(), config);
+        runClosedLoop(layout, device::hp2247(), config);
 
     EXPECT_NEAR(measured.non_local_seeks, analytic,
                 0.05 * analytic + 0.25)
@@ -84,7 +84,7 @@ TEST(Integration, TotalOpsMatchAnalyticExpansion)
     config.max_samples = 3000;
     config.warmup = 150;
     SimResult measured =
-        runClosedLoop(layout, DiskModel::hp2247(), config);
+        runClosedLoop(layout, device::hp2247(), config);
     double total = measured.non_local_seeks +
                    measured.cylinder_switches +
                    measured.track_switches + measured.no_switches;
@@ -107,7 +107,7 @@ TEST(Integration, ReconstructionTallyPredictsDegradedLoadSkew)
         ArrayConfig config;
         config.mode = ArrayMode::Degraded;
         config.failed_disk = 0;
-        ArrayController array(events, layout, DiskModel::hp2247(),
+        ArrayController array(events, layout, device::hp2247(),
                               config);
         Rng rng(3);
         int remaining = 3000;
@@ -150,9 +150,9 @@ TEST(Integration, DatumWorkingSetDrivesItsHeavyLoadAdvantage)
     config.max_samples = 3000;
     config.warmup = 200;
     SimResult datum_result =
-        runClosedLoop(datum, DiskModel::hp2247(), config);
+        runClosedLoop(datum, device::hp2247(), config);
     SimResult raid5_result =
-        runClosedLoop(raid5, DiskModel::hp2247(), config);
+        runClosedLoop(raid5, device::hp2247(), config);
     EXPECT_LT(datum_result.mean_response_ms,
               raid5_result.mean_response_ms);
 }

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the layout-spec registry: normalization and canonical
+ * round-trips (parse(canonical(p)) == p), specOf() as the inverse of
+ * makeLayout(), and construction/validation errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/layout_spec.hh"
+
+namespace pddl {
+namespace {
+
+using layouts::ParsedLayoutSpec;
+
+ParsedLayoutSpec
+parsed(const std::string &text)
+{
+    ParsedLayoutSpec spec;
+    std::string error;
+    EXPECT_TRUE(layouts::parseLayoutSpec(text, spec, error))
+        << text << ": " << error;
+    return spec;
+}
+
+TEST(LayoutSpec, CanonicalRoundTripsEveryFamily)
+{
+    const char *const specs[] = {
+        "pddl",
+        "pddl:width=6",
+        "raid5",
+        "datum:width=5,check=2",
+        "parity:width=4",
+        "prime:width=4",
+        "mirror",
+        "mirror:copies=3,sched=shortest_queue",
+        "mirror:sched=primary",
+    };
+    for (const char *text : specs) {
+        ParsedLayoutSpec spec = parsed(text);
+        ParsedLayoutSpec again = parsed(spec.canonical());
+        EXPECT_EQ(spec, again) << text;
+        // canonical() is a fixed point.
+        EXPECT_EQ(spec.canonical(), again.canonical()) << text;
+    }
+}
+
+TEST(LayoutSpec, SpecOfInvertsMakeLayout)
+{
+    // parse(specOf(*makeLayout(s, n))) == parse(s) for every
+    // registered family -- the registry's documented contract.
+    const struct
+    {
+        const char *text;
+        int disks;
+    } cases[] = {
+        {"pddl:width=4", 13},  {"raid5", 13},
+        {"datum:width=4", 13}, {"parity:width=4", 13},
+        {"prime:width=4", 13}, {"mirror:copies=2", 26},
+        {"mirror:copies=2,sched=shortest_queue", 8},
+    };
+    for (const auto &c : cases) {
+        std::unique_ptr<Layout> layout =
+            layouts::makeLayout(c.text, c.disks);
+        ASSERT_NE(layout, nullptr) << c.text;
+        EXPECT_EQ(layout->numDisks(), c.disks) << c.text;
+        EXPECT_EQ(parsed(layouts::specOf(*layout)), parsed(c.text))
+            << c.text;
+    }
+}
+
+TEST(LayoutSpec, MirrorSpecCarriesSchedulerAndCopies)
+{
+    std::unique_ptr<Layout> layout =
+        layouts::makeLayout("mirror:copies=3,sched=primary", 9);
+    EXPECT_STREQ(layout->family(), "mirror");
+    EXPECT_EQ(layout->mirrorCopies(), 3);
+    EXPECT_EQ(layout->replicaSched(), ReplicaSched::Primary);
+    EXPECT_EQ(layout->dataUnitsPerStripe(), 1);
+
+    // Defaults: 2 copies, round-robin reads.
+    ParsedLayoutSpec spec = parsed("mirror");
+    EXPECT_EQ(spec.copies, 2);
+    EXPECT_EQ(spec.sched, ReplicaSched::RoundRobin);
+}
+
+TEST(LayoutSpec, ErrorsNameTheProblem)
+{
+    ParsedLayoutSpec spec;
+    std::string error;
+    EXPECT_FALSE(layouts::parseLayoutSpec("zebra", spec, error));
+    EXPECT_NE(error.find("zebra"), std::string::npos);
+    EXPECT_FALSE(
+        layouts::parseLayoutSpec("pddl:width=0", spec, error));
+    EXPECT_FALSE(
+        layouts::parseLayoutSpec("mirror:copies=1", spec, error));
+    EXPECT_FALSE(layouts::parseLayoutSpec("mirror:sched=random",
+                                          spec, error));
+    EXPECT_FALSE(
+        layouts::parseLayoutSpec("raid5:width=4", spec, error));
+
+    // Valid spec, impossible disk count: copies must divide n.
+    EXPECT_THROW(layouts::makeLayout("mirror:copies=2", 13),
+                 std::runtime_error);
+    // Width cannot exceed the array.
+    EXPECT_THROW(layouts::makeLayout("pddl:width=14", 13),
+                 std::runtime_error);
+
+    EXPECT_GE(layouts::layoutSpecNames().size(), 6u);
+}
+
+} // namespace
+} // namespace pddl

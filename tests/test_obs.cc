@@ -373,6 +373,45 @@ TEST(Probe, DispatchesToAttachedSinks)
     EXPECT_EQ(tracer.size(), 1u);
 }
 
+TEST(MetricsRegistry, HistogramBoundsAreARegistryProperty)
+{
+    // Sub-millisecond samples (an ssd-class device) collapse into
+    // bucket 0 under the default bounds but resolve under
+    // registry-supplied finer ones -- the property the hybrid bench
+    // relies on via device::latencyBoundsForDevices().
+    MetricsRegistry coarse;
+    coarse.observe("lat_ms", 0.10);
+    coarse.observe("lat_ms", 0.12);
+    coarse.observe("lat_ms", 0.20);
+    MetricsSnapshot coarse_snap = coarse.snapshot();
+    const HistogramData *h = coarse_snap.histogram("lat_ms");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->bounds, defaultLatencyBoundsMs());
+    EXPECT_EQ(h->counts[0], 3); // all in bucket 0: no resolution
+
+    MetricsRegistry fine;
+    fine.setHistogramBounds({0.05, 0.1, 0.15, 0.25, 1.0});
+    fine.observe("lat_ms", 0.10);
+    fine.observe("lat_ms", 0.12);
+    fine.observe("lat_ms", 0.20);
+    MetricsSnapshot fine_snap = fine.snapshot();
+    const HistogramData *f = fine_snap.histogram("lat_ms");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(f->bounds.size(), 5u);
+    EXPECT_EQ(f->counts[2], 2); // 0.10, 0.12 in [0.1, 0.15)
+    EXPECT_EQ(f->counts[3], 1); // 0.20 in [0.15, 0.25)
+    // The quantile now distinguishes the samples.
+    EXPECT_LT(f->quantile(0.10), f->quantile(0.90));
+
+    // Empty restores the defaults for later histograms.
+    fine.setHistogramBounds({});
+    fine.observe("later_ms", 1.0);
+    MetricsSnapshot later_snap = fine.snapshot();
+    const HistogramData *d = later_snap.histogram("later_ms");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->bounds, defaultLatencyBoundsMs());
+}
+
 } // namespace
 } // namespace obs
 } // namespace pddl

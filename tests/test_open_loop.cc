@@ -26,7 +26,7 @@ TEST(OpenLoop, CompletesAllSamples)
     Raid5Layout raid5(13);
     OpenLoopSimConfig config = fastConfig();
     config.workload.arrivals_per_s = 50.0;
-    OpenLoopResult r = runOpenLoop(raid5, DiskModel::hp2247(), config);
+    OpenLoopResult r = runOpenLoop(raid5, device::hp2247(), config);
     EXPECT_EQ(r.samples, config.workload.samples);
     EXPECT_GT(r.mean_response_ms, 5.0);
     EXPECT_GE(r.p95_response_ms, r.mean_response_ms);
@@ -37,11 +37,11 @@ TEST(OpenLoop, DeterministicPerSeed)
 {
     Raid5Layout raid5(13);
     OpenLoopSimConfig config = fastConfig();
-    OpenLoopResult a = runOpenLoop(raid5, DiskModel::hp2247(), config);
-    OpenLoopResult b = runOpenLoop(raid5, DiskModel::hp2247(), config);
+    OpenLoopResult a = runOpenLoop(raid5, device::hp2247(), config);
+    OpenLoopResult b = runOpenLoop(raid5, device::hp2247(), config);
     EXPECT_DOUBLE_EQ(a.mean_response_ms, b.mean_response_ms);
     config.workload.seed += 1;
-    OpenLoopResult c = runOpenLoop(raid5, DiskModel::hp2247(), config);
+    OpenLoopResult c = runOpenLoop(raid5, device::hp2247(), config);
     EXPECT_NE(a.mean_response_ms, c.mean_response_ms);
 }
 
@@ -52,11 +52,11 @@ TEST(OpenLoop, LatencyExplodesNearSaturation)
     Raid5Layout raid5(13);
     OpenLoopSimConfig config = fastConfig();
     config.workload.arrivals_per_s = 50.0;
-    OpenLoopResult light = runOpenLoop(raid5, DiskModel::hp2247(),
+    OpenLoopResult light = runOpenLoop(raid5, device::hp2247(),
                                        config);
     // beyond ~13 disks' service rate
     config.workload.arrivals_per_s = 900.0;
-    OpenLoopResult heavy = runOpenLoop(raid5, DiskModel::hp2247(),
+    OpenLoopResult heavy = runOpenLoop(raid5, device::hp2247(),
                                        config);
     EXPECT_GT(heavy.mean_response_ms, 2.0 * light.mean_response_ms);
     EXPECT_GT(heavy.max_outstanding, light.max_outstanding);
@@ -67,7 +67,7 @@ TEST(OpenLoop, ThroughputTracksOfferedLoadBelowSaturation)
     Raid5Layout raid5(13);
     OpenLoopSimConfig config = fastConfig();
     config.workload.arrivals_per_s = 100.0;
-    OpenLoopResult r = runOpenLoop(raid5, DiskModel::hp2247(), config);
+    OpenLoopResult r = runOpenLoop(raid5, device::hp2247(), config);
     EXPECT_NEAR(r.completed_per_s, 100.0, 15.0);
 }
 
@@ -82,7 +82,7 @@ TEST(OpenLoop, MixedProfileRuns)
         AccessMixEntry{3, AccessType::Write, 0.2},
         AccessMixEntry{12, AccessType::Read, 0.1},
     };
-    OpenLoopResult r = runOpenLoop(pddl, DiskModel::hp2247(), config);
+    OpenLoopResult r = runOpenLoop(pddl, device::hp2247(), config);
     EXPECT_EQ(r.samples, config.workload.samples);
     EXPECT_GT(r.mean_response_ms, 0.0);
 }
@@ -92,10 +92,10 @@ TEST(OpenLoop, DegradedModeSlower)
     PddlLayout pddl = PddlLayout::make(13, 4);
     OpenLoopSimConfig config = fastConfig();
     config.workload.arrivals_per_s = 150.0;
-    OpenLoopResult ff = runOpenLoop(pddl, DiskModel::hp2247(), config);
+    OpenLoopResult ff = runOpenLoop(pddl, device::hp2247(), config);
     config.mode = ArrayMode::Degraded;
     config.failed_disk = 0;
-    OpenLoopResult f1 = runOpenLoop(pddl, DiskModel::hp2247(), config);
+    OpenLoopResult f1 = runOpenLoop(pddl, device::hp2247(), config);
     EXPECT_GT(f1.mean_response_ms, ff.mean_response_ms);
 }
 

@@ -107,7 +107,7 @@ Fingerprint
 runScenario(const ScenarioParams &params)
 {
     PddlLayout layout = PddlLayout::make(13, 4);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
 
     const size_t shard_count = static_cast<size_t>(params.shards);
     std::vector<std::unique_ptr<obs::MetricsRegistry>> registries;
@@ -119,7 +119,7 @@ runScenario(const ScenarioParams &params)
     std::vector<ShardSpec> specs(shard_count);
     for (size_t s = 0; s < shard_count; ++s) {
         specs[s].layout = &layout;
-        specs[s].model = &model;
+        specs[s].device = &model;
         specs[s].array.probe =
             obs::Probe(registries[s].get(), nullptr);
     }

@@ -18,7 +18,7 @@ struct ReconstructionFixture : ::testing::Test
 {
     EventQueue events;
     PddlLayout layout{boseConstruction(13, 4)};
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
 
     ArrayConfig
     degradedConfig()

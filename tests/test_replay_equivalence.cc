@@ -78,7 +78,7 @@ Fingerprint
 runScenario()
 {
     PddlLayout layout = PddlLayout::make(13, 4);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
 
     EventQueue events;
     ArrayConfig config;
@@ -188,7 +188,7 @@ Fingerprint
 runVolumeScenario(int threads)
 {
     PddlLayout layout = PddlLayout::make(13, 4);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
     constexpr int kShards = 4;
     constexpr double kDispatchMs = 0.75;
 
@@ -204,7 +204,7 @@ runVolumeScenario(int threads)
     std::vector<ShardSpec> specs(kShards);
     for (ShardSpec &spec : specs) {
         spec.layout = &layout;
-        spec.model = &model;
+        spec.device = &model;
     }
     VolumeConfig vconfig;
     vconfig.chunk_units = 4;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "disk/device_model.hh"
 #include "disk/seek_model.hh"
 
 namespace pddl {
@@ -13,30 +14,30 @@ namespace {
 
 TEST(SeekModel, ZeroDistanceIsFree)
 {
-    EXPECT_DOUBLE_EQ(SeekModel::hp2247().seekTime(0), 0.0);
+    EXPECT_DOUBLE_EQ(device::hp2247SeekModel().seekTime(0), 0.0);
 }
 
 TEST(SeekModel, SingleCylinderMatchesPaperCylinderSwitch)
 {
     // "the cylinder switch service time is 2.9 ms."
-    EXPECT_NEAR(SeekModel::hp2247().seekTime(1), 2.9, 0.01);
+    EXPECT_NEAR(device::hp2247SeekModel().seekTime(1), 2.9, 0.01);
 }
 
 TEST(SeekModel, HeadSwitchMatchesPaperTrackSwitch)
 {
     // "the track switch service time 0.8 ms."
-    EXPECT_NEAR(SeekModel::hp2247().headSwitchMs(), 0.8, 1e-9);
+    EXPECT_NEAR(device::hp2247SeekModel().headSwitchMs(), 0.8, 1e-9);
 }
 
 TEST(SeekModel, AverageSeekMatchesTable2)
 {
     // Table 2: average seek time 10 ms over 1981 cylinders.
-    EXPECT_NEAR(SeekModel::hp2247().averageSeek(1981), 10.0, 0.75);
+    EXPECT_NEAR(device::hp2247SeekModel().averageSeek(1981), 10.0, 0.75);
 }
 
 TEST(SeekModel, MonotonicallyNondecreasing)
 {
-    SeekModel model = SeekModel::hp2247();
+    SeekModel model = device::hp2247SeekModel();
     double prev = 0.0;
     for (int d = 1; d < 1981; ++d) {
         double t = model.seekTime(d);
@@ -47,14 +48,14 @@ TEST(SeekModel, MonotonicallyNondecreasing)
 
 TEST(SeekModel, ContinuousAtTheKnee)
 {
-    SeekModel model = SeekModel::hp2247();
+    SeekModel model = device::hp2247SeekModel();
     EXPECT_NEAR(model.seekTime(400), model.seekTime(401), 0.05);
 }
 
 TEST(SeekModel, FullSweepBounded)
 {
     // Era-appropriate maximum: well under 2x the average.
-    SeekModel model = SeekModel::hp2247();
+    SeekModel model = device::hp2247SeekModel();
     EXPECT_LT(model.maxSeek(1981), 19.0);
     EXPECT_GT(model.maxSeek(1981), 15.0);
 }

@@ -318,7 +318,7 @@ TEST(TraceReplay, RejectsRecordsBeyondTheTarget)
 {
     EventQueue events;
     Raid5Layout raid5(13);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
     ArrayController array(events, raid5, model, ArrayConfig{});
     traffic::TraceReplayWorkload replay(
         {{0.0, AccessType::Read, array.dataUnits(), 1}});
@@ -334,7 +334,7 @@ TEST(TraceReplay, RejectsRecordsBeyondTheTarget)
 TEST(TraceReplay, CaptureFormatParseReplayReproducesTheSimulation)
 {
     Raid5Layout raid5(13);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
 
     EventQueue record_events;
     ArrayController recorded(record_events, raid5, model,
@@ -381,7 +381,7 @@ TEST(TraceReplay, DiscardSkipsTheColdStartFromMeasurement)
 {
     EventQueue events;
     Raid5Layout raid5(13);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
     ArrayController array(events, raid5, model, ArrayConfig{});
 
     std::vector<TraceRecord> records;
@@ -404,7 +404,7 @@ TEST(ClosedLoopTraffic, DiscardDelaysMeasurementByExactlyThatMany)
     // warmup, discarded, or measured, so total accesses issued is
     // warmup + discard + samples on the nose.
     Raid5Layout raid5(13);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
     auto run = [&](int64_t discard) {
         EventQueue events;
         ArrayController array(events, raid5, model, ArrayConfig{});
@@ -445,11 +445,11 @@ runTrafficOnVolume(int threads, MakeWorkload make_workload,
     const int shards = 2;
     const double dispatch_ms = 2.0;
     PddlLayout layout = PddlLayout::make(13, 4);
-    DiskModel model = DiskModel::hp2247();
+    const DeviceModel &model = device::hp2247();
     std::vector<ShardSpec> specs(shards);
     for (ShardSpec &spec : specs) {
         spec.layout = &layout;
-        spec.model = &model;
+        spec.device = &model;
     }
     VolumeConfig vconfig;
     vconfig.chunk_units = 16;

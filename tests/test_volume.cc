@@ -309,7 +309,7 @@ TEST_F(VolumeFixture, WorkloadRunsAgainstArrayAndVolumeAlike)
     config.warmup = 20;
 
     EventQueue queue_a;
-    ArrayController array(queue_a, layout, DiskModel::hp2247(),
+    ArrayController array(queue_a, layout, device::hp2247(),
                           ArrayConfig{});
     ClosedLoopClient on_array(config);
     on_array.start(queue_a, array);
@@ -330,6 +330,161 @@ TEST_F(VolumeFixture, WorkloadRunsAgainstArrayAndVolumeAlike)
     EXPECT_GE(on_volume.result().samples, config.min_samples);
     EXPECT_LT(on_volume.result().samples,
               config.min_samples + config.clients);
+}
+
+/** The heterogeneous fixture: a flash mirror tier + a PDDL shard. */
+std::vector<ShardSpec>
+hybridShards()
+{
+    ShardSpec fast;
+    fast.layout_spec = "mirror:copies=2";
+    fast.device_spec = "ssd";
+    fast.disks = 4;
+    ShardSpec bulk;
+    bulk.layout_spec = "pddl:width=4";
+    bulk.device_spec = "hp2247";
+    bulk.disks = 13;
+    return {fast, bulk};
+}
+
+VolumeConfig
+tieredConfig()
+{
+    VolumeConfig config;
+    config.chunk_units = 8;
+    config.allocation = VolumeAllocation::Tiered;
+    return config;
+}
+
+TEST(VolumeTiered, GroupsFormByDeviceClassInListingOrder)
+{
+    EventQueue events;
+    VolumeManager volume(events, hybridShards(), tieredConfig());
+
+    // Tier labels default from the device class: ssd -> "fast",
+    // mechanical -> "bulk"; groups keep first-appearance order, so
+    // the first-listed tier owns the address prefix.
+    ASSERT_EQ(volume.allocationGroups(), 2);
+    EXPECT_EQ(volume.groupTier(0), "fast");
+    EXPECT_EQ(volume.groupTier(1), "bulk");
+    EXPECT_EQ(volume.shardTier(0), "fast");
+    EXPECT_EQ(volume.shardTier(1), "bulk");
+    EXPECT_STREQ(volume.shardDevice(0).kind(), "ssd");
+    EXPECT_STREQ(volume.shardDevice(1).kind(), "hp2247");
+    EXPECT_STREQ(volume.shard(0).layout().family(), "mirror");
+    EXPECT_STREQ(volume.shard(1).layout().family(), "pddl");
+
+    // The address space is the concatenation of the group spans,
+    // each chunk-aligned.
+    EXPECT_EQ(volume.dataUnits(),
+              volume.groupUnits(0) + volume.groupUnits(1));
+    EXPECT_EQ(volume.shardDataUnits(0) % volume.chunkUnits(), 0);
+    EXPECT_EQ(volume.shardDataUnits(1) % volume.chunkUnits(), 0);
+    // Flash trades capacity for latency: the fast tier is the small
+    // prefix, not the bulk of the volume.
+    EXPECT_LT(volume.groupUnits(0), volume.groupUnits(1));
+
+    // An explicit label overrides the device-class default.
+    std::vector<ShardSpec> labeled = hybridShards();
+    labeled[0].tier = "cache";
+    VolumeManager relabeled(events, labeled, tieredConfig());
+    EXPECT_EQ(relabeled.groupTier(0), "cache");
+}
+
+TEST(VolumeTiered, RoutingIsABijectionAndPrefixLandsOnFastTier)
+{
+    EventQueue events;
+    VolumeManager volume(events, hybridShards(), tieredConfig());
+    const int64_t fast_units = volume.groupUnits(0);
+
+    std::set<std::pair<int, int64_t>> homes;
+    auto probe = [&](int64_t unit) {
+        VolumeAddress addr = volume.route(unit);
+        const int expected_shard = unit < fast_units ? 0 : 1;
+        ASSERT_EQ(addr.shard, expected_shard) << unit;
+        ASSERT_GE(addr.unit, 0);
+        ASSERT_LT(addr.unit, volume.shardDataUnits(addr.shard));
+        EXPECT_EQ(volume.volumeUnitOf(addr), unit) << unit;
+        EXPECT_TRUE(homes.emplace(addr.shard, addr.unit).second)
+            << "two volume units share a home at " << unit;
+    };
+    // The fast prefix, the tier boundary, and the bulk tail.
+    for (int64_t unit = 0; unit < std::min<int64_t>(fast_units, 512);
+         ++unit)
+        probe(unit);
+    for (int64_t unit = fast_units - 64; unit < fast_units + 512;
+         ++unit)
+        probe(unit);
+    for (int64_t unit = volume.dataUnits() - 64;
+         unit < volume.dataUnits(); ++unit)
+        probe(unit);
+}
+
+TEST(VolumeTiered, AccessesCrossTheTierBoundaryAndComplete)
+{
+    EventQueue events;
+    VolumeManager volume(events, hybridShards(), tieredConfig());
+    const int64_t boundary = volume.groupUnits(0);
+
+    int completions = 0;
+    volume.access(boundary - 1, 2, AccessType::Write,
+                  [&] { ++completions; });
+    events.runUntilEmpty();
+    EXPECT_EQ(completions, 1);
+    // The straddling access fanned out onto both tiers.
+    EXPECT_EQ(volume.subAccessesIssued(), 2u);
+    EXPECT_GT(volume.maxInFlight(0), 0);
+    EXPECT_GT(volume.maxInFlight(1), 0);
+}
+
+TEST(VolumeTiered, SpecBuiltStripedVolumeMatchesPrebuiltLayouts)
+{
+    // A Striped volume whose shards come from spec strings routes
+    // identically to one built from prebuilt layout/device pointers
+    // -- the registry changes construction, never addressing.
+    PddlLayout layout = PddlLayout::make(13, 4);
+    EventQueue events;
+    VolumeConfig config;
+    config.chunk_units = 8;
+
+    std::vector<ShardSpec> by_spec(2);
+    for (ShardSpec &spec : by_spec) {
+        spec.layout_spec = "pddl:width=4";
+        spec.device_spec = "hp2247";
+    }
+    VolumeManager from_specs(events, by_spec, config);
+    VolumeManager from_objects(events, uniformShards(layout, 2),
+                               config);
+
+    ASSERT_EQ(from_specs.dataUnits(), from_objects.dataUnits());
+    for (int64_t unit = 0; unit < 4096; ++unit) {
+        VolumeAddress a = from_specs.route(unit);
+        VolumeAddress b = from_objects.route(unit);
+        ASSERT_EQ(a.shard, b.shard) << unit;
+        ASSERT_EQ(a.unit, b.unit) << unit;
+    }
+}
+
+TEST(VolumeTiered, DegradedMirrorShardKeepsServingTheFastTier)
+{
+    EventQueue events;
+    VolumeManager volume(events, hybridShards(), tieredConfig());
+    volume.shard(0).transition(ArrayState::Degraded, 1);
+    EXPECT_EQ(volume.degradedShards(), 1);
+
+    // Reads of the flash prefix are served degraded-free from the
+    // surviving replicas.
+    int completions = 0;
+    for (int64_t c = 0;
+         c < volume.groupUnits(0) / volume.chunkUnits() &&
+         c < int64_t{64};
+         ++c) {
+        volume.access(c * volume.chunkUnits(), 1, AccessType::Read,
+                      [&] { ++completions; });
+    }
+    events.runUntilEmpty();
+    EXPECT_GT(completions, 0);
+    EXPECT_EQ(volume.shard(1).mode(), ArrayMode::FaultFree);
 }
 
 } // namespace
