@@ -32,17 +32,6 @@ ArrayController::ArrayController(EventQueue &events,
     init(device);
 }
 
-ArrayController::ArrayController(EventQueue &events,
-                                 const Layout &layout,
-                                 const DiskModel &disk_model,
-                                 const ArrayConfig &config)
-    : events_(events), layout_(layout),
-      owned_device_(wrapLegacyModel(disk_model)), config_(config),
-      mapper_(layout, config.mode, config.failed_disk)
-{
-    init(*owned_device_);
-}
-
 void
 ArrayController::init(const DeviceModel &device)
 {

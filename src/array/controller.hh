@@ -74,12 +74,6 @@ class ArrayController : public Target
                     const DeviceModel &device,
                     const ArrayConfig &config);
 
-    /** Legacy-model shim; forwards to the DeviceModel constructor. */
-    [[deprecated("construct with a DeviceModel")]]
-    ArrayController(EventQueue &events, const Layout &layout,
-                    const DiskModel &disk_model,
-                    const ArrayConfig &config);
-
     /** Client data units addressable (whole patterns on the media). */
     int64_t dataUnits() const override { return data_units_; }
 
@@ -176,8 +170,6 @@ class ArrayController : public Target
 
     EventQueue &events_;
     const Layout &layout_;
-    /** Keeps a legacy-shim-built model alive; usually empty. */
-    std::shared_ptr<const DeviceModel> owned_device_;
     ArrayConfig config_;
     RequestMapper mapper_;
     std::vector<std::unique_ptr<Disk>> disks_;

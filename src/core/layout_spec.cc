@@ -6,10 +6,12 @@
 
 #include "core/pddl_layout.hh"
 #include "layout/datum.hh"
+#include "layout/developed_random.hh"
 #include "layout/mirror.hh"
 #include "layout/parity_decluster.hh"
 #include "layout/prime.hh"
 #include "layout/raid5.hh"
+#include "layout/tdesign.hh"
 
 namespace pddl {
 namespace layouts {
@@ -70,6 +72,26 @@ takeInt(std::map<std::string, std::string> &params, const char *key,
 }
 
 bool
+takeUint64(std::map<std::string, std::string> &params,
+           const char *key, uint64_t &out, std::string &error)
+{
+    auto it = params.find(key);
+    if (it == params.end())
+        return true;
+    char *end = nullptr;
+    unsigned long long value =
+        std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+        error = std::string(key) + " is not an unsigned integer: '" +
+                it->second + "'";
+        return false;
+    }
+    out = static_cast<uint64_t>(value);
+    params.erase(it);
+    return true;
+}
+
+bool
 rejectUnknown(const std::map<std::string, std::string> &params,
               const std::string &family, std::string &error)
 {
@@ -95,6 +117,14 @@ ParsedLayoutSpec::canonical() const
         return "mirror:copies=" + std::to_string(copies) +
                ",sched=" + schedName(sched);
     }
+    if (family == "draid") {
+        return "draid:width=" + std::to_string(width) +
+               ",spares=" + std::to_string(spares) +
+               ",rows=" + std::to_string(rows) +
+               ",seed=" + std::to_string(seed);
+    }
+    if (family == "tdesign")
+        return "tdesign";
     // pddl / parity / prime: the width is the only knob.
     return family + ":width=" + std::to_string(width);
 }
@@ -152,10 +182,29 @@ parseLayoutSpec(const std::string &text, ParsedLayoutSpec &spec,
             }
             params.erase(it);
         }
+    } else if (family == "draid") {
+        if (!takeInt(params, "width", parsed.width, error) ||
+            !takeInt(params, "spares", parsed.spares, error) ||
+            !takeInt(params, "rows", parsed.rows, error) ||
+            !takeUint64(params, "seed", parsed.seed, error)) {
+            return false;
+        }
+        if (parsed.spares < 0) {
+            error = "draid needs spares >= 0";
+            return false;
+        }
+        if (parsed.rows < 1) {
+            error = "draid needs rows >= 1";
+            return false;
+        }
+    } else if (family == "tdesign") {
+        // No knobs: the boolean SQS fixes the stripe width at its
+        // block size.
+        parsed.width = 4;
     } else {
         error = "unknown layout family '" + family +
                 "' (registered: pddl, raid5, datum, parity, prime, "
-                "mirror)";
+                "mirror, draid, tdesign)";
         return false;
     }
     if (!rejectUnknown(params, family, error))
@@ -203,6 +252,20 @@ buildLayout(const ParsedLayoutSpec &spec, int disks)
         return std::make_unique<MirrorLayout>(disks, spec.copies,
                                               spec.sched);
     }
+    if (spec.family == "draid") {
+        if (spec.spares > disks - spec.width)
+            return fail("spares leave less than one stripe group");
+        if ((disks - spec.spares) % spec.width != 0)
+            return fail("width must divide disks - spares");
+        return std::make_unique<DevelopedRandomLayout>(
+            disks, spec.width, spec.spares, spec.rows, spec.seed);
+    }
+    if (spec.family == "tdesign") {
+        if (disks < 8 || (disks & (disks - 1)) != 0)
+            return fail("tdesign needs a power-of-two disk count "
+                        ">= 8");
+        return std::make_unique<TDesignLayout>(disks);
+    }
     return fail("family outside the registry");
 }
 
@@ -231,9 +294,18 @@ specOf(const Layout &layout)
     if (spec.family == "mirror") {
         spec.copies = layout.mirrorCopies();
         spec.sched = layout.replicaSched();
+    } else if (spec.family == "draid") {
+        // Renders the seeded construction parameters; a searched
+        // (explicit-map) layout is reproducible from its recorded
+        // (seed, move count) instead, not from this spec.
+        const auto &draid =
+            static_cast<const DevelopedRandomLayout &>(layout);
+        spec.spares = draid.spares();
+        spec.rows = draid.rowCount();
+        spec.seed = draid.seed();
     } else if (spec.family != "pddl" && spec.family != "raid5" &&
                spec.family != "datum" && spec.family != "parity" &&
-               spec.family != "prime") {
+               spec.family != "prime" && spec.family != "tdesign") {
         throw std::runtime_error("layout family '" + spec.family +
                                  "' has no registered spec");
     }
@@ -250,6 +322,8 @@ layoutSpecNames()
         "parity:width=",
         "prime:width=",
         "mirror:copies=,sched={primary,round_robin,shortest_queue}",
+        "draid:width=,spares=,rows=,seed=",
+        "tdesign",
     };
     return names;
 }

@@ -13,6 +13,13 @@
  *   prime:width=<k>              PRIME declustering
  *   mirror:copies=<c>,sched=<s>  RAID-1/0; s in {primary,
  *                                round_robin, shortest_queue}
+ *   draid:width=<k>,spares=<s>,rows=<r>,seed=<u>
+ *                                dRAID-style developed random rows
+ *                                (seeded permutations, distributed
+ *                                spares)
+ *   tdesign                      3-design declustering (boolean
+ *                                Steiner quadruple system; width 4,
+ *                                disks a power of two >= 8)
  *
  * Every key is optional. parseLayoutSpec() normalizes a spec into a
  * ParsedLayoutSpec whose canonical() string round-trips
@@ -26,6 +33,7 @@
 #ifndef PDDL_CORE_LAYOUT_SPEC_HH
 #define PDDL_CORE_LAYOUT_SPEC_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,10 +48,13 @@ namespace layouts {
 struct ParsedLayoutSpec
 {
     std::string family = "pddl";
-    int width = 4;  ///< stripe width k (pddl/datum/parity/prime)
+    int width = 4;  ///< stripe width k (pddl/datum/parity/prime/draid)
     int check = 1;  ///< check units per stripe (datum)
     int copies = 2; ///< replicas per data unit (mirror)
     ReplicaSched sched = ReplicaSched::RoundRobin; ///< mirror reads
+    int spares = 1;    ///< distributed spare slots per row (draid)
+    int rows = 64;     ///< permutation rows per period (draid)
+    uint64_t seed = 1; ///< row-permutation seed (draid)
 
     /** Canonical spec string; parse(canonical()) reproduces *this. */
     std::string canonical() const;

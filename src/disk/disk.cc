@@ -8,31 +8,11 @@
 
 namespace pddl {
 
-std::shared_ptr<const DeviceModel>
-wrapLegacyModel(const DiskModel &model)
-{
-    return std::make_shared<HddDeviceModel>("hdd", "hdd:legacy",
-                                            model.geometry, model.seek,
-                                            model.rpm, 1.0);
-}
-
 Disk::Disk(EventQueue &events, const DeviceModel &device,
            int sstf_window, int id, obs::Probe probe)
     : events_(events), device_(&device), window_(sstf_window), id_(id),
       probe_(probe), lane_(obs::kLaneDisk0 + id)
 {
-    assert(window_ >= 1);
-    if (probe_.tracing())
-        probe_.lane(lane_, "disk " + std::to_string(id_));
-}
-
-Disk::Disk(EventQueue &events, const DiskModel &model, int sstf_window,
-           int id, obs::Probe probe)
-    : events_(events), owned_device_(wrapLegacyModel(model)),
-      window_(sstf_window), id_(id), probe_(probe),
-      lane_(obs::kLaneDisk0 + id)
-{
-    device_ = owned_device_.get();
     assert(window_ >= 1);
     if (probe_.tracing())
         probe_.lane(lane_, "disk " + std::to_string(id_));

@@ -30,37 +30,6 @@
 
 namespace pddl {
 
-/**
- * Mechanical + geometric description of one drive.
- *
- * Superseded by the DeviceModel interface (disk/device_model.hh);
- * kept for one PR as a shim for call sites not yet ported.
- */
-struct DiskModel
-{
-    DiskGeometry geometry;
-    SeekModel seek;
-    double rpm;
-
-    double revolutionMs() const { return 60000.0 / rpm; }
-
-    /** HP 2247-class drive (Table 2): 5400 RPM, 10 ms average seek. */
-    [[deprecated("use device::hp2247() / device::makeDevice()")]]
-    static DiskModel
-    hp2247()
-    {
-        return DiskModel{device::hp2247Geometry(),
-                         device::hp2247SeekModel(), 5400.0};
-    }
-};
-
-/**
- * Wrap a legacy DiskModel as an owning DeviceModel (the bridge the
- * deprecated DiskModel constructors ride on; goes away with them).
- */
-std::shared_ptr<const DeviceModel>
-wrapLegacyModel(const DiskModel &model);
-
 /** One physical I/O request handed to a disk. */
 struct DiskRequest
 {
@@ -91,11 +60,6 @@ class Disk
      * @param probe instrumentation sinks (default: none)
      */
     Disk(EventQueue &events, const DeviceModel &device,
-         int sstf_window = 20, int id = 0, obs::Probe probe = {});
-
-    /** Legacy-model shim; forwards to the DeviceModel constructor. */
-    [[deprecated("construct with a DeviceModel")]]
-    Disk(EventQueue &events, const DiskModel &model,
          int sstf_window = 20, int id = 0, obs::Probe probe = {});
 
     /** Enqueue a request; service begins as the arm frees up. */
@@ -159,8 +123,6 @@ class Disk
 
     EventQueue &events_;
     const DeviceModel *device_ = nullptr;
-    /** Keeps a legacy-shim-built model alive; usually empty. */
-    std::shared_ptr<const DeviceModel> owned_device_;
     int window_;
     int id_;
     obs::Probe probe_;

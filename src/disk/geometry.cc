@@ -3,8 +3,6 @@
 #include <cassert>
 #include <cstddef>
 
-#include "disk/device_model.hh"
-
 namespace pddl {
 
 DiskGeometry::DiskGeometry(int heads, std::vector<Zone> zones,
@@ -70,12 +68,6 @@ DiskGeometry::chsToLba(const Chs &chs) const
            static_cast<int64_t>(chs.cylinder - z.first_cylinder) * per_cyl +
            static_cast<int64_t>(chs.head) * z.sectors_per_track +
            chs.sector;
-}
-
-DiskGeometry
-DiskGeometry::hp2247()
-{
-    return device::hp2247Geometry();
 }
 
 } // namespace pddl

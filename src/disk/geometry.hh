@@ -87,10 +87,6 @@ class DiskGeometry
     /** Logical block address of CHS coordinates. */
     int64_t chsToLba(const Chs &chs) const;
 
-    /** HP 2247-class geometry (Table 2 of the paper). */
-    [[deprecated("use device::hp2247Geometry()")]]
-    static DiskGeometry hp2247();
-
   private:
     int heads_;
     std::vector<Zone> zones_;

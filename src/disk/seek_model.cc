@@ -3,8 +3,6 @@
 #include <cassert>
 #include <cmath>
 
-#include "disk/device_model.hh"
-
 namespace pddl {
 
 SeekModel::SeekModel(double sqrt_base, double sqrt_coeff,
@@ -41,12 +39,6 @@ SeekModel::averageSeek(int cylinders) const
     for (int d = 1; d < cylinders; ++d)
         sum += seekTime(d) * 2.0 * (c - d) / (c * c);
     return sum;
-}
-
-SeekModel
-SeekModel::hp2247()
-{
-    return device::hp2247SeekModel();
 }
 
 } // namespace pddl

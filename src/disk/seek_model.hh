@@ -44,10 +44,6 @@ class SeekModel
      */
     double averageSeek(int cylinders) const;
 
-    /** HP 2247-class curve: 2.9 ms single-cylinder, ~10 ms average. */
-    [[deprecated("use device::hp2247SeekModel()")]]
-    static SeekModel hp2247();
-
   private:
     double sqrt_base_;
     double sqrt_coeff_;

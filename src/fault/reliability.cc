@@ -179,12 +179,4 @@ buildReliabilityExperiments(const ReliabilityGridConfig &grid,
     return experiments;
 }
 
-ReliabilityTrialResult
-runReliabilityTrial(const Layout &layout, const DiskModel &model,
-                    const ReliabilityTrialConfig &config)
-{
-    return runReliabilityTrial(layout, *wrapLegacyModel(model),
-                               config);
-}
-
 } // namespace pddl

@@ -94,12 +94,6 @@ ReliabilityTrialResult runReliabilityTrial(
     const Layout &layout, const DeviceModel &device,
     const ReliabilityTrialConfig &config);
 
-/** Legacy-model shim; forwards to the DeviceModel overload. */
-[[deprecated("pass a DeviceModel (device::hp2247() / makeDevice())")]]
-ReliabilityTrialResult runReliabilityTrial(
-    const Layout &layout, const DiskModel &model,
-    const ReliabilityTrialConfig &config);
-
 /** One cell of the Monte-Carlo sweep. */
 struct ReliabilityCell
 {

@@ -78,14 +78,12 @@ ExperimentRunner::run(const std::vector<Experiment> &experiments) const
         PointResult &out = summary.points[i];
         out.point = experiment.point;
         out.seed = deriveSeed(experiment.point);
-        std::shared_ptr<const DeviceModel> legacy;
         const auto point_start = Clock::now();
         if (experiment.custom) {
             out.result = experiment.custom(out.seed, out.extras);
         } else {
             assert(experiment.layout != nullptr &&
-                   (experiment.device != nullptr ||
-                    experiment.model != nullptr) &&
+                   experiment.device != nullptr &&
                    "experiment needs a layout/device or a custom fn");
             SimConfig config = experiment.config;
             config.seed = out.seed;
@@ -99,12 +97,8 @@ ExperimentRunner::run(const std::vector<Experiment> &experiments) const
                     metrics_enabled_ ? &registry : nullptr,
                     i == 0 ? tracer_ : nullptr);
             }
-            const DeviceModel &dev =
-                experiment.device != nullptr
-                    ? *experiment.device
-                    : *(legacy = wrapLegacyModel(*experiment.model));
-            out.result =
-                runClosedLoop(*experiment.layout, dev, config);
+            out.result = runClosedLoop(*experiment.layout,
+                                       *experiment.device, config);
             if (metrics_enabled_)
                 out.metrics = registry.snapshot();
         }

@@ -74,8 +74,6 @@ struct Experiment
     /** Inputs of the default runClosedLoop execution. */
     const Layout *layout = nullptr;
     const DeviceModel *device = nullptr;
-    /** Legacy drive mechanics; superseded by `device`. */
-    const DiskModel *model = nullptr;
     /**
      * Optional replacement for runClosedLoop (open-loop workloads,
      * rebuild experiments, analytic sweeps). Receives the derived

@@ -7,7 +7,13 @@
 namespace pddl {
 
 ParityDeclusterLayout::ParityDeclusterLayout(Bibd design)
-    : Layout("Parity Declustering", design.v, design.k, 1),
+    : ParityDeclusterLayout("Parity Declustering", std::move(design))
+{
+}
+
+ParityDeclusterLayout::ParityDeclusterLayout(std::string name,
+                                             Bibd design)
+    : Layout(std::move(name), design.v, design.k, 1),
       design_(std::move(design))
 {
     assert(verifyBibd(design_));

@@ -53,6 +53,10 @@ class ParityDeclusterLayout : public Layout
 
     const Bibd &design() const { return design_; }
 
+  protected:
+    /** Subclass hook (TDesignLayout): same machinery, own name. */
+    ParityDeclusterLayout(std::string name, Bibd design);
+
   private:
     Bibd design_;
     /**

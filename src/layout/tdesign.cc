@@ -1,0 +1,39 @@
+#include "layout/tdesign.hh"
+
+#include <stdexcept>
+
+namespace pddl {
+
+Bibd
+booleanQuadrupleSystem(int v)
+{
+    if (v < 8 || (v & (v - 1)) != 0)
+        throw std::runtime_error(
+            "boolean SQS needs a power-of-two disk count >= 8");
+    Bibd design;
+    design.v = v;
+    design.k = 4;
+    design.lambda = (v - 2) / 2;
+    // Enumerate each block once: a < b < c and d = a ^ b ^ c. The
+    // completion d is distinct from a, b, c (any equality would force
+    // two of the others equal) and d > c holds for exactly one
+    // ordering of each block, so requiring it dedups the family.
+    for (int a = 0; a < v; ++a) {
+        for (int b = a + 1; b < v; ++b) {
+            for (int c = b + 1; c < v; ++c) {
+                const int d = a ^ b ^ c;
+                if (d > c)
+                    design.blocks.push_back({a, b, c, d});
+            }
+        }
+    }
+    return design;
+}
+
+TDesignLayout::TDesignLayout(int disks)
+    : ParityDeclusterLayout("t-Design Declustering (SQS)",
+                            booleanQuadrupleSystem(disks))
+{
+}
+
+} // namespace pddl

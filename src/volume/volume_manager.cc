@@ -75,14 +75,9 @@ VolumeManager::init(std::vector<ShardSpec> &shards)
             layout = owned_layouts_.back().get();
         }
 
-        // Resolve the device: prebuilt pointer, legacy DiskModel
-        // shim, spec registry, or the HP 2247 default -- in that
-        // order.
+        // Resolve the device: prebuilt pointer, spec registry, or
+        // the HP 2247 default -- in that order.
         const DeviceModel *device = spec.device;
-        if (device == nullptr && spec.model != nullptr) {
-            owned_devices_.push_back(wrapLegacyModel(*spec.model));
-            device = owned_devices_.back().get();
-        }
         if (device == nullptr && !spec.device_spec.empty()) {
             owned_devices_.push_back(
                 pddl::device::makeDevice(spec.device_spec));

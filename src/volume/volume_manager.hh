@@ -78,8 +78,7 @@ namespace pddl {
 /**
  * One shard of a volume: what to build it from, plus controller
  * knobs. Specs are the primary interface; the pointer fields exist
- * for callers that prebuilt objects (and `model` only as a legacy
- * shim -- prefer `device`).
+ * for callers that prebuilt objects.
  */
 struct ShardSpec
 {
@@ -90,7 +89,7 @@ struct ShardSpec
     std::string layout_spec;
     /**
      * Device spec (disk/device_model.hh); empty selects "hp2247".
-     * Ignored when `device` (or legacy `model`) is set.
+     * Ignored when `device` is set.
      */
     std::string device_spec;
     /** Drives in this shard; used when building from layout_spec. */
@@ -105,8 +104,6 @@ struct ShardSpec
     const Layout *layout = nullptr;
     /** Prebuilt device model (must outlive the volume). */
     const DeviceModel *device = nullptr;
-    /** Legacy drive mechanics; superseded by `device`/device_spec. */
-    const DiskModel *model = nullptr;
     /** Controller construction knobs (per-shard probe included). */
     ArrayConfig array;
 };

@@ -165,12 +165,4 @@ runClosedLoop(const Layout &layout, const DeviceModel &device,
     return client.result();
 }
 
-SimResult
-runClosedLoop(const Layout &layout, const DiskModel &disk_model,
-              const SimConfig &config)
-{
-    return runClosedLoop(layout, *wrapLegacyModel(disk_model),
-                         config);
-}
-
 } // namespace pddl

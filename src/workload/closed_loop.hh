@@ -185,12 +185,6 @@ SimResult runClosedLoop(const Layout &layout,
                         const DeviceModel &device,
                         const SimConfig &config);
 
-/** Legacy-model shim; forwards to the DeviceModel overload. */
-[[deprecated("pass a DeviceModel (device::hp2247() / makeDevice())")]]
-SimResult runClosedLoop(const Layout &layout,
-                        const DiskModel &disk_model,
-                        const SimConfig &config);
-
 } // namespace pddl
 
 #endif // PDDL_WORKLOAD_CLOSED_LOOP_HH

@@ -122,11 +122,4 @@ runOpenLoop(const Layout &layout, const DeviceModel &device,
     return client.result();
 }
 
-OpenLoopResult
-runOpenLoop(const Layout &layout, const DiskModel &disk_model,
-            const OpenLoopSimConfig &config)
-{
-    return runOpenLoop(layout, *wrapLegacyModel(disk_model), config);
-}
-
 } // namespace pddl

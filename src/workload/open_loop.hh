@@ -143,12 +143,6 @@ OpenLoopResult runOpenLoop(const Layout &layout,
                            const DeviceModel &device,
                            const OpenLoopSimConfig &config);
 
-/** Legacy-model shim; forwards to the DeviceModel overload. */
-[[deprecated("pass a DeviceModel (device::hp2247() / makeDevice())")]]
-OpenLoopResult runOpenLoop(const Layout &layout,
-                           const DiskModel &disk_model,
-                           const OpenLoopSimConfig &config);
-
 } // namespace pddl
 
 #endif // PDDL_WORKLOAD_OPEN_LOOP_HH

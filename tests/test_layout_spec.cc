@@ -39,6 +39,9 @@ TEST(LayoutSpec, CanonicalRoundTripsEveryFamily)
         "mirror",
         "mirror:copies=3,sched=shortest_queue",
         "mirror:sched=primary",
+        "draid",
+        "draid:width=8,spares=2,rows=32,seed=99",
+        "tdesign",
     };
     for (const char *text : specs) {
         ParsedLayoutSpec spec = parsed(text);
@@ -62,6 +65,9 @@ TEST(LayoutSpec, SpecOfInvertsMakeLayout)
         {"datum:width=4", 13}, {"parity:width=4", 13},
         {"prime:width=4", 13}, {"mirror:copies=2", 26},
         {"mirror:copies=2,sched=shortest_queue", 8},
+        {"draid:width=4,spares=1,rows=64,seed=1", 13},
+        {"draid:width=8,spares=2,rows=16,seed=7", 26},
+        {"tdesign", 16},
     };
     for (const auto &c : cases) {
         std::unique_ptr<Layout> layout =
@@ -108,6 +114,19 @@ TEST(LayoutSpec, ErrorsNameTheProblem)
                  std::runtime_error);
     // Width cannot exceed the array.
     EXPECT_THROW(layouts::makeLayout("pddl:width=14", 13),
+                 std::runtime_error);
+
+    // draid needs width | (disks - spares); tdesign a power of two.
+    EXPECT_FALSE(
+        layouts::parseLayoutSpec("draid:spares=-1", spec, error));
+    EXPECT_FALSE(
+        layouts::parseLayoutSpec("draid:rows=0", spec, error));
+    EXPECT_THROW(
+        layouts::makeLayout("draid:width=5,spares=1", 13),
+        std::runtime_error);
+    EXPECT_THROW(layouts::makeLayout("tdesign", 12),
+                 std::runtime_error);
+    EXPECT_THROW(layouts::makeLayout("tdesign", 4),
                  std::runtime_error);
 
     EXPECT_GE(layouts::layoutSpecNames().size(), 6u);
