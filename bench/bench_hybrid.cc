@@ -20,7 +20,14 @@
  *                 address prefix lands on the mirror, cold capacity
  *                 on parity-protected disks.
  *
- * The workload is the PR-7 hot-spot profile: hot:0.02,0.90 (2% of
+ * Every row is one ScenarioSpec (core/scenario_spec.hh) run through
+ * the shared scenario runner (src/tune) -- the same engine that backs
+ * bench_traffic and the autotuner, so a row here is replayable from
+ * its serialized spec alone. --scenario <file|json> swaps the
+ * workload template (rates, chunking, sample budget); the bench then
+ * substitutes each configuration's shard set and allocation on top.
+ *
+ * The workload is the PR-7 hot-spot profile: hot:0.02,0.9 (2% of
  * the address space takes 90% of the traffic), in a write-heavy and
  * a read-heavy mix. Under Tiered allocation the hot prefix is
  * exactly the flash tier's span, so the hybrid serves ~90% of
@@ -30,11 +37,11 @@
  *
  * Rows report p50/p95/p99/p99.9 from the client.latency_ms
  * histogram, whose bucket bounds come from the device registry
- * (device::latencyBoundsForDevices): flash-class rows keep
- * sub-millisecond resolution instead of collapsing into bucket 0.
- * Rows contain only simulated quantities, so BENCH_hybrid.json is
- * byte-identical across --threads and --sim-threads; CI diffs the
- * raw files.
+ * (device::latencyBoundsForDevices, applied inside the runner):
+ * flash-class rows keep sub-millisecond resolution instead of
+ * collapsing into bucket 0. Rows contain only simulated quantities,
+ * so BENCH_hybrid.json is byte-identical across --threads and
+ * --sim-threads; CI diffs the raw files.
  *
  * --check enforces the CI floors: every configuration spends the
  * same cost budget, and the hybrid beats every capacity-feasible
@@ -42,20 +49,14 @@
  */
 
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
-#include "sim/parallel_engine.hh"
-#include "traffic/offset_dist.hh"
-#include "volume/volume_manager.hh"
-#include "workload/open_loop.hh"
+#include "tune/scenario_runner.hh"
 
 namespace pddl {
 namespace {
-
-constexpr double kDispatchMs = 2.0;
 
 /** The hot-spot profile: 2% of addresses take 90% of the traffic. */
 constexpr double kHotFraction = 0.02;
@@ -65,19 +66,19 @@ constexpr double kHotWeight = 0.90;
 struct HybridConfig
 {
     std::string name;
-    std::vector<ShardSpec> shards;
-    VolumeAllocation allocation = VolumeAllocation::Striped;
+    std::vector<ScenarioShard> shards;
+    std::string allocation = "striped";
     /** Excluded from the --check floors (capacity-infeasible). */
     bool feasible = true;
 };
 
-ShardSpec
-shard(const std::string &layout_spec, const std::string &device_spec,
-      int disks, const std::string &tier = "")
+ScenarioShard
+shard(const std::string &layout, const std::string &device, int disks,
+      const std::string &tier = "")
 {
-    ShardSpec spec;
-    spec.layout_spec = layout_spec;
-    spec.device_spec = device_spec;
+    ScenarioShard spec;
+    spec.layout = layout;
+    spec.device = device;
     spec.disks = disks;
     spec.tier = tier;
     return spec;
@@ -117,7 +118,7 @@ configurations()
     hybrid.shards = {
         shard("mirror:copies=2,sched=round_robin", "ssd", 4, "fast"),
         shard("pddl:width=4", "hp2247", 13, "bulk")};
-    hybrid.allocation = VolumeAllocation::Tiered;
+    hybrid.allocation = "tiered";
     configs.push_back(std::move(hybrid));
 
     // The hybrid again with the shortest-queue replica scheduler:
@@ -129,110 +130,96 @@ configurations()
         shard("mirror:copies=2,sched=shortest_queue", "ssd", 4,
               "fast"),
         shard("pddl:width=4", "hp2247", 13, "bulk")};
-    hybrid_sq.allocation = VolumeAllocation::Tiered;
+    hybrid_sq.allocation = "tiered";
     configs.push_back(std::move(hybrid_sq));
 
     return configs;
 }
 
-std::vector<AccessMixEntry>
-mixFor(bool write_heavy)
+/**
+ * The workload template every row starts from: --scenario when
+ * given, else the bench's traditional open-loop hot-spot profile.
+ * Each configuration then replaces the shard set and allocation.
+ */
+ScenarioSpec
+baseSpec()
 {
-    if (write_heavy) {
-        return {{1, AccessType::Write, 0.60},
-                {4, AccessType::Write, 0.10},
-                {1, AccessType::Read, 0.25},
-                {4, AccessType::Read, 0.05}};
+    ScenarioSpec spec;
+    if (!bench::options().scenario.empty()) {
+        std::string error;
+        // The flag validator already accepted it; reparse for real.
+        if (!loadScenario(bench::options().scenario, spec, error)) {
+            std::fprintf(stderr, "--scenario: %s\n", error.c_str());
+            std::exit(2);
+        }
+        return spec;
     }
-    return {{1, AccessType::Read, 0.70},
-            {1, AccessType::Write, 0.20},
-            {3, AccessType::Read, 0.10}};
+    spec.chunk_units = 8;
+    spec.dispatch_ms = 2.0;
+    spec.arrivals_per_s = 120.0;
+    char hot[64];
+    std::snprintf(hot, sizeof(hot), "hot:%g,%g", kHotFraction,
+                  kHotWeight);
+    spec.offsets = hot;
+    spec.samples = bench::fullFidelity() ? 12000 : 4000;
+    spec.warmup = bench::fullFidelity() ? 1500 : 600;
+    return spec;
 }
 
-/** One scenario = one configuration under one mix. */
-struct Scenario
+void
+applyMix(ScenarioSpec &spec, bool write_heavy)
+{
+    if (write_heavy) {
+        spec.mix = {{8, true, 0.60},
+                    {32, true, 0.10},
+                    {8, false, 0.25},
+                    {32, false, 0.05}};
+    } else {
+        spec.mix = {{8, false, 0.70},
+                    {8, true, 0.20},
+                    {24, false, 0.10}};
+    }
+}
+
+/** One row = one configuration under one mix. */
+struct Row
 {
     std::string label;
-    const HybridConfig *config = nullptr;
-    bool write_heavy = false;
+    ScenarioSpec spec;
+    bool feasible = true;
 };
 
 SimResult
-runScenario(const Scenario &scenario, uint64_t seed,
-            harness::Extras &extras)
+runRow(const Row &row, uint64_t seed, harness::Extras &extras)
 {
-    const HybridConfig &config = *scenario.config;
-    const int shard_count = static_cast<int>(config.shards.size());
+    tune::RunScenarioOptions options;
+    options.seed = seed;
+    options.sim_threads = bench::options().sim_threads;
 
-    ParallelEngine::Config engine_config;
-    engine_config.threads = bench::options().sim_threads;
-    engine_config.lookahead = kDispatchMs;
-    ParallelEngine engine(shard_count, engine_config);
+    const tune::ScenarioOutcome outcome =
+        tune::runScenario(row.spec, options);
 
-    VolumeConfig vconfig;
-    vconfig.chunk_units = 8;
-    vconfig.dispatch_ms = kDispatchMs;
-    vconfig.allocation = config.allocation;
-    VolumeManager volume(engine, config.shards, vconfig);
-
-    // Histogram resolution is a property of the device classes
-    // present: a flash row keeps sub-ms buckets, a pure-hdd row the
-    // default mechanical bounds.
-    std::vector<const DeviceModel *> devices;
-    double cost = 0.0;
-    for (int s = 0; s < volume.shardCount(); ++s) {
-        devices.push_back(&volume.shardDevice(s));
-        cost += config.shards[s].disks *
-                volume.shardDevice(s).costUnits();
-    }
-    obs::MetricsRegistry registry;
-    registry.setHistogramBounds(
-        device::latencyBoundsForDevices(devices));
-    obs::Probe probe(&registry, nullptr);
-
-    OpenLoopConfig workload;
-    workload.arrivals_per_s = 120.0;
-    workload.mix = mixFor(scenario.write_heavy);
-    workload.samples = bench::fullFidelity() ? 12000 : 4000;
-    workload.warmup = bench::fullFidelity() ? 1500 : 600;
-    workload.seed = seed;
-    workload.offsets.kind = traffic::OffsetSpec::Kind::HotSpot;
-    workload.offsets.hot_fraction = kHotFraction;
-    workload.offsets.hot_weight = kHotWeight;
-    workload.probe = probe;
-
-    OpenLoopClient client(workload);
-    startOnHub(client, engine, volume);
-    engine.run();
-
-    OpenLoopResult open = client.result();
-    SimResult result;
-    result.mean_response_ms = open.mean_response_ms;
-    result.throughput_per_s = open.completed_per_s;
-    result.samples = open.samples;
-
-    obs::MetricsSnapshot snapshot = registry.snapshot();
-    const obs::HistogramData *latency =
-        snapshot.histogram("client.latency_ms");
-    extras.emplace_back("p50_ms",
-                        latency ? latency->quantile(0.50) : 0.0);
-    extras.emplace_back("p95_ms",
-                        latency ? latency->quantile(0.95) : 0.0);
-    extras.emplace_back("p99_ms",
-                        latency ? latency->quantile(0.99) : 0.0);
-    extras.emplace_back("p999_ms",
-                        latency ? latency->quantile(0.999) : 0.0);
-    extras.emplace_back("max_outstanding", open.max_outstanding);
-    extras.emplace_back("cost_units", cost);
-    extras.emplace_back("capacity_units",
-                        static_cast<double>(volume.dataUnits()));
-    extras.emplace_back("feasible", config.feasible ? 1.0 : 0.0);
+    extras.emplace_back("p50_ms", outcome.p50_ms);
+    extras.emplace_back("p95_ms", outcome.p95_ms);
+    extras.emplace_back("p99_ms", outcome.p99_ms);
+    extras.emplace_back("p999_ms", outcome.p999_ms);
+    extras.emplace_back("max_outstanding", outcome.max_outstanding);
+    extras.emplace_back("cost_units", outcome.cost_units);
+    extras.emplace_back(
+        "capacity_units",
+        static_cast<double>(outcome.capacity_units));
+    extras.emplace_back("feasible", row.feasible ? 1.0 : 0.0);
     // How the tiering actually split the traffic.
-    for (int s = 0; s < volume.shardCount(); ++s) {
-        extras.emplace_back("shard" + std::to_string(s) + "_accesses",
-                            static_cast<double>(
-                                volume.shard(s).accessesIssued()));
+    for (size_t s = 0; s < outcome.shard_accesses.size(); ++s) {
+        extras.emplace_back(
+            "shard" + std::to_string(s) + "_accesses",
+            static_cast<double>(outcome.shard_accesses[s]));
     }
+
+    SimResult result;
+    result.mean_response_ms = outcome.mean_ms;
+    result.throughput_per_s = outcome.throughput_per_s;
+    result.samples = outcome.samples;
     return result;
 }
 
@@ -346,31 +333,42 @@ main(int argc, char **argv)
     cli.parseOrExit(argc, argv);
     bench::options().deterministic_json = true;
 
-    const std::vector<HybridConfig> configs = configurations();
+    const ScenarioSpec base = baseSpec();
 
-    std::vector<Scenario> scenarios;
-    for (const HybridConfig &config : configs) {
+    std::vector<Row> rows;
+    for (const HybridConfig &config : configurations()) {
         for (bool write_heavy : {true, false}) {
-            Scenario scenario;
-            scenario.label = config.name + "/" +
-                             (write_heavy ? "write-heavy"
-                                          : "read-heavy");
-            scenario.config = &config;
-            scenario.write_heavy = write_heavy;
-            scenarios.push_back(std::move(scenario));
+            Row row;
+            row.spec = base;
+            row.spec.shards = config.shards;
+            row.spec.allocation = config.allocation;
+            applyMix(row.spec, write_heavy);
+            row.feasible = config.feasible;
+            std::string error;
+            if (!row.spec.normalize(error)) {
+                std::fprintf(stderr, "%s row: %s\n",
+                             config.name.c_str(), error.c_str());
+                return 2;
+            }
+            row.label = config.name + "/" +
+                        (write_heavy ? "write-heavy" : "read-heavy");
+            rows.push_back(std::move(row));
         }
     }
 
     std::vector<harness::Experiment> experiments;
-    for (const Scenario &scenario : scenarios) {
+    for (const Row &row : rows) {
         harness::Experiment experiment;
-        experiment.point = {"Hybrid", scenario.label, 8, 120,
-                            scenario.write_heavy ? AccessType::Write
-                                                 : AccessType::Read,
+        const bool write_heavy =
+            !row.spec.mix.empty() && row.spec.mix.front().write;
+        experiment.point = {"Hybrid", row.label, 8,
+                            static_cast<int>(row.spec.arrivals_per_s),
+                            write_heavy ? AccessType::Write
+                                        : AccessType::Read,
                             ArrayMode::FaultFree};
-        experiment.custom = [&scenario](uint64_t seed,
-                                        harness::Extras &extras) {
-            return runScenario(scenario, seed, extras);
+        experiment.custom = [&row](uint64_t seed,
+                                   harness::Extras &extras) {
+            return runRow(row, seed, extras);
         };
         experiments.push_back(std::move(experiment));
     }

@@ -12,6 +12,13 @@
  *  - slo: the write-heavy SLO sweep -- skew {zipf, hot-spot} x
  *    {no cache, write-back cache} x {healthy, degraded, rebuilding}.
  *
+ * Every row is one ScenarioSpec (core/scenario_spec.hh) run through
+ * the shared scenario runner (src/tune) -- the same engine that backs
+ * bench_hybrid and the autotuner, so a row here is replayable from
+ * its serialized spec alone. --scenario <file|json> swaps the base
+ * configuration (volume, cache budget, rates) for a validated spec
+ * of your own; the panels then vary skew/arrival/health on top of it.
+ *
  * Every row reports p50/p95/p99/p99.9 from the client.latency_ms
  * histogram as first-class JSON columns, plus the cache counters
  * (hit rate, absorbed writes, destage runs, stalls). Rows contain
@@ -32,28 +39,16 @@
 
 #include <cstdio>
 #include <fstream>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
-#include "cache/cache_tier.hh"
-#include "fault/fault_scheduler.hh"
-#include "sim/parallel_engine.hh"
-#include "traffic/arrival.hh"
 #include "traffic/offset_dist.hh"
 #include "traffic/trace.hh"
-#include "volume/volume_manager.hh"
-#include "workload/open_loop.hh"
+#include "tune/scenario_runner.hh"
 
 namespace pddl {
 namespace {
-
-constexpr int kShards = 2;
-constexpr double kDispatchMs = 2.0;
-
-/** Write-back tier geometry for every cached row. */
-constexpr int64_t kCacheUnits = 4096;
 
 /**
  * The hot-spot spec both panels use. The volume addresses ~2.3M
@@ -85,201 +80,127 @@ healthName(Health health)
     return "healthy";
 }
 
-/** One row of either panel. */
-struct Scenario
+/** One row of either panel: a label plus the full scenario. */
+struct Row
 {
     std::string label;
-    traffic::OffsetSpec offsets;
-    traffic::ArrivalSpec arrival;
-    double arrivals_per_s = 150.0;
-    int64_t samples = 0;  ///< 0 selects the panel default
-    int64_t warmup = 200; ///< arrivals before measurement
-    bool write_heavy = false;
-    bool cached = false;
-    Health health = Health::Healthy;
+    ScenarioSpec spec;
     /** Replay this trace instead of synthetic traffic (may be empty). */
     std::vector<traffic::TraceRecord> replay;
     /** Capture the offered accesses into this file (may be empty). */
     std::string capture_path;
 };
 
-std::vector<AccessMixEntry>
-mixFor(const Scenario &scenario)
+/**
+ * The base scenario every row starts from: --scenario when given,
+ * else the bench's traditional 2-shard PDDL volume behind the
+ * 2 ms fabric.
+ */
+ScenarioSpec
+baseSpec()
 {
-    if (scenario.write_heavy) {
-        // The cache panel's SLO mix: small writes dominate, a few
-        // multi-unit accesses exercise run coalescing.
-        return {{1, AccessType::Write, 0.60},
-                {4, AccessType::Write, 0.10},
-                {1, AccessType::Read, 0.25},
-                {4, AccessType::Read, 0.05}};
+    ScenarioSpec spec;
+    if (!bench::options().scenario.empty()) {
+        std::string error;
+        // The flag validator already accepted it; reparse for real.
+        if (!loadScenario(bench::options().scenario, spec, error)) {
+            std::fprintf(stderr, "--scenario: %s\n", error.c_str());
+            std::exit(2);
+        }
+        return spec;
     }
-    return {{1, AccessType::Read, 0.70},
-            {1, AccessType::Write, 0.20},
-            {3, AccessType::Read, 0.10}};
+    spec.shards.assign(2, ScenarioShard{});
+    spec.chunk_units = 8;
+    spec.dispatch_ms = 2.0;
+    // The write-back tier's budget: 4096 lines of 8 KB = 32 MB,
+    // tight watermarks that keep the destage pump visibly active at
+    // this bench's offered load instead of parking every dirty unit
+    // until drain.
+    spec.cache_kb = 32768;
+    spec.cache_high = 0.10;
+    spec.cache_low = 0.05;
+    return spec;
 }
 
-/**
- * Run one scenario on the parallel engine and report the simulated
- * outcome. Every number pushed into `extras` is a pure function of
- * the simulated history, so rows never depend on host timing.
- */
-SimResult
-runScenario(const Scenario &scenario, uint64_t seed,
-            harness::Extras &extras)
+void
+applyMix(ScenarioSpec &spec, bool write_heavy)
 {
-    ParallelEngine::Config engine_config;
-    engine_config.threads = bench::options().sim_threads;
-    engine_config.lookahead = kDispatchMs;
-    ParallelEngine engine(kShards, engine_config);
-
-    PddlLayout layout = PddlLayout::make(13, 4);
-    const DeviceModel &model = device::hp2247();
-    std::vector<ShardSpec> specs(kShards);
-    for (ShardSpec &spec : specs) {
-        spec.layout = &layout;
-        spec.device = &model;
+    if (write_heavy) {
+        // The cache panel's SLO mix: small writes dominate, a few
+        // multi-unit accesses exercise run coalescing.
+        spec.mix = {{8, true, 0.60},
+                    {32, true, 0.10},
+                    {8, false, 0.25},
+                    {32, false, 0.05}};
+    } else {
+        spec.mix = {{8, false, 0.70},
+                    {8, true, 0.20},
+                    {24, false, 0.10}};
     }
-    if (scenario.health == Health::Degraded) {
-        specs[0].array.mode = ArrayMode::Degraded;
-        specs[0].array.failed_disk = 2;
+}
+
+void
+applyHealth(ScenarioSpec &spec, Health health)
+{
+    if (health == Health::Degraded) {
+        spec.shards[0].failed_disk = 2;
+    } else if (health == Health::Rebuilding) {
+        spec.faults = {{40.0, 0, 2}};
     }
-    VolumeConfig vconfig;
-    vconfig.chunk_units = 8;
-    vconfig.dispatch_ms = kDispatchMs;
-    VolumeManager volume(engine, std::move(specs), vconfig);
+}
 
-    std::unique_ptr<FaultScheduler> faults;
-    if (scenario.health == Health::Rebuilding) {
-        FaultSchedule schedule;
-        schedule.events.push_back(
-            {40.0, FaultEvent::Kind::DiskFailure, 2, 0});
-        faults = std::make_unique<FaultScheduler>(
-            engine.shardQueue(0), std::move(schedule),
-            FaultScheduler::Options{});
-        faults->bindArray(volume.shard(0));
-        faults->start();
+/** Run one row through the shared scenario runner. */
+SimResult
+runRow(const Row &row, uint64_t seed, harness::Extras &extras)
+{
+    tune::RunScenarioOptions options;
+    options.seed = seed;
+    options.sim_threads = bench::options().sim_threads;
+    options.capture_path = row.capture_path;
+    if (!row.replay.empty())
+        options.replay = &row.replay;
+
+    const tune::ScenarioOutcome outcome =
+        tune::runScenario(row.spec, options);
+
+    extras.emplace_back("max_outstanding", outcome.max_outstanding);
+    extras.emplace_back("p50_ms", outcome.p50_ms);
+    extras.emplace_back("p95_ms", outcome.p95_ms);
+    extras.emplace_back("p99_ms", outcome.p99_ms);
+    extras.emplace_back("p999_ms", outcome.p999_ms);
+    extras.emplace_back("backend_accesses",
+                        static_cast<double>(outcome.backend_accesses));
+    if (row.spec.cache_enabled) {
+        extras.emplace_back("hit_rate", outcome.hit_rate);
+        extras.emplace_back(
+            "writes_absorbed",
+            static_cast<double>(outcome.writes_absorbed));
+        extras.emplace_back(
+            "write_stalls",
+            static_cast<double>(outcome.write_stalls));
+        extras.emplace_back(
+            "destage_runs",
+            static_cast<double>(outcome.destage_runs));
+        extras.emplace_back(
+            "destage_units",
+            static_cast<double>(outcome.destage_units));
+        extras.emplace_back("dirty_end",
+                            static_cast<double>(outcome.dirty_end));
+        extras.emplace_back(
+            "stalled_end",
+            static_cast<double>(outcome.stalled_end));
     }
-
-    // Client latencies and cache counters land in one per-point
-    // registry; everything read out of it below is integer-counted,
-    // so the merge is exact for any lane/thread arrangement.
-    obs::MetricsRegistry registry;
-    obs::Probe probe(&registry, nullptr);
-
-    std::unique_ptr<cache::CacheTier> tier;
-    if (scenario.cached) {
-        cache::CacheConfig cconfig;
-        cconfig.capacity_units = kCacheUnits;
-        // Tight watermarks keep the destage pump visibly active at
-        // this bench's offered load instead of parking every dirty
-        // unit until drain.
-        cconfig.high_water = 0.10;
-        cconfig.low_water = 0.05;
-        cconfig.probe = probe;
-        tier = std::make_unique<cache::CacheTier>(engine.hubQueue(),
-                                                  volume, cconfig);
-    }
-    Target &target = tier ? static_cast<Target &>(*tier)
-                          : static_cast<Target &>(volume);
-
-    std::unique_ptr<traffic::TraceCapture> capture;
-    Target *workload_target = &target;
-    if (!scenario.capture_path.empty()) {
-        capture = std::make_unique<traffic::TraceCapture>(
-            engine.hubQueue(), target);
-        workload_target = capture.get();
+    if (!row.spec.faults.empty()) {
+        extras.emplace_back("rebuilds_completed",
+                            outcome.rebuilds_completed);
+        extras.emplace_back("data_loss",
+                            outcome.data_loss ? 1.0 : 0.0);
     }
 
     SimResult result;
-    if (!scenario.replay.empty()) {
-        traffic::TraceReplayConfig rconfig;
-        rconfig.probe = probe;
-        traffic::TraceReplayWorkload replay(scenario.replay, rconfig);
-        startOnHub(replay, engine, *workload_target);
-        engine.run();
-        result.mean_response_ms = replay.latency().mean();
-        result.samples = replay.latency().count();
-        const double sim_s = engine.now() / 1000.0;
-        if (sim_s > 0.0) {
-            result.throughput_per_s =
-                static_cast<double>(replay.completed()) / sim_s;
-        }
-        extras.emplace_back("max_outstanding",
-                            replay.maxOutstanding());
-    } else {
-        OpenLoopConfig config;
-        config.arrivals_per_s = scenario.arrivals_per_s;
-        config.mix = mixFor(scenario);
-        config.samples = scenario.samples != 0
-                             ? scenario.samples
-                             : (bench::fullFidelity() ? 8000 : 2000);
-        config.warmup = scenario.warmup;
-        config.seed = seed;
-        config.offsets = scenario.offsets;
-        config.arrival = scenario.arrival;
-        config.probe = probe;
-
-        OpenLoopClient client(config);
-        startOnHub(client, engine, *workload_target);
-        engine.run();
-
-        OpenLoopResult open = client.result();
-        result.mean_response_ms = open.mean_response_ms;
-        result.throughput_per_s = open.completed_per_s;
-        result.samples = open.samples;
-        extras.emplace_back("max_outstanding", open.max_outstanding);
-    }
-
-    obs::MetricsSnapshot snapshot = registry.snapshot();
-    const obs::HistogramData *latency =
-        snapshot.histogram("client.latency_ms");
-    extras.emplace_back("p50_ms",
-                        latency ? latency->quantile(0.50) : 0.0);
-    extras.emplace_back("p95_ms",
-                        latency ? latency->quantile(0.95) : 0.0);
-    extras.emplace_back("p99_ms",
-                        latency ? latency->quantile(0.99) : 0.0);
-    extras.emplace_back("p999_ms",
-                        latency ? latency->quantile(0.999) : 0.0);
-    extras.emplace_back("backend_accesses",
-                        static_cast<double>(
-                            volume.volumeAccessesIssued()));
-    if (tier) {
-        const cache::CacheStats &stats = tier->stats();
-        extras.emplace_back("hit_rate", tier->hitRate());
-        extras.emplace_back("writes_absorbed",
-                            static_cast<double>(stats.writes_absorbed));
-        extras.emplace_back("write_stalls",
-                            static_cast<double>(stats.write_stalls));
-        extras.emplace_back("destage_runs",
-                            static_cast<double>(stats.destage_runs));
-        extras.emplace_back("destage_units",
-                            static_cast<double>(stats.destage_units));
-        extras.emplace_back("dirty_end",
-                            static_cast<double>(tier->dirtyUnits()));
-        extras.emplace_back("stalled_end",
-                            static_cast<double>(tier->stalledWrites()));
-    }
-    if (faults) {
-        const FaultStats &stats = faults->stats();
-        extras.emplace_back("rebuilds_completed",
-                            stats.rebuilds_completed);
-        extras.emplace_back("data_loss", stats.data_loss ? 1.0 : 0.0);
-    }
-    if (capture) {
-        std::ofstream out(scenario.capture_path, std::ios::trunc);
-        if (out) {
-            traffic::writeTrace(out, capture->records());
-            std::fprintf(stderr, "[Traffic] captured %zu accesses "
-                                 "to %s\n",
-                         capture->records().size(),
-                         scenario.capture_path.c_str());
-        } else {
-            std::fprintf(stderr, "[Traffic] cannot write %s\n",
-                         scenario.capture_path.c_str());
-        }
-    }
+    result.mean_response_ms = outcome.mean_ms;
+    result.throughput_per_s = outcome.throughput_per_s;
+    result.samples = outcome.samples;
     return result;
 }
 
@@ -418,115 +339,132 @@ main(int argc, char **argv)
     cli.parseOrExit(argc, argv);
     bench::options().deterministic_json = true;
 
-    std::vector<traffic::OffsetSpec> panel_skews;
+    const ScenarioSpec base = baseSpec();
+
+    std::vector<std::string> panel_skews;
     if (cli.has("skew")) {
-        traffic::OffsetSpec spec;
-        std::string error;
-        traffic::parseOffsetSpec(cli.getString("skew"), spec, error);
-        panel_skews.push_back(spec);
+        panel_skews.push_back(cli.getString("skew"));
     } else {
-        traffic::OffsetSpec zipf;
-        zipf.kind = traffic::OffsetSpec::Kind::Zipf;
-        zipf.theta = 0.99;
-        traffic::OffsetSpec hot;
-        hot.kind = traffic::OffsetSpec::Kind::HotSpot;
-        hot.hot_fraction = kHotFraction;
-        hot.hot_weight = kHotWeight;
-        panel_skews = {traffic::OffsetSpec{}, zipf, hot};
+        char hot[64];
+        std::snprintf(hot, sizeof(hot), "hot:%g,%g", kHotFraction,
+                      kHotWeight);
+        panel_skews = {"uniform", "zipf:0.99", hot};
     }
 
-    std::vector<Scenario> scenarios;
+    std::vector<Row> rows;
 
     // Panel 1 -- traffic: skew x arrival against the raw volume.
-    for (const traffic::OffsetSpec &skew : panel_skews) {
+    for (const std::string &skew : panel_skews) {
         for (const char *arrival_name :
              {"poisson", "diurnal", "mmpp"}) {
-            Scenario scenario;
-            scenario.offsets = skew;
+            Row row;
+            row.spec = base;
+            row.spec.cache_enabled = false;
+            row.spec.offsets = skew;
             if (std::string(arrival_name) == "diurnal") {
-                scenario.arrival.kind =
-                    traffic::ArrivalSpec::Kind::Diurnal;
                 // Quiet / busy / peak / busy, 500 ms phases.
-                scenario.arrival.phase_mult = {0.25, 1.0, 2.5, 1.0};
-                scenario.arrival.phase_ms = 500.0;
-            } else if (std::string(arrival_name) == "mmpp") {
-                scenario.arrival.kind =
-                    traffic::ArrivalSpec::Kind::Mmpp;
+                row.spec.arrival = "diurnal:0.25,1,2.5,1@500";
+            } else {
+                row.spec.arrival = arrival_name;
             }
-            scenario.label = std::string("traffic/") +
-                             traffic::offsetSpecName(skew) + "+" +
-                             arrival_name;
-            scenarios.push_back(std::move(scenario));
+            row.spec.arrivals_per_s = 150.0;
+            applyMix(row.spec, false);
+            row.spec.samples = bench::fullFidelity() ? 8000 : 2000;
+            row.spec.warmup = 200;
+            std::string error;
+            if (!row.spec.normalize(error)) {
+                std::fprintf(stderr, "traffic row: %s\n",
+                             error.c_str());
+                return 2;
+            }
+            // Label with the canonical offset name so --skew and
+            // the default panel produce identical row keys.
+            row.label = std::string("traffic/") + row.spec.offsets +
+                        "+" + arrival_name;
+            rows.push_back(std::move(row));
         }
     }
 
     // Panel 2 -- slo: the write-heavy cache sweep.
     {
-        traffic::OffsetSpec zipf;
-        zipf.kind = traffic::OffsetSpec::Kind::Zipf;
-        zipf.theta = 0.99;
-        traffic::OffsetSpec hot;
-        hot.kind = traffic::OffsetSpec::Kind::HotSpot;
-        hot.hot_fraction = kHotFraction;
-        hot.hot_weight = kHotWeight;
-        for (const traffic::OffsetSpec &skew : {zipf, hot}) {
+        char hot[64];
+        std::snprintf(hot, sizeof(hot), "hot:%g,%g", kHotFraction,
+                      kHotWeight);
+        for (const std::string &skew :
+             {std::string("zipf:0.99"), std::string(hot)}) {
             for (bool cached : {false, true}) {
                 for (Health health :
                      {Health::Healthy, Health::Degraded,
                       Health::Rebuilding}) {
-                    Scenario scenario;
-                    scenario.offsets = skew;
-                    scenario.arrivals_per_s = 100.0;
+                    Row row;
+                    row.spec = base;
+                    row.spec.offsets = skew;
+                    row.spec.arrival = "poisson";
+                    row.spec.arrivals_per_s = 100.0;
                     // A long warm-up lets the tier reach steady
                     // state (hot set resident, pump cycling) before
                     // the measured window opens.
-                    scenario.samples =
+                    row.spec.samples =
                         bench::fullFidelity() ? 12000 : 4000;
-                    scenario.warmup =
+                    row.spec.warmup =
                         bench::fullFidelity() ? 3000 : 1500;
-                    scenario.write_heavy = true;
-                    scenario.cached = cached;
-                    scenario.health = health;
-                    scenario.label =
-                        std::string("slo/") +
-                        traffic::offsetSpecName(skew) + "/" +
-                        (cached ? "wb" : "nocache") + "/" +
-                        healthName(health);
-                    scenarios.push_back(std::move(scenario));
+                    applyMix(row.spec, true);
+                    row.spec.cache_enabled = cached;
+                    applyHealth(row.spec, health);
+                    std::string error;
+                    if (!row.spec.normalize(error)) {
+                        std::fprintf(stderr, "slo row: %s\n",
+                                     error.c_str());
+                        return 2;
+                    }
+                    row.label = std::string("slo/") +
+                                row.spec.offsets + "/" +
+                                (cached ? "wb" : "nocache") + "/" +
+                                healthName(health);
+                    rows.push_back(std::move(row));
                 }
             }
         }
     }
 
     if (cli.has("capture")) {
-        for (Scenario &scenario : scenarios) {
-            if (scenario.label == "traffic/zipf:0.99+poisson") {
-                scenario.capture_path = cli.getString("capture");
+        for (Row &row : rows) {
+            if (row.label == "traffic/zipf:0.99+poisson") {
+                row.capture_path = cli.getString("capture");
                 break;
             }
         }
     }
     if (cli.has("replay")) {
-        Scenario scenario;
-        scenario.label = "replay/" + cli.getString("replay");
-        scenario.replay = traffic::loadTrace(cli.getString("replay"));
-        scenarios.push_back(std::move(scenario));
+        Row row;
+        row.label = "replay/" + cli.getString("replay");
+        row.spec = base;
+        row.spec.cache_enabled = false;
+        std::string error;
+        if (!row.spec.normalize(error)) {
+            std::fprintf(stderr, "replay row: %s\n", error.c_str());
+            return 2;
+        }
+        row.replay = traffic::loadTrace(cli.getString("replay"));
+        rows.push_back(std::move(row));
     }
 
     std::vector<harness::Experiment> experiments;
-    for (const Scenario &scenario : scenarios) {
+    for (const Row &row : rows) {
         harness::Experiment experiment;
+        const bool write_heavy =
+            !row.spec.mix.empty() && row.spec.mix.front().write;
         experiment.point = {
-            "Traffic", scenario.label, 8,
-            static_cast<int>(scenario.arrivals_per_s),
-            scenario.write_heavy ? AccessType::Write
-                                 : AccessType::Read,
-            scenario.health == Health::Healthy
+            "Traffic", row.label, 8,
+            static_cast<int>(row.spec.arrivals_per_s),
+            write_heavy ? AccessType::Write : AccessType::Read,
+            row.spec.shards[0].failed_disk < 0 &&
+                    row.spec.faults.empty()
                 ? ArrayMode::FaultFree
                 : ArrayMode::Degraded};
-        experiment.custom = [&scenario](uint64_t seed,
-                                        harness::Extras &extras) {
-            return runScenario(scenario, seed, extras);
+        experiment.custom = [&row](uint64_t seed,
+                                   harness::Extras &extras) {
+            return runRow(row, seed, extras);
         };
         experiments.push_back(std::move(experiment));
     }

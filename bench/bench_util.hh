@@ -32,6 +32,7 @@
 
 #include "core/layout_spec.hh"
 #include "core/pddl_layout.hh"
+#include "core/scenario_spec.hh"
 #include "disk/device_model.hh"
 #include "harness/arg_parser.hh"
 #include "harness/runner.hh"
@@ -121,6 +122,12 @@ struct BenchOptions
     std::string device_spec;
     /** --layout spec; empty keeps each bench's evaluated set. */
     std::string layout_spec;
+    /**
+     * --scenario: a validated ScenarioSpec (path or inline JSON)
+     * that scenario-driven benches use as the base configuration in
+     * place of their built-in defaults; empty keeps the defaults.
+     */
+    std::string scenario;
     /**
      * Zero the informational host-wall fields (wall_time_s, wall_ms,
      * threads) in BENCH_<figure>.json so the file is literally
@@ -255,6 +262,19 @@ class BenchCli
                 }
                 return std::string();
             });
+        parser_.addString(
+            "scenario", "file|json",
+            "base scenario for scenario-driven benches "
+            "(bench_traffic, bench_hybrid, bench_autotune): a "
+            "ScenarioSpec JSON file, or the JSON inline; validated "
+            "at the flag with field-anchored diagnostics", false,
+            [](const std::string &value) {
+                ScenarioSpec spec;
+                std::string error;
+                if (!loadScenario(value, spec, error))
+                    return error;
+                return std::string();
+            });
         std::string epilog =
             "environment:\n"
             "  PDDL_BENCH_FULL=1     paper-fidelity stopping rule "
@@ -332,6 +352,7 @@ class BenchCli
         options().trace_path = parser_.getString("trace");
         options().device_spec = parser_.getString("device");
         options().layout_spec = parser_.getString("layout");
+        options().scenario = parser_.getString("scenario");
     }
 
     bool has(const std::string &name) const { return parser_.has(name); }

@@ -1,0 +1,619 @@
+#include "core/scenario_spec.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/layout_spec.hh"
+#include "disk/device_model.hh"
+#include "traffic/arrival.hh"
+#include "traffic/offset_dist.hh"
+
+namespace pddl {
+namespace {
+
+/**
+ * Typed member readers. Every reader leaves `out` untouched and
+ * returns false with a field-anchored message when the member exists
+ * but has the wrong shape; an absent member keeps the default.
+ */
+bool
+getString(const Json &obj, const char *key, const std::string &anchor,
+          std::string &out, std::string &error)
+{
+    const Json *v = obj.find(key);
+    if (v == nullptr)
+        return true;
+    if (!v->isString()) {
+        error = anchor + key + ": expected a string";
+        return false;
+    }
+    out = v->asString();
+    return true;
+}
+
+bool
+getBool(const Json &obj, const char *key, const std::string &anchor,
+        bool &out, std::string &error)
+{
+    const Json *v = obj.find(key);
+    if (v == nullptr)
+        return true;
+    if (!v->isBool()) {
+        error = anchor + key + ": expected true or false";
+        return false;
+    }
+    out = v->asBool();
+    return true;
+}
+
+bool
+getDouble(const Json &obj, const char *key, const std::string &anchor,
+          double &out, std::string &error)
+{
+    const Json *v = obj.find(key);
+    if (v == nullptr)
+        return true;
+    if (!v->isNumber()) {
+        error = anchor + key + ": expected a number";
+        return false;
+    }
+    out = v->asDouble();
+    return true;
+}
+
+template <typename Int>
+bool
+getInt(const Json &obj, const char *key, const std::string &anchor,
+       Int &out, std::string &error)
+{
+    const Json *v = obj.find(key);
+    if (v == nullptr)
+        return true;
+    if (!v->isNumber()) {
+        error = anchor + key + ": expected an integer";
+        return false;
+    }
+    out = static_cast<Int>(v->asInt());
+    return true;
+}
+
+/** Reject members outside `allowed` (typo defense with an anchor). */
+bool
+checkKeys(const Json &obj, const std::string &anchor,
+          std::initializer_list<const char *> allowed,
+          std::string &error)
+{
+    for (const auto &member : obj.members()) {
+        bool known = false;
+        for (const char *key : allowed) {
+            if (member.first == key) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            error = anchor.empty()
+                        ? "unknown field '" + member.first + "'"
+                        : anchor + "unknown field '" + member.first +
+                              "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+parsePlacement(const std::string &text, std::string &canonical,
+               std::string &error)
+{
+    if (text == "static" || text == "rotate") {
+        canonical = text;
+        return true;
+    }
+    if (text == "shuffle") {
+        // The ShuffledPlacement default seed, spelled out so the
+        // canonical form is explicit.
+        canonical = "shuffle:11400714819323198485";
+        return true;
+    }
+    if (text.rfind("shuffle:", 0) == 0) {
+        const std::string digits = text.substr(8);
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") !=
+                std::string::npos) {
+            error = "expected shuffle:<seed> with a decimal seed";
+            return false;
+        }
+        errno = 0;
+        char *end = nullptr;
+        unsigned long long seed =
+            std::strtoull(digits.c_str(), &end, 10);
+        if (errno != 0 || end != digits.c_str() + digits.size()) {
+            error = "shuffle seed does not fit in 64 bits";
+            return false;
+        }
+        canonical = "shuffle:" + std::to_string(seed);
+        return true;
+    }
+    error = "expected static, rotate or shuffle:<seed>";
+    return false;
+}
+
+} // namespace
+
+Json
+ScenarioSpec::toJson() const
+{
+    Json shard_list = Json::array();
+    for (const ScenarioShard &shard : shards) {
+        Json s = Json::object();
+        s.set("layout", shard.layout)
+            .set("device", shard.device)
+            .set("disks", shard.disks)
+            .set("tier", shard.tier)
+            .set("failed_disk", shard.failed_disk);
+        shard_list.push(std::move(s));
+    }
+    Json mix_list = Json::array();
+    for (const ScenarioMix &entry : mix) {
+        Json m = Json::object();
+        m.set("kb", entry.kb)
+            .set("op", entry.write ? "write" : "read")
+            .set("weight", entry.weight);
+        mix_list.push(std::move(m));
+    }
+    Json fault_list = Json::array();
+    for (const ScenarioFault &fault : faults) {
+        Json f = Json::object();
+        f.set("when_ms", fault.when_ms)
+            .set("shard", fault.shard)
+            .set("disk", fault.disk);
+        fault_list.push(std::move(f));
+    }
+    Json cache = Json::object();
+    cache.set("enabled", cache_enabled)
+        .set("kb", cache_kb)
+        .set("ways", cache_ways)
+        .set("high", cache_high)
+        .set("low", cache_low)
+        .set("hit_ms", cache_hit_ms)
+        .set("run_units", cache_run_units)
+        .set("width", cache_width);
+
+    Json doc = Json::object();
+    doc.set("shards", std::move(shard_list))
+        .set("allocation", allocation)
+        .set("placement", placement)
+        .set("chunk_units", chunk_units)
+        .set("dispatch_ms", dispatch_ms)
+        .set("unit_sectors", unit_sectors)
+        .set("sstf_window", sstf_window)
+        .set("client", client)
+        .set("arrivals_per_s", arrivals_per_s)
+        .set("clients", clients)
+        .set("think_ms", think_ms)
+        .set("offsets", offsets)
+        .set("arrival", arrival)
+        .set("mix", std::move(mix_list))
+        .set("samples", samples)
+        .set("warmup", warmup)
+        .set("cache", std::move(cache))
+        .set("faults", std::move(fault_list))
+        .set("rebuild_parallel", rebuild_parallel);
+    return doc;
+}
+
+std::string
+ScenarioSpec::describe() const
+{
+    return toJson().dump(0);
+}
+
+bool
+ScenarioSpec::fromJson(const Json &doc, ScenarioSpec &spec,
+                       std::string &error)
+{
+    if (!doc.isObject()) {
+        error = "scenario: expected a JSON object";
+        return false;
+    }
+    if (!checkKeys(doc, "",
+                   {"shards", "allocation", "placement", "chunk_units",
+                    "dispatch_ms", "unit_sectors", "sstf_window",
+                    "client", "arrivals_per_s", "clients", "think_ms",
+                    "offsets", "arrival", "mix", "samples", "warmup",
+                    "cache", "faults", "rebuild_parallel"},
+                   error))
+        return false;
+
+    ScenarioSpec out;
+
+    if (const Json *list = doc.find("shards")) {
+        if (!list->isArray()) {
+            error = "shards: expected an array";
+            return false;
+        }
+        out.shards.clear();
+        for (size_t i = 0; i < list->size(); ++i) {
+            const Json &item = list->at(i);
+            const std::string anchor =
+                "shards[" + std::to_string(i) + "].";
+            if (!item.isObject()) {
+                error = "shards[" + std::to_string(i) +
+                        "]: expected an object";
+                return false;
+            }
+            if (!checkKeys(item, anchor,
+                           {"layout", "device", "disks", "tier",
+                            "failed_disk"},
+                           error))
+                return false;
+            ScenarioShard shard;
+            if (!getString(item, "layout", anchor, shard.layout,
+                           error) ||
+                !getString(item, "device", anchor, shard.device,
+                           error) ||
+                !getInt(item, "disks", anchor, shard.disks, error) ||
+                !getString(item, "tier", anchor, shard.tier, error) ||
+                !getInt(item, "failed_disk", anchor, shard.failed_disk,
+                        error))
+                return false;
+            out.shards.push_back(std::move(shard));
+        }
+    }
+
+    if (!getString(doc, "allocation", "", out.allocation, error) ||
+        !getString(doc, "placement", "", out.placement, error) ||
+        !getInt(doc, "chunk_units", "", out.chunk_units, error) ||
+        !getDouble(doc, "dispatch_ms", "", out.dispatch_ms, error) ||
+        !getInt(doc, "unit_sectors", "", out.unit_sectors, error) ||
+        !getInt(doc, "sstf_window", "", out.sstf_window, error) ||
+        !getString(doc, "client", "", out.client, error) ||
+        !getDouble(doc, "arrivals_per_s", "", out.arrivals_per_s,
+                   error) ||
+        !getInt(doc, "clients", "", out.clients, error) ||
+        !getDouble(doc, "think_ms", "", out.think_ms, error) ||
+        !getString(doc, "offsets", "", out.offsets, error) ||
+        !getString(doc, "arrival", "", out.arrival, error) ||
+        !getInt(doc, "samples", "", out.samples, error) ||
+        !getInt(doc, "warmup", "", out.warmup, error) ||
+        !getInt(doc, "rebuild_parallel", "", out.rebuild_parallel,
+                error))
+        return false;
+
+    if (const Json *list = doc.find("mix")) {
+        if (!list->isArray()) {
+            error = "mix: expected an array";
+            return false;
+        }
+        out.mix.clear();
+        for (size_t i = 0; i < list->size(); ++i) {
+            const Json &item = list->at(i);
+            const std::string anchor =
+                "mix[" + std::to_string(i) + "].";
+            if (!item.isObject()) {
+                error = "mix[" + std::to_string(i) +
+                        "]: expected an object";
+                return false;
+            }
+            if (!checkKeys(item, anchor, {"kb", "op", "weight"},
+                           error))
+                return false;
+            ScenarioMix entry;
+            std::string op = "read";
+            if (!getInt(item, "kb", anchor, entry.kb, error) ||
+                !getString(item, "op", anchor, op, error) ||
+                !getDouble(item, "weight", anchor, entry.weight,
+                           error))
+                return false;
+            if (op != "read" && op != "write") {
+                error = anchor + "op: expected \"read\" or \"write\"";
+                return false;
+            }
+            entry.write = op == "write";
+            out.mix.push_back(entry);
+        }
+    }
+
+    if (const Json *cache = doc.find("cache")) {
+        if (!cache->isObject()) {
+            error = "cache: expected an object";
+            return false;
+        }
+        if (!checkKeys(*cache, "cache.",
+                       {"enabled", "kb", "ways", "high", "low",
+                        "hit_ms", "run_units", "width"},
+                       error))
+            return false;
+        if (!getBool(*cache, "enabled", "cache.", out.cache_enabled,
+                     error) ||
+            !getInt(*cache, "kb", "cache.", out.cache_kb, error) ||
+            !getInt(*cache, "ways", "cache.", out.cache_ways, error) ||
+            !getDouble(*cache, "high", "cache.", out.cache_high,
+                       error) ||
+            !getDouble(*cache, "low", "cache.", out.cache_low,
+                       error) ||
+            !getDouble(*cache, "hit_ms", "cache.", out.cache_hit_ms,
+                       error) ||
+            !getInt(*cache, "run_units", "cache.", out.cache_run_units,
+                    error) ||
+            !getInt(*cache, "width", "cache.", out.cache_width, error))
+            return false;
+    }
+
+    if (const Json *list = doc.find("faults")) {
+        if (!list->isArray()) {
+            error = "faults: expected an array";
+            return false;
+        }
+        out.faults.clear();
+        for (size_t i = 0; i < list->size(); ++i) {
+            const Json &item = list->at(i);
+            const std::string anchor =
+                "faults[" + std::to_string(i) + "].";
+            if (!item.isObject()) {
+                error = "faults[" + std::to_string(i) +
+                        "]: expected an object";
+                return false;
+            }
+            if (!checkKeys(item, anchor, {"when_ms", "shard", "disk"},
+                           error))
+                return false;
+            ScenarioFault fault;
+            if (!getDouble(item, "when_ms", anchor, fault.when_ms,
+                           error) ||
+                !getInt(item, "shard", anchor, fault.shard, error) ||
+                !getInt(item, "disk", anchor, fault.disk, error))
+                return false;
+            out.faults.push_back(fault);
+        }
+    }
+
+    if (!out.normalize(error))
+        return false;
+    spec = std::move(out);
+    return true;
+}
+
+bool
+ScenarioSpec::parse(const std::string &text, ScenarioSpec &spec,
+                    std::string &error)
+{
+    Json doc;
+    if (!Json::parse(text, doc, error))
+        return false;
+    return fromJson(doc, spec, error);
+}
+
+ScenarioSpec
+ScenarioSpec::parseOrThrow(const std::string &text)
+{
+    ScenarioSpec spec;
+    std::string error;
+    if (!parse(text, spec, error))
+        throw std::runtime_error("scenario: " + error);
+    return spec;
+}
+
+bool
+ScenarioSpec::normalize(std::string &error)
+{
+    if (shards.empty()) {
+        error = "shards: at least one shard is required";
+        return false;
+    }
+    for (size_t i = 0; i < shards.size(); ++i) {
+        ScenarioShard &shard = shards[i];
+        const std::string anchor = "shards[" + std::to_string(i) + "]";
+        if (shard.disks < 2) {
+            error = anchor + ".disks: need at least 2 drives";
+            return false;
+        }
+        layouts::ParsedLayoutSpec layout;
+        std::string why;
+        if (!layouts::parseLayoutSpec(shard.layout, layout, why)) {
+            error = anchor + ".layout: " + why;
+            return false;
+        }
+        // A spec that parses but cannot build at this disk count
+        // (mirror copies not dividing n, width > n) must fail here,
+        // with the anchor, not mid-simulation.
+        try {
+            layouts::buildLayout(layout, shard.disks);
+        } catch (const std::exception &e) {
+            error = anchor + ".layout: " + e.what();
+            return false;
+        }
+        shard.layout = layout.canonical();
+        std::shared_ptr<const DeviceModel> model;
+        if (!device::parseDeviceSpec(shard.device, model, why)) {
+            error = anchor + ".device: " + why;
+            return false;
+        }
+        shard.device = model->describe();
+        if (shard.failed_disk < -1 ||
+            shard.failed_disk >= shard.disks) {
+            error = anchor + ".failed_disk: must be -1 (healthy) or "
+                             "a disk index below disks";
+            return false;
+        }
+    }
+    if (allocation != "striped" && allocation != "tiered") {
+        error = "allocation: expected \"striped\" or \"tiered\"";
+        return false;
+    }
+    {
+        std::string canonical, why;
+        if (!parsePlacement(placement, canonical, why)) {
+            error = "placement: " + why;
+            return false;
+        }
+        placement = canonical;
+    }
+    if (chunk_units < 1) {
+        error = "chunk_units: must be >= 1";
+        return false;
+    }
+    if (!(dispatch_ms > 0.0)) {
+        error = "dispatch_ms: must be > 0";
+        return false;
+    }
+    if (unit_sectors < 2 || unit_sectors % 2 != 0) {
+        error = "unit_sectors: must be even and >= 2 (whole KB "
+                "stripe units)";
+        return false;
+    }
+    if (sstf_window < 1) {
+        error = "sstf_window: must be >= 1";
+        return false;
+    }
+    if (client != "open" && client != "closed") {
+        error = "client: expected \"open\" or \"closed\"";
+        return false;
+    }
+    if (!(arrivals_per_s > 0.0)) {
+        error = "arrivals_per_s: must be > 0";
+        return false;
+    }
+    if (clients < 1) {
+        error = "clients: must be >= 1";
+        return false;
+    }
+    if (think_ms < 0.0) {
+        error = "think_ms: must be >= 0";
+        return false;
+    }
+    {
+        traffic::OffsetSpec spec;
+        std::string why;
+        if (!traffic::parseOffsetSpec(offsets, spec, why)) {
+            error = "offsets: " + why;
+            return false;
+        }
+        offsets = traffic::offsetSpecName(spec);
+    }
+    {
+        traffic::ArrivalSpec spec;
+        std::string why;
+        if (!traffic::parseArrivalSpec(arrival, spec, why)) {
+            error = "arrival: " + why;
+            return false;
+        }
+        arrival = traffic::arrivalSpecString(spec);
+    }
+    for (size_t i = 0; i < mix.size(); ++i) {
+        const std::string anchor = "mix[" + std::to_string(i) + "]";
+        if (mix[i].kb < 1) {
+            error = anchor + ".kb: must be >= 1";
+            return false;
+        }
+        if (!(mix[i].weight > 0.0)) {
+            error = anchor + ".weight: must be > 0";
+            return false;
+        }
+    }
+    if (samples < 1) {
+        error = "samples: must be >= 1";
+        return false;
+    }
+    if (warmup < 0) {
+        error = "warmup: must be >= 0";
+        return false;
+    }
+    if (cache_enabled) {
+        if (cache_kb < 1) {
+            error = "cache.kb: must be >= 1";
+            return false;
+        }
+        if (cache_ways < 1) {
+            error = "cache.ways: must be >= 1";
+            return false;
+        }
+        const int64_t capacity_units =
+            cache_kb * 2 / static_cast<int64_t>(unit_sectors);
+        if (capacity_units < cache_ways) {
+            error = "cache.kb: capacity is below one set "
+                    "(kb too small for ways at this unit_sectors)";
+            return false;
+        }
+        if (!(cache_low >= 0.0 && cache_low <= cache_high &&
+              cache_high <= 1.0)) {
+            error = "cache.high/cache.low: need 0 <= low <= high <= 1";
+            return false;
+        }
+        if (cache_hit_ms < 0.0) {
+            error = "cache.hit_ms: must be >= 0";
+            return false;
+        }
+        if (cache_run_units < 1) {
+            error = "cache.run_units: must be >= 1";
+            return false;
+        }
+        if (cache_width < 1) {
+            error = "cache.width: must be >= 1";
+            return false;
+        }
+    }
+    for (size_t i = 0; i < faults.size(); ++i) {
+        const std::string anchor = "faults[" + std::to_string(i) + "]";
+        const ScenarioFault &fault = faults[i];
+        if (fault.when_ms < 0.0) {
+            error = anchor + ".when_ms: must be >= 0";
+            return false;
+        }
+        if (fault.shard < 0 ||
+            fault.shard >= static_cast<int>(shards.size())) {
+            error = anchor + ".shard: no such shard";
+            return false;
+        }
+        if (fault.disk < 0 ||
+            fault.disk >= shards[fault.shard].disks) {
+            error = anchor + ".disk: no such disk in shard " +
+                    std::to_string(fault.shard);
+            return false;
+        }
+    }
+    // Canonical fault order (the schedulers sort anyway; sorting
+    // here makes describe() independent of authoring order).
+    std::sort(faults.begin(), faults.end(),
+              [](const ScenarioFault &a, const ScenarioFault &b) {
+                  if (a.when_ms != b.when_ms)
+                      return a.when_ms < b.when_ms;
+                  if (a.shard != b.shard)
+                      return a.shard < b.shard;
+                  return a.disk < b.disk;
+              });
+    if (rebuild_parallel < 1) {
+        error = "rebuild_parallel: must be >= 1";
+        return false;
+    }
+    return true;
+}
+
+bool
+loadScenario(const std::string &path_or_json, ScenarioSpec &spec,
+             std::string &error)
+{
+    const size_t first =
+        path_or_json.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos && path_or_json[first] == '{')
+        return ScenarioSpec::parse(path_or_json, spec, error);
+
+    std::ifstream in(path_or_json);
+    if (!in) {
+        error = path_or_json + ": cannot read file";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (!ScenarioSpec::parse(text.str(), spec, error)) {
+        error = path_or_json + ": " + error;
+        return false;
+    }
+    return true;
+}
+
+} // namespace pddl

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * ScenarioSpec: one serializable description of a whole simulated
+ * scenario.
+ *
+ * Benches used to assemble scenarios out of ad-hoc per-bench structs
+ * (a Scenario here, a HybridConfig there); the self-tuning driver
+ * needs one canonical, mutable, serializable description of
+ * *everything* a scenario is:
+ *
+ *  - the volume: shards (layout spec x device spec x disk count x
+ *    tier), allocation policy, chunk placement, striping chunk,
+ *    fabric dispatch latency, stripe-unit size, SSTF window;
+ *  - the workload: client model (open or closed loop), offered rate
+ *    or population, offset skew, arrival process, access mix (sizes
+ *    in KB so the stripe-unit knob stays byte-fair), sample budget;
+ *  - the cache tier: enabled flag, capacity in KB, associativity,
+ *    destage watermarks and widths;
+ *  - the fault timeline: scripted disk failures per shard, rebuild
+ *    aggressiveness, shards that start degraded.
+ *
+ * The canonical text form IS compact JSON: describe() renders every
+ * field in a fixed order with all nested spec strings normalized
+ * (layout/device/offset/arrival registries), and parse(describe(s))
+ * reproduces `s` field-for-field -- the round-trip the property
+ * tests pin for every registered layout and device family. Errors
+ * are anchored: JSON syntax errors carry "line L, column C", and
+ * semantic errors name the offending field ("shards[1].layout:
+ * ...").
+ *
+ * The spec deliberately holds *descriptions* (spec strings, plain
+ * numbers), never live objects, so it hashes, compares, mutates and
+ * serializes freely -- it is the genome the src/tune search mutates
+ * and the format bench --scenario and the replay tool load.
+ */
+
+#ifndef PDDL_CORE_SCENARIO_SPEC_HH
+#define PDDL_CORE_SCENARIO_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace pddl {
+
+/** One shard of the scenario's volume, by spec strings. */
+struct ScenarioShard
+{
+    /** Layout spec (core/layout_spec.hh), built over `disks`. */
+    std::string layout = "pddl:width=4";
+    /** Device spec (disk/device_model.hh). */
+    std::string device = "hp2247";
+    int disks = 13;
+    /** Tier label for tiered allocation; empty derives by device. */
+    std::string tier;
+    /** >= 0 starts the shard degraded with this disk down. */
+    int failed_disk = -1;
+
+    bool operator==(const ScenarioShard &o) const = default;
+};
+
+/** One weighted entry of the access mix (size in KB, byte-fair). */
+struct ScenarioMix
+{
+    int kb = 8;
+    bool write = false;
+    double weight = 1.0;
+
+    bool operator==(const ScenarioMix &o) const = default;
+};
+
+/** One scripted disk failure. */
+struct ScenarioFault
+{
+    double when_ms = 0.0;
+    int shard = 0;
+    int disk = 0;
+
+    bool operator==(const ScenarioFault &o) const = default;
+};
+
+/** The whole scenario, as plain serializable data. */
+struct ScenarioSpec
+{
+    // ---- volume ----
+    std::vector<ScenarioShard> shards = {ScenarioShard{}};
+    /** "striped" or "tiered" (first-listed tier owns the prefix). */
+    std::string allocation = "striped";
+    /** "static", "rotate" or "shuffle:<seed>". */
+    std::string placement = "static";
+    /** Striping chunk in stripe units. */
+    int chunk_units = 8;
+    /** Volume -> shard dispatch latency in ms (engine lookahead). */
+    double dispatch_ms = 2.0;
+    /** Sectors per stripe unit (16 x 512 B = the paper's 8 KB). */
+    int unit_sectors = 16;
+    /** SSTF scan window per disk. */
+    int sstf_window = 20;
+
+    // ---- workload ----
+    /** "open" (offered rate) or "closed" (client population). */
+    std::string client = "open";
+    double arrivals_per_s = 100.0;
+    /** Closed loop only: population size. */
+    int clients = 8;
+    /** Closed loop only: think time between completions, ms. */
+    double think_ms = 0.0;
+    /** Offset spec (traffic/offset_dist.hh), canonical. */
+    std::string offsets = "uniform";
+    /** Arrival spec (traffic/arrival.hh), canonical. */
+    std::string arrival = "poisson";
+    /** Access mix; empty means one 8 KB read. */
+    std::vector<ScenarioMix> mix;
+    /** Measured completions / arrivals after warmup. */
+    int64_t samples = 2000;
+    int64_t warmup = 200;
+
+    // ---- cache tier ----
+    bool cache_enabled = false;
+    /** Capacity in KB (stripe-unit-size independent). */
+    int64_t cache_kb = 32768;
+    int cache_ways = 8;
+    double cache_high = 0.5;
+    double cache_low = 0.25;
+    double cache_hit_ms = 0.05;
+    int cache_run_units = 64;
+    int cache_width = 4;
+
+    // ---- faults ----
+    std::vector<ScenarioFault> faults;
+    /** Concurrent stripe rebuilds (rebuild aggressiveness). */
+    int rebuild_parallel = 4;
+
+    bool operator==(const ScenarioSpec &o) const = default;
+
+    /**
+     * Canonical compact one-line JSON: every field, fixed order,
+     * nested specs normalized. parse(describe()) == *this for any
+     * valid spec (construct via parse() or call normalize() first).
+     */
+    std::string describe() const;
+
+    /** The same tree as a Json document (pretty-print for files). */
+    Json toJson() const;
+
+    /**
+     * Parse a JSON text (compact or pretty) into a validated,
+     * normalized spec. On failure returns false and `error` carries
+     * a line/column anchor (syntax) or a field anchor (semantics).
+     */
+    static bool parse(const std::string &text, ScenarioSpec &spec,
+                      std::string &error);
+
+    /** Load from an already-parsed document (same validation). */
+    static bool fromJson(const Json &doc, ScenarioSpec &spec,
+                         std::string &error);
+
+    /** Parse-or-throw convenience (std::runtime_error). */
+    static ScenarioSpec parseOrThrow(const std::string &text);
+
+    /**
+     * Validate every field and canonicalize the nested spec strings
+     * in place. @return false with a field-anchored `error` when the
+     * spec cannot describe a buildable scenario.
+     */
+    bool normalize(std::string &error);
+};
+
+/**
+ * Read `path` and parse it; errors are prefixed with the path. A
+ * text starting with '{' is treated as inline JSON instead (the
+ * --scenario flag accepts both).
+ */
+bool loadScenario(const std::string &path_or_json, ScenarioSpec &spec,
+                  std::string &error);
+
+} // namespace pddl
+
+#endif // PDDL_CORE_SCENARIO_SPEC_HH

@@ -2,9 +2,46 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace pddl {
 namespace traffic {
+
+namespace {
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end == text.c_str() + text.size() && std::isfinite(out);
+}
+
+/** Split "a,b,c" into doubles; false on any malformed field. */
+bool
+parseDoubleList(const std::string &text, std::vector<double> &out)
+{
+    out.clear();
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        double value = 0.0;
+        if (!parseDouble(text.substr(start, comma - start), value))
+            return false;
+        out.push_back(value);
+        start = comma + 1;
+        if (comma == text.size())
+            break;
+    }
+    return !out.empty();
+}
+
+} // namespace
 
 const char *
 arrivalSpecName(const ArrivalSpec &spec)
@@ -18,6 +55,106 @@ arrivalSpecName(const ArrivalSpec &spec)
         return "mmpp";
     }
     return "poisson";
+}
+
+std::string
+arrivalSpecString(const ArrivalSpec &spec)
+{
+    char buffer[96];
+    switch (spec.kind) {
+    case ArrivalSpec::Kind::Poisson:
+        return "poisson";
+    case ArrivalSpec::Kind::Diurnal: {
+        std::string out = "diurnal:";
+        for (size_t i = 0; i < spec.phase_mult.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            std::snprintf(buffer, sizeof(buffer), "%.17g",
+                          spec.phase_mult[i]);
+            out += buffer;
+        }
+        std::snprintf(buffer, sizeof(buffer), "@%.17g", spec.phase_ms);
+        out += buffer;
+        return out;
+    }
+    case ArrivalSpec::Kind::Mmpp:
+        std::snprintf(buffer, sizeof(buffer),
+                      "mmpp:%.17g,%.17g,%.17g", spec.burst_mult,
+                      spec.calm_ms, spec.burst_ms);
+        return buffer;
+    }
+    return "poisson";
+}
+
+bool
+parseArrivalSpec(const std::string &text, ArrivalSpec &spec,
+                 std::string &error)
+{
+    if (text == "poisson") {
+        spec = ArrivalSpec{};
+        return true;
+    }
+    if (text == "diurnal") {
+        spec = ArrivalSpec{};
+        spec.kind = ArrivalSpec::Kind::Diurnal;
+        spec.phase_mult = {0.25, 1.0, 2.5, 1.0};
+        return true;
+    }
+    if (text.rfind("diurnal:", 0) == 0) {
+        const std::string rest = text.substr(8);
+        const size_t at = rest.find('@');
+        std::vector<double> mults;
+        double phase_ms = 0.0;
+        if (at == std::string::npos ||
+            !parseDoubleList(rest.substr(0, at), mults) ||
+            !parseDouble(rest.substr(at + 1), phase_ms) ||
+            phase_ms <= 0.0) {
+            error = "expected diurnal:<m1>,<m2>,...@<phase_ms> with "
+                    "phase_ms > 0";
+            return false;
+        }
+        double total = 0.0;
+        for (double m : mults) {
+            if (m < 0.0) {
+                error = "diurnal phase multipliers must be >= 0";
+                return false;
+            }
+            total += m;
+        }
+        if (total <= 0.0) {
+            error = "diurnal schedule must offer load (some "
+                    "multiplier > 0)";
+            return false;
+        }
+        spec = ArrivalSpec{};
+        spec.kind = ArrivalSpec::Kind::Diurnal;
+        spec.phase_mult = std::move(mults);
+        spec.phase_ms = phase_ms;
+        return true;
+    }
+    if (text == "mmpp") {
+        spec = ArrivalSpec{};
+        spec.kind = ArrivalSpec::Kind::Mmpp;
+        return true;
+    }
+    if (text.rfind("mmpp:", 0) == 0) {
+        std::vector<double> v;
+        if (!parseDoubleList(text.substr(5), v) || v.size() != 3 ||
+            v[0] <= 0.0 || v[1] <= 0.0 || v[2] <= 0.0) {
+            error = "expected mmpp:<burst_mult>,<calm_ms>,<burst_ms> "
+                    "with all three > 0";
+            return false;
+        }
+        spec = ArrivalSpec{};
+        spec.kind = ArrivalSpec::Kind::Mmpp;
+        spec.burst_mult = v[0];
+        spec.calm_ms = v[1];
+        spec.burst_ms = v[2];
+        return true;
+    }
+    error = "expected poisson, diurnal:<mults>@<phase_ms> or "
+            "mmpp:<burst>,<calm_ms>,<burst_ms>";
+    return false;
 }
 
 ArrivalSampler::ArrivalSampler(const ArrivalSpec &spec,

@@ -28,6 +28,7 @@
 #ifndef PDDL_TRAFFIC_ARRIVAL_HH
 #define PDDL_TRAFFIC_ARRIVAL_HH
 
+#include <string>
 #include <vector>
 
 #include "util/rng.hh"
@@ -65,6 +66,24 @@ struct ArrivalSpec
 
 /** Short label for tables ("poisson", "diurnal", "mmpp"). */
 const char *arrivalSpecName(const ArrivalSpec &spec);
+
+/**
+ * Canonical spec string carrying the parameters, the form
+ * ScenarioSpec serializes: "poisson",
+ * "diurnal:<m1>,<m2>,...@<phase_ms>" or
+ * "mmpp:<burst_mult>,<calm_ms>,<burst_ms>".
+ * parseArrivalSpec(arrivalSpecString(s)) reproduces `s`.
+ */
+std::string arrivalSpecString(const ArrivalSpec &spec);
+
+/**
+ * Parse a spec string (the grammar of arrivalSpecString; a bare
+ * "diurnal" or "mmpp" selects the struct defaults). @return true on
+ * success; on failure `error` explains what was malformed (suitable
+ * for an ArgParser validator message).
+ */
+bool parseArrivalSpec(const std::string &text, ArrivalSpec &spec,
+                      std::string &error);
 
 /**
  * Stateful gap sampler. `base_per_s` is the long-run offered rate

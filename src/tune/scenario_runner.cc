@@ -1,0 +1,355 @@
+#include "tune/scenario_runner.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "cache/cache_tier.hh"
+#include "disk/device_model.hh"
+#include "fault/fault_scheduler.hh"
+#include "obs/metrics.hh"
+#include "sim/parallel_engine.hh"
+#include "traffic/arrival.hh"
+#include "traffic/offset_dist.hh"
+#include "volume/placement.hh"
+#include "volume/volume_manager.hh"
+#include "workload/closed_loop.hh"
+#include "workload/open_loop.hh"
+
+namespace pddl {
+namespace tune {
+
+namespace {
+
+/** KB -> stripe units at this spec's unit size, at least one unit. */
+int64_t
+unitsForKb(int64_t kb, int unit_sectors)
+{
+    const int64_t units = kb * 2 / unit_sectors;
+    return units < 1 ? 1 : units;
+}
+
+[[noreturn]] void
+badSpec(const std::string &what)
+{
+    throw std::runtime_error("runScenario: " + what +
+                             " (spec not normalized?)");
+}
+
+} // namespace
+
+ScenarioOutcome
+runScenario(const ScenarioSpec &spec,
+            const RunScenarioOptions &options)
+{
+    const int shard_count = static_cast<int>(spec.shards.size());
+
+    ParallelEngine::Config engine_config;
+    engine_config.threads = options.sim_threads;
+    engine_config.lookahead = spec.dispatch_ms;
+    ParallelEngine engine(shard_count, engine_config);
+
+    std::vector<ShardSpec> shard_specs(spec.shards.size());
+    for (size_t s = 0; s < spec.shards.size(); ++s) {
+        const ScenarioShard &shard = spec.shards[s];
+        ShardSpec &out = shard_specs[s];
+        out.layout_spec = shard.layout;
+        out.device_spec = shard.device;
+        out.disks = shard.disks;
+        out.tier = shard.tier;
+        out.array.unit_sectors = spec.unit_sectors;
+        out.array.sstf_window = spec.sstf_window;
+        if (shard.failed_disk >= 0) {
+            out.array.mode = ArrayMode::Degraded;
+            out.array.failed_disk = shard.failed_disk;
+        }
+    }
+
+    // The placement object must outlive the volume; specs only name
+    // it.
+    std::unique_ptr<PlacementPolicy> owned_placement;
+    VolumeConfig vconfig;
+    vconfig.chunk_units = spec.chunk_units;
+    vconfig.dispatch_ms = spec.dispatch_ms;
+    vconfig.allocation = spec.allocation == "tiered"
+                             ? VolumeAllocation::Tiered
+                             : VolumeAllocation::Striped;
+    if (spec.placement == "rotate") {
+        owned_placement = std::make_unique<RotatedPlacement>();
+        vconfig.placement = owned_placement.get();
+    } else if (spec.placement.rfind("shuffle:", 0) == 0) {
+        const uint64_t seed = std::stoull(spec.placement.substr(8));
+        owned_placement = std::make_unique<ShuffledPlacement>(seed);
+        vconfig.placement = owned_placement.get();
+    } else if (spec.placement != "static") {
+        badSpec("unknown placement '" + spec.placement + "'");
+    }
+    VolumeManager volume(engine, std::move(shard_specs), vconfig);
+
+    // One fault scheduler per shard that has scripted failures; each
+    // lives on its shard's lane, like the controller it drives.
+    std::vector<std::unique_ptr<FaultScheduler>> fault_schedulers;
+    for (int s = 0; s < shard_count; ++s) {
+        FaultSchedule schedule;
+        for (const ScenarioFault &fault : spec.faults) {
+            if (fault.shard == s) {
+                schedule.events.push_back(
+                    {fault.when_ms, FaultEvent::Kind::DiskFailure,
+                     fault.disk, 0});
+            }
+        }
+        if (schedule.events.empty())
+            continue;
+        FaultScheduler::Options foptions;
+        foptions.rebuild_parallel = spec.rebuild_parallel;
+        auto scheduler = std::make_unique<FaultScheduler>(
+            engine.shardQueue(s), std::move(schedule), foptions);
+        scheduler->bindArray(volume.shard(s));
+        scheduler->start();
+        fault_schedulers.push_back(std::move(scheduler));
+    }
+
+    // Client latencies and cache counters land in one per-run
+    // registry; everything read out of it below is integer-counted,
+    // so the numbers are exact for any lane/thread arrangement.
+    // Histogram resolution is a property of the device classes
+    // present: a flash shard keeps sub-ms buckets, a pure-hdd volume
+    // the default mechanical bounds.
+    std::vector<const DeviceModel *> devices;
+    for (int s = 0; s < volume.shardCount(); ++s)
+        devices.push_back(&volume.shardDevice(s));
+    obs::MetricsRegistry registry;
+    registry.setHistogramBounds(
+        device::latencyBoundsForDevices(devices));
+    obs::Probe probe(&registry, nullptr);
+
+    std::unique_ptr<cache::CacheTier> tier;
+    if (spec.cache_enabled) {
+        cache::CacheConfig cconfig;
+        // Capacity is budgeted in KB; floor to whole sets so the
+        // constructor's divisibility contract holds at any unit size.
+        int64_t capacity =
+            unitsForKb(spec.cache_kb, spec.unit_sectors);
+        capacity -= capacity % spec.cache_ways;
+        if (capacity < spec.cache_ways)
+            capacity = spec.cache_ways;
+        cconfig.capacity_units = capacity;
+        cconfig.ways = spec.cache_ways;
+        cconfig.hit_ms = spec.cache_hit_ms;
+        cconfig.high_water = spec.cache_high;
+        cconfig.low_water = spec.cache_low;
+        cconfig.max_run_units = spec.cache_run_units;
+        cconfig.destage_width = spec.cache_width;
+        cconfig.probe = probe;
+        tier = std::make_unique<cache::CacheTier>(engine.hubQueue(),
+                                                  volume, cconfig);
+    }
+    Target &target = tier ? static_cast<Target &>(*tier)
+                          : static_cast<Target &>(volume);
+
+    std::unique_ptr<traffic::TraceCapture> capture;
+    Target *workload_target = &target;
+    if (!options.capture_path.empty()) {
+        capture = std::make_unique<traffic::TraceCapture>(
+            engine.hubQueue(), target);
+        workload_target = capture.get();
+    }
+
+    ScenarioOutcome outcome;
+    if (options.replay != nullptr && !options.replay->empty()) {
+        traffic::TraceReplayConfig rconfig;
+        rconfig.probe = probe;
+        traffic::TraceReplayWorkload replay(*options.replay, rconfig);
+        startOnHub(replay, engine, *workload_target);
+        engine.run();
+        outcome.mean_ms = replay.latency().mean();
+        outcome.samples = replay.latency().count();
+        outcome.max_outstanding = replay.maxOutstanding();
+        const double sim_s = engine.now() / 1000.0;
+        if (sim_s > 0.0) {
+            outcome.throughput_per_s =
+                static_cast<double>(replay.completed()) / sim_s;
+        }
+    } else if (spec.client == "closed") {
+        ClosedLoopConfig config;
+        config.clients = spec.clients;
+        // The closed loop issues one fixed access shape; the first
+        // mix entry defines it (the spec default is one 8 KB read).
+        const ScenarioMix entry =
+            spec.mix.empty() ? ScenarioMix{} : spec.mix.front();
+        config.access_units = static_cast<int>(
+            unitsForKb(entry.kb, spec.unit_sectors));
+        config.type =
+            entry.write ? AccessType::Write : AccessType::Read;
+        config.think_time_ms = spec.think_ms;
+        // Fixed sample budget: the tuner compares exact objectives,
+        // so the adaptive stopping rule is pinned shut.
+        config.min_samples = spec.samples;
+        config.max_samples = spec.samples;
+        config.warmup = spec.warmup;
+        config.seed = options.seed;
+        std::string why;
+        if (!traffic::parseOffsetSpec(spec.offsets, config.offsets,
+                                      why))
+            badSpec("offsets: " + why);
+        config.probe = probe;
+
+        ClosedLoopClient client(config);
+        startOnHub(client, engine, *workload_target);
+        engine.run();
+
+        SimResult result = client.result();
+        outcome.mean_ms = result.mean_response_ms;
+        outcome.throughput_per_s = result.throughput_per_s;
+        outcome.samples = result.samples;
+        outcome.max_outstanding = spec.clients;
+    } else {
+        OpenLoopConfig config;
+        config.arrivals_per_s = spec.arrivals_per_s;
+        for (const ScenarioMix &entry : spec.mix) {
+            config.mix.push_back(
+                {static_cast<int>(
+                     unitsForKb(entry.kb, spec.unit_sectors)),
+                 entry.write ? AccessType::Write : AccessType::Read,
+                 entry.weight});
+        }
+        config.samples = spec.samples;
+        config.warmup = spec.warmup;
+        config.seed = options.seed;
+        std::string why;
+        if (!traffic::parseOffsetSpec(spec.offsets, config.offsets,
+                                      why))
+            badSpec("offsets: " + why);
+        if (!traffic::parseArrivalSpec(spec.arrival, config.arrival,
+                                       why))
+            badSpec("arrival: " + why);
+        config.probe = probe;
+
+        OpenLoopClient client(config);
+        startOnHub(client, engine, *workload_target);
+        engine.run();
+
+        OpenLoopResult result = client.result();
+        outcome.mean_ms = result.mean_response_ms;
+        outcome.throughput_per_s = result.completed_per_s;
+        outcome.samples = result.samples;
+        outcome.max_outstanding = result.max_outstanding;
+    }
+
+    obs::MetricsSnapshot snapshot = registry.snapshot();
+    const obs::HistogramData *latency =
+        snapshot.histogram("client.latency_ms");
+    if (latency != nullptr) {
+        outcome.p50_ms = latency->quantile(0.50);
+        outcome.p95_ms = latency->quantile(0.95);
+        outcome.p99_ms = latency->quantile(0.99);
+        outcome.p999_ms = latency->quantile(0.999);
+    }
+    outcome.backend_accesses =
+        static_cast<int64_t>(volume.volumeAccessesIssued());
+    outcome.capacity_units = volume.dataUnits();
+    for (int s = 0; s < volume.shardCount(); ++s) {
+        outcome.cost_units += spec.shards[static_cast<size_t>(s)].disks *
+                              volume.shardDevice(s).costUnits();
+        outcome.shard_accesses.push_back(static_cast<int64_t>(
+            volume.shard(s).accessesIssued()));
+    }
+
+    if (tier) {
+        const cache::CacheStats &stats = tier->stats();
+        outcome.hit_rate = tier->hitRate();
+        outcome.writes_absorbed = stats.writes_absorbed;
+        outcome.write_stalls = stats.write_stalls;
+        outcome.destage_runs = stats.destage_runs;
+        outcome.destage_units = stats.destage_units;
+        outcome.dirty_end = tier->dirtyUnits();
+        outcome.stalled_end = tier->stalledWrites();
+    }
+    for (const auto &scheduler : fault_schedulers) {
+        const FaultStats &stats = scheduler->stats();
+        outcome.rebuilds_completed += stats.rebuilds_completed;
+        outcome.data_loss = outcome.data_loss || stats.data_loss;
+    }
+
+    if (capture) {
+        std::ofstream out(options.capture_path, std::ios::trunc);
+        if (out) {
+            traffic::writeTrace(out, capture->records());
+            std::fprintf(stderr,
+                         "[Scenario] captured %zu accesses to %s\n",
+                         capture->records().size(),
+                         options.capture_path.c_str());
+        } else {
+            std::fprintf(stderr, "[Scenario] cannot write %s\n",
+                         options.capture_path.c_str());
+        }
+    }
+    return outcome;
+}
+
+const char *
+objectiveName(Objective objective)
+{
+    switch (objective) {
+    case Objective::P99:
+        return "p99";
+    case Objective::P999:
+        return "p999";
+    case Objective::Mean:
+        return "mean";
+    case Objective::P95:
+        return "p95";
+    }
+    return "p99";
+}
+
+bool
+parseObjective(const std::string &text, Objective &objective,
+               std::string &error)
+{
+    if (text == "p99") {
+        objective = Objective::P99;
+        return true;
+    }
+    if (text == "p999") {
+        objective = Objective::P999;
+        return true;
+    }
+    if (text == "mean") {
+        objective = Objective::Mean;
+        return true;
+    }
+    if (text == "p95") {
+        objective = Objective::P95;
+        return true;
+    }
+    error = "expected p99, p999, p95 or mean";
+    return false;
+}
+
+double
+objectiveOf(const ScenarioOutcome &outcome, Objective objective)
+{
+    // Correctness gates first: a config that loses data or wedges
+    // its cache cannot buy its way back with a pretty tail.
+    if (outcome.data_loss || outcome.stalled_end > 0 ||
+        outcome.samples <= 0)
+        return std::numeric_limits<double>::infinity();
+    switch (objective) {
+    case Objective::P99:
+        return outcome.p99_ms;
+    case Objective::P999:
+        return outcome.p999_ms;
+    case Objective::Mean:
+        return outcome.mean_ms;
+    case Objective::P95:
+        return outcome.p95_ms;
+    }
+    return outcome.p99_ms;
+}
+
+} // namespace tune
+} // namespace pddl

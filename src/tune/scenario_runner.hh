@@ -1,0 +1,120 @@
+/**
+ * @file
+ * ScenarioSpec -> one deterministic simulation -> ScenarioOutcome.
+ *
+ * The runner is the evaluation half of the self-tuning loop: it
+ * builds the whole simulated system a ScenarioSpec describes (the
+ * parallel engine, the sharded volume, the optional write-back tier,
+ * the fault timeline, the open- or closed-loop client) on the
+ * PR-1/PR-4 machinery, runs it to drain, and reports every simulated
+ * quantity the tuner's objective or a bench row could want. Nothing
+ * in the outcome depends on host timing or thread count: the volume
+ * rides the conservative-window engine, so the history -- and hence
+ * every number here -- is byte-identical at any --sim-threads.
+ *
+ * Byte-fairness: the spec's access mix is in KB and its cache
+ * capacity in KB, so runs of the same scenario at different
+ * unit_sectors move the same bytes through the same budget -- the
+ * stripe-unit knob cannot game the objective by shrinking accesses.
+ *
+ * The same runner backs bench_traffic, bench_hybrid and
+ * bench_autotune, which is what makes a tuner-dumped JSON replayable
+ * bit-identically from the file alone.
+ */
+
+#ifndef PDDL_TUNE_SCENARIO_RUNNER_HH
+#define PDDL_TUNE_SCENARIO_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario_spec.hh"
+#include "traffic/trace.hh"
+
+namespace pddl {
+namespace tune {
+
+/** Everything one scenario run measured (all simulated quantities). */
+struct ScenarioOutcome
+{
+    double mean_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double p999_ms = 0.0;
+    /** Completions per second over the measurement window. */
+    double throughput_per_s = 0.0;
+    int64_t samples = 0;
+    int max_outstanding = 0;
+    /** Logical accesses the backend volume served. */
+    int64_t backend_accesses = 0;
+
+    // Cache tier counters (zero when the tier is disabled).
+    double hit_rate = 0.0;
+    int64_t writes_absorbed = 0;
+    int64_t write_stalls = 0;
+    int64_t destage_runs = 0;
+    int64_t destage_units = 0;
+    int64_t dirty_end = 0;
+    /** Writes still stalled at drain: a wedged cache, not latency. */
+    int64_t stalled_end = 0;
+
+    // Fault timeline counters (zero when no faults are scripted).
+    int rebuilds_completed = 0;
+    bool data_loss = false;
+
+    // Volume shape, for equal-budget comparisons across configs.
+    /** Sum over shards of disks x DeviceModel::costUnits(). */
+    double cost_units = 0.0;
+    /** Client-visible capacity of the whole volume, in stripe units. */
+    int64_t capacity_units = 0;
+    /** Accesses each shard served (how tiering split the traffic). */
+    std::vector<int64_t> shard_accesses;
+};
+
+/** Per-run knobs that are protocol, not scenario, state. */
+struct RunScenarioOptions
+{
+    uint64_t seed = 42;
+    /** Parallel-engine shard lanes; outcome identical at any value. */
+    int sim_threads = 1;
+    /** Record the offered accesses into this trace file when set. */
+    std::string capture_path;
+    /** Replay this trace instead of the spec's synthetic client. */
+    const std::vector<traffic::TraceRecord> *replay = nullptr;
+};
+
+/**
+ * Build and run the scenario. The spec must be normalized (built by
+ * ScenarioSpec::parse(), or normalize() called); malformed specs
+ * throw std::runtime_error rather than simulate garbage.
+ */
+ScenarioOutcome runScenario(const ScenarioSpec &spec,
+                            const RunScenarioOptions &options);
+
+/** What the tuner minimizes. */
+enum class Objective
+{
+    P99,
+    P999,
+    Mean,
+    P95,
+};
+
+const char *objectiveName(Objective objective);
+bool parseObjective(const std::string &text, Objective &objective,
+                    std::string &error);
+
+/**
+ * Scalar score of an outcome, lower is better. Infeasible outcomes
+ * -- data loss, or writes still stalled at drain -- score +infinity,
+ * so the search can never trade correctness for latency.
+ */
+double objectiveOf(const ScenarioOutcome &outcome,
+                   Objective objective);
+
+} // namespace tune
+} // namespace pddl
+
+#endif // PDDL_TUNE_SCENARIO_RUNNER_HH

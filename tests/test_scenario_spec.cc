@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Property tests for the serializable ScenarioSpec: the canonical
+ * parse(describe()) round-trip and the JSON dump/load round-trip
+ * swept over every registered layout and device family (including
+ * draid, tdesign and mirror), canonicalization of nested spec
+ * strings, and the anchored error diagnostics (line/column for
+ * syntax, field paths for semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/scenario_spec.hh"
+#include "util/json.hh"
+
+namespace pddl {
+namespace {
+
+/** A valid spec exercising the non-default corners. */
+ScenarioSpec
+richSpec()
+{
+    ScenarioSpec spec;
+    spec.shards = {ScenarioShard{"pddl:width=4", "hp2247", 13, "", -1},
+                   ScenarioShard{"mirror:copies=2,sched=round_robin",
+                                 "ssd", 4, "fast", -1}};
+    spec.allocation = "tiered";
+    spec.placement = "shuffle:42";
+    spec.chunk_units = 16;
+    spec.unit_sectors = 32;
+    spec.offsets = "zipf:0.99";
+    spec.arrival = "mmpp:4,1200,400";
+    spec.mix = {{8, true, 0.6}, {32, false, 0.4}};
+    spec.cache_enabled = true;
+    spec.cache_high = 0.10;
+    spec.cache_low = 0.05;
+    spec.faults = {{40.0, 0, 2}};
+    spec.rebuild_parallel = 8;
+    return spec;
+}
+
+TEST(ScenarioSpec, DefaultSpecRoundTrips)
+{
+    ScenarioSpec spec;
+    std::string error;
+    ASSERT_TRUE(spec.normalize(error)) << error;
+
+    ScenarioSpec back;
+    ASSERT_TRUE(ScenarioSpec::parse(spec.describe(), back, error))
+        << error;
+    EXPECT_EQ(spec, back);
+    EXPECT_EQ(spec.describe(), back.describe());
+}
+
+TEST(ScenarioSpec, RoundTripsEveryLayoutFamily)
+{
+    // One buildable (layout spec, disk count) per registered family.
+    const struct
+    {
+        const char *layout;
+        int disks;
+    } families[] = {
+        {"pddl:width=4", 13},
+        {"raid5", 5},
+        {"datum:width=5,check=1", 13},
+        {"parity:width=4", 13},
+        {"prime:width=4", 7},
+        {"mirror:copies=2,sched=shortest_queue", 8},
+        {"draid:width=4,spares=1,rows=13,seed=7", 13},
+        {"tdesign", 16},
+    };
+    for (const auto &family : families) {
+        ScenarioSpec spec;
+        spec.shards[0].layout = family.layout;
+        spec.shards[0].disks = family.disks;
+        std::string error;
+        ASSERT_TRUE(spec.normalize(error))
+            << family.layout << ": " << error;
+
+        // Canonical text round-trip: parse(describe(s)) == s.
+        ScenarioSpec back;
+        ASSERT_TRUE(ScenarioSpec::parse(spec.describe(), back, error))
+            << family.layout << ": " << error;
+        EXPECT_EQ(spec, back) << family.layout;
+
+        // JSON document round-trip (pretty form, as files store it).
+        ScenarioSpec from_doc;
+        ASSERT_TRUE(ScenarioSpec::parse(spec.toJson().dump(2),
+                                        from_doc, error))
+            << family.layout << ": " << error;
+        EXPECT_EQ(spec, from_doc) << family.layout;
+    }
+}
+
+TEST(ScenarioSpec, RoundTripsEveryDeviceFamily)
+{
+    for (const char *device : {"hp2247", "hdd", "ssd"}) {
+        ScenarioSpec spec;
+        spec.shards[0].device = device;
+        std::string error;
+        ASSERT_TRUE(spec.normalize(error)) << device << ": " << error;
+        // normalize() canonicalized the bare family name; the
+        // canonical form must be a fixed point.
+        ScenarioSpec back;
+        ASSERT_TRUE(ScenarioSpec::parse(spec.describe(), back, error))
+            << device << ": " << error;
+        EXPECT_EQ(spec, back) << device;
+        EXPECT_EQ(spec.shards[0].device, back.shards[0].device);
+    }
+}
+
+TEST(ScenarioSpec, RichSpecRoundTripsThroughJson)
+{
+    ScenarioSpec spec = richSpec();
+    std::string error;
+    ASSERT_TRUE(spec.normalize(error)) << error;
+
+    ScenarioSpec back;
+    ASSERT_TRUE(ScenarioSpec::parse(spec.describe(), back, error))
+        << error;
+    EXPECT_EQ(spec, back);
+
+    // describe() is canonical: re-describing the parsed spec must
+    // reproduce the exact byte string.
+    EXPECT_EQ(spec.describe(), back.describe());
+}
+
+TEST(ScenarioSpec, NormalizeCanonicalizesNestedSpecs)
+{
+    ScenarioSpec spec;
+    // A mirror without an explicit scheduler gains the default.
+    spec.shards[0].layout = "mirror:copies=2";
+    spec.shards[0].disks = 8;
+    // A bare shuffle gains its golden-ratio default seed.
+    spec.placement = "shuffle";
+    std::string error;
+    ASSERT_TRUE(spec.normalize(error)) << error;
+    EXPECT_NE(spec.shards[0].layout.find("sched="), std::string::npos)
+        << spec.shards[0].layout;
+    EXPECT_EQ(spec.placement.rfind("shuffle:", 0), 0u)
+        << spec.placement;
+    EXPECT_GT(spec.placement.size(), std::string("shuffle:").size());
+
+    // Canonicalization is idempotent.
+    const std::string once = spec.describe();
+    ASSERT_TRUE(spec.normalize(error)) << error;
+    EXPECT_EQ(once, spec.describe());
+}
+
+TEST(ScenarioSpec, FaultsAreSortedByTime)
+{
+    ScenarioSpec spec;
+    spec.faults = {{80.0, 0, 3}, {40.0, 0, 2}};
+    std::string error;
+    ASSERT_TRUE(spec.normalize(error)) << error;
+    ASSERT_EQ(spec.faults.size(), 2u);
+    EXPECT_EQ(spec.faults[0].when_ms, 40.0);
+    EXPECT_EQ(spec.faults[1].when_ms, 80.0);
+}
+
+TEST(ScenarioSpec, SyntaxErrorsCarryLineAndColumn)
+{
+    ScenarioSpec spec;
+    std::string error;
+    EXPECT_FALSE(ScenarioSpec::parse("{ \"shards\": ", spec, error));
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+    EXPECT_NE(error.find("column"), std::string::npos) << error;
+
+    // A later line anchors to that line.
+    EXPECT_FALSE(ScenarioSpec::parse("{\n  \"chunk_units\": nope\n}",
+                                     spec, error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(ScenarioSpec, UnknownFieldsAreRejectedByName)
+{
+    ScenarioSpec spec;
+    std::string error;
+    EXPECT_FALSE(ScenarioSpec::parse("{\"bogus\": 1}", spec, error));
+    EXPECT_NE(error.find("unknown field 'bogus'"), std::string::npos)
+        << error;
+
+    EXPECT_FALSE(ScenarioSpec::parse(
+        "{\"cache\": {\"enabled\": true, \"typo\": 1}}", spec, error));
+    EXPECT_NE(error.find("typo"), std::string::npos) << error;
+}
+
+TEST(ScenarioSpec, SemanticErrorsAnchorTheField)
+{
+    ScenarioSpec spec;
+    std::string error;
+
+    // Unknown layout family, anchored to the shard that named it.
+    EXPECT_FALSE(ScenarioSpec::parse(
+        "{\"shards\": [{\"layout\": \"blorp\"}]}", spec, error));
+    EXPECT_NE(error.find("shards[0].layout"), std::string::npos)
+        << error;
+
+    // A layout that cannot be built over the shard's disk count.
+    EXPECT_FALSE(ScenarioSpec::parse(
+        "{\"shards\": [{\"layout\": \"mirror:copies=2\", "
+        "\"disks\": 13}]}",
+        spec, error));
+    EXPECT_NE(error.find("shards[0].layout"), std::string::npos)
+        << error;
+
+    // Inverted cache watermarks.
+    ScenarioSpec bad;
+    bad.cache_enabled = true;
+    bad.cache_high = 0.10;
+    bad.cache_low = 0.90;
+    EXPECT_FALSE(bad.normalize(error));
+    EXPECT_NE(error.find("cache.high/cache.low"), std::string::npos)
+        << error;
+
+    // A scripted failure of a disk the shard does not have.
+    ScenarioSpec ghost;
+    ghost.faults = {{40.0, 0, 99}};
+    EXPECT_FALSE(ghost.normalize(error));
+    EXPECT_NE(error.find("faults[0].disk"), std::string::npos)
+        << error;
+}
+
+TEST(ScenarioSpec, LoadScenarioAcceptsInlineJson)
+{
+    ScenarioSpec spec;
+    std::string error;
+    ASSERT_TRUE(loadScenario("{\"chunk_units\": 16}", spec, error))
+        << error;
+    EXPECT_EQ(spec.chunk_units, 16);
+
+    // A missing file is reported with its path.
+    EXPECT_FALSE(
+        loadScenario("/nonexistent/scenario.json", spec, error));
+    EXPECT_NE(error.find("/nonexistent/scenario.json"),
+              std::string::npos)
+        << error;
+}
+
+} // namespace
+} // namespace pddl

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Replay a tuner-dumped winning configuration and verify it.
+
+Takes a pddl-autotune-v1 winner document (the --out file of
+bench_autotune), validates its schema, then re-runs the recorded
+scenario through `bench_autotune --replay` and asserts the replayed
+objective is bit-identical to the recorded one. This is the proof
+the winning config is reproducible from the JSON alone: the file
+carries the full scenario (knobs, workload, sample budget), the
+protocol seeds and the objective, so nothing outside it feeds the
+re-run.
+
+Usage: replay_scenario.py <winner.json> [--bench <bench_autotune>]
+Exit code 0 when the replay matches; prints the first violated
+check otherwise.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+
+def fail(message):
+    print(f"replay_scenario: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(condition, message):
+    if not condition:
+        fail(message)
+
+
+def validate_winner(doc):
+    """Schema checks on the pddl-autotune-v1 document."""
+    check(isinstance(doc, dict), "winner document is not an object")
+    check(doc.get("schema") == "pddl-autotune-v1",
+          f"schema is {doc.get('schema')!r}, want 'pddl-autotune-v1'")
+    check(doc.get("objective") in {"p99", "p999", "p95", "mean"},
+          f"unknown objective {doc.get('objective')!r}")
+    seeds = doc.get("seeds")
+    check(isinstance(seeds, list) and seeds and
+          all(isinstance(s, int) for s in seeds),
+          "seeds must be a non-empty list of integers")
+    for key in ("objective_value", "baseline_value", "train_value",
+                "baseline_train_value"):
+        check(isinstance(doc.get(key), (int, float)),
+              f"{key} must be a number")
+    check(doc["objective_value"] < doc["baseline_value"],
+          "recorded tuned objective does not beat the baseline "
+          f"({doc['objective_value']} vs {doc['baseline_value']})")
+    scenario = doc.get("scenario")
+    check(isinstance(scenario, dict), "scenario must be an object")
+    shards = scenario.get("shards")
+    check(isinstance(shards, list) and shards,
+          "scenario.shards must be a non-empty list")
+    check(isinstance(scenario.get("samples"), int) and
+          scenario["samples"] >= 1,
+          "scenario.samples must carry the replay budget")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Replay a pddl-autotune-v1 winner and verify "
+                    "the recorded objective reproduces.")
+    parser.add_argument("winner", type=pathlib.Path,
+                        help="winner JSON dumped by bench_autotune "
+                             "--out")
+    parser.add_argument("--bench", type=pathlib.Path,
+                        default=pathlib.Path("bench/bench_autotune"),
+                        help="bench_autotune binary (default: "
+                             "bench/bench_autotune)")
+    args = parser.parse_args()
+
+    check(args.winner.is_file(), f"cannot read {args.winner}")
+    try:
+        doc = json.loads(args.winner.read_text())
+    except json.JSONDecodeError as error:
+        fail(f"{args.winner}: {error}")
+    validate_winner(doc)
+
+    check(args.bench.is_file(), f"no bench binary at {args.bench} "
+                                "(build it, or pass --bench)")
+    result = subprocess.run(
+        [str(args.bench), "--replay", str(args.winner)],
+        capture_output=True, text=True)
+    sys.stderr.write(result.stderr)
+    match = re.search(
+        r"replay objective ([-0-9.e+]+) recorded ([-0-9.e+]+) (\w+)",
+        result.stdout)
+    check(match is not None,
+          f"no replay verdict in output:\n{result.stdout}")
+    replayed, recorded, verdict = match.groups()
+    check(verdict == "MATCH" and result.returncode == 0,
+          f"replay {replayed} != recorded {recorded}")
+    check(float(recorded) == doc["objective_value"],
+          "the binary's recorded value disagrees with the document")
+
+    print(f"replay_scenario: OK: objective {replayed} reproduced "
+          f"bit-identically from {args.winner}")
+
+
+if __name__ == "__main__":
+    main()
